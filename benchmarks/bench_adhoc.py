@@ -1,0 +1,92 @@
+"""Benches for the MANET extension (paper section 6).
+
+Quantifies the two claims behind the named future work:
+
+1. **Gossip stability scales**: rounds to full stability knowledge grow
+   ~logarithmically in n and per-node message cost stays flat, versus the
+   wired scheme's O(n) ack broadcasts per member per interval.
+2. **Byzantine routing masks droppers**: delivery stays complete with a
+   dropping relay as long as a disjoint path exists.
+3. The full stack's broadcast latency over multi-hop radio grows with the
+   network diameter, not the member count.
+"""
+
+import pytest
+
+from repro import Group, StackConfig
+from repro.adhoc.geometry import Field
+from repro.adhoc.gossip_stability import simulate_convergence
+
+
+@pytest.mark.parametrize("n", (8, 16, 32, 64))
+def test_adhoc_gossip_stability_scaling(benchmark, n):
+    result = benchmark.pedantic(
+        lambda: simulate_convergence(n, seed=11, fanout=2),
+        rounds=1, iterations=1)
+    benchmark.extra_info.update(result)
+    benchmark.extra_info["n"] = n
+    assert result["converged"]
+    # per-node message cost must not grow linearly in n (the wired ack
+    # broadcast costs n-1 datagrams per member per interval)
+    assert result["messages_per_node"] < n
+
+
+def test_adhoc_gossip_vs_broadcast_message_cost():
+    small = simulate_convergence(8, seed=12)
+    large = simulate_convergence(64, seed=12)
+    assert small["converged"] and large["converged"]
+    # broadcast ack cost grows 8x (n-1 per member); gossip per-node cost
+    # grows only with log n
+    growth = large["messages_per_node"] / max(1.0, small["messages_per_node"])
+    assert growth < 4.0, growth
+
+
+def test_adhoc_dropping_relay_delivery(benchmark):
+    def run():
+        field = Field(radio_range=0.4)
+        field.place_grid(range(9), cols=3)
+        group = Group.bootstrap_adhoc(9, config=StackConfig.byz(), seed=13,
+                                      field=field)
+        group.network.set_dropping_relays({4})
+        for k in range(5):
+            group.endpoints[0].cast(("b", k))
+        group.run(4.0)
+        delivered = min(
+            len([e for e in group.endpoints[n].events
+                 if type(e).__name__ == "CastDeliver"])
+            for n in range(9))
+        group.stop()
+        return {"min_delivered": delivered,
+                "relay_drops": group.network.dropped_by_relay}
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(result)
+    assert result["min_delivered"] == 5
+    assert result["relay_drops"] > 0
+
+
+@pytest.mark.parametrize("diameter", (2, 4, 8))
+def test_adhoc_latency_tracks_diameter(benchmark, diameter):
+    def run():
+        field = Field(radio_range=0.12)
+        spacing = 0.1
+        for i in range(diameter + 1):
+            field.place(i, 0.05 + i * spacing, 0.5)
+        group = Group.bootstrap_adhoc(diameter + 1,
+                                      config=StackConfig.byz(),
+                                      seed=14, field=field)
+        start = group.sim.now
+        group.endpoints[0].cast("probe")
+        group.run_until(
+            lambda: any(e.payload == "probe"
+                        for e in group.endpoints[diameter].events
+                        if type(e).__name__ == "CastDeliver"),
+            timeout=5.0)
+        elapsed = group.sim.now - start
+        group.stop()
+        return {"diameter": diameter, "latency_s": elapsed}
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(result)
+    # at least one radio airtime per hop
+    assert result["latency_s"] >= diameter * 1.0e-3

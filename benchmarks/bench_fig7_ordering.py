@@ -1,0 +1,54 @@
+"""Figure 7: throughput of total ordering and uniform broadcast, with and
+without symmetric-key cryptography (up to 44 nodes in the paper -- six of
+their blades were lost to a UPS malfunction).
+
+Expected shape: Total > Uniform (consensus amortizes agreement over
+batches; uniform pays one agreement per message -- the paper could not
+batch it "due to a bug in JazzEnsemble", and neither do we);
+SymCrypto roughly halves both; decay looks linear in n because the
+network is switched (per-link load grows O(n)).
+"""
+
+import pytest
+
+from benchmarks.harness import FIG7_CONFIGS, ring_throughput
+
+FIG7_QUICK_SIZES = (8, 24, 40)
+
+
+@pytest.mark.parametrize("n", FIG7_QUICK_SIZES)
+@pytest.mark.parametrize("label", sorted(FIG7_CONFIGS))
+def test_fig7_throughput(benchmark, label, n):
+    config = FIG7_CONFIGS[label]()
+    result = benchmark.pedantic(
+        lambda: ring_throughput(config, n), rounds=1, iterations=1)
+    benchmark.extra_info.update(result)
+    assert result["throughput"] > 0
+
+
+def test_fig7_shape_total_beats_uniform():
+    """Consensus amortizes over batches; per-cast uniform cannot."""
+    total = ring_throughput(FIG7_CONFIGS["NoCrypto+Total"](), 8)
+    uniform = ring_throughput(FIG7_CONFIGS["NoCrypto+Uniform"](), 8)
+    assert total["throughput"] > uniform["throughput"]
+
+
+def test_fig7_shape_symcrypto_halves_total():
+    plain = ring_throughput(FIG7_CONFIGS["NoCrypto+Total"](), 8)
+    sym = ring_throughput(FIG7_CONFIGS["SymCrypto+Total"](), 8)
+    ratio = sym["throughput"] / plain["throughput"]
+    assert 0.3 <= ratio <= 0.7, ratio
+
+
+def test_fig7_shape_throughput_decays_with_n():
+    small = ring_throughput(FIG7_CONFIGS["NoCrypto+Total"](), 8)
+    large = ring_throughput(FIG7_CONFIGS["NoCrypto+Total"](), 40)
+    assert large["throughput"] < small["throughput"]
+
+
+def test_fig7_total_plus_uniform_not_above_total():
+    both = ring_throughput(FIG7_CONFIGS["NoCrypto+Total+Uniform"](), 8)
+    total = ring_throughput(FIG7_CONFIGS["NoCrypto+Total"](), 8)
+    # total ordering already subsumes uniform agreement; the combined
+    # configuration must not outperform plain total ordering
+    assert both["throughput"] <= total["throughput"] * 1.1

@@ -1,0 +1,40 @@
+"""Figure 8: time to establish a new view vs group size.
+
+Paper lines: merge->init (a node joins) and leave->init (a member
+departs), measured once the event is known.  Expected shape: sub-second
+everywhere, growing with the view size (the paper reads ~0.35 s at n=50
+and notes the growth "suggests that in order to grow to much larger
+groups, a more scalable overlay based solution might be needed"); merge
+and leave roughly equal.
+"""
+
+import pytest
+
+from benchmarks.harness import view_change_latency
+
+FIG8_SIZES = (8, 16, 24, 40)
+
+
+@pytest.mark.parametrize("n", FIG8_SIZES)
+@pytest.mark.parametrize("kind", ("leave", "merge"))
+def test_fig8_view_establishment(benchmark, kind, n):
+    result = benchmark.pedantic(
+        lambda: view_change_latency(n, kind), rounds=1, iterations=1)
+    benchmark.extra_info.update(result)
+    assert result["converged"]
+    assert result["seconds"] < 1.0
+
+
+def test_fig8_shape_latency_grows_with_view_size():
+    small = view_change_latency(8, "leave")
+    large = view_change_latency(40, "leave")
+    assert small["converged"] and large["converged"]
+    assert large["seconds"] > small["seconds"]
+
+
+def test_fig8_shape_merge_and_leave_comparable():
+    """The paper's two curves track each other closely."""
+    leave = view_change_latency(16, "leave")
+    merge = view_change_latency(16, "merge")
+    assert leave["converged"] and merge["converged"]
+    assert merge["seconds"] < 20 * max(leave["seconds"], 1e-3)

@@ -1,0 +1,238 @@
+"""Shared experiment runners for the paper's evaluation (section 4).
+
+Every figure and table of the paper maps to one runner here; the
+``bench_*`` modules wrap them for ``pytest-benchmark`` and
+``run_all.py`` sweeps the full parameter ranges and regenerates
+EXPERIMENTS.md.
+
+Measurement methodology follows the paper:
+
+* workload: the Ensemble Ring demo (each node casts a burst of k messages
+  and waits for k messages from every other member);
+* throughput: broadcasts delivered per second, a broadcast delivered to n
+  nodes counting once (16-byte messages, Figures 5/7);
+* latency: mean cast-to-delivery time with k = 1 (1-byte messages,
+  Figure 6);
+* view change: seconds from failure detection (or merge start) to the
+  new view's installation (Figure 8, Table 1).
+
+All times are simulated seconds on the BladeCenter topology model; see
+DESIGN.md section 6 for the calibration story.
+"""
+
+from __future__ import annotations
+
+from repro import Group, StackConfig
+from repro.apps.ring import RingDemo
+from repro.byzantine.behaviors import (BadViewCoordinator, MuteCoordinator,
+                                       MuteNode, VerboseNode)
+from repro.core.view import choose_coordinator
+from repro.sim.stats import mean
+
+#: group sizes measured in the paper (8-50, two per blade above 24)
+FULL_SIZES = (8, 12, 16, 24, 32, 40, 48)
+#: subset used by the pytest-benchmark wrappers to keep CI runs short
+QUICK_SIZES = (8, 24, 40)
+
+FIG5_CONFIGS = {
+    "JazzEns": lambda: StackConfig.benign(),
+    "ByzEns+NoCrypto": lambda: StackConfig.byz(),
+    "ByzEns+SymCrypto": lambda: StackConfig.byz(crypto="sym"),
+    "ByzEns+NoCrypto+Total": lambda: StackConfig.byz(total_order=True),
+    "ByzEns+PubCrypto": lambda: StackConfig.byz(crypto="pub"),
+}
+
+FIG6_CONFIGS = {
+    "JazzEns": lambda: StackConfig.benign(),
+    "ByzEns+NoCrypto": lambda: StackConfig.byz(),
+    "ByzEns+SymCrypto": lambda: StackConfig.byz(crypto="sym"),
+    "ByzEns+NoCrypto+Total": lambda: StackConfig.byz(total_order=True),
+}
+
+FIG7_CONFIGS = {
+    "NoCrypto+Total": lambda: StackConfig.byz(total_order=True),
+    "NoCrypto+Uniform": lambda: StackConfig.byz(uniform_delivery=True),
+    "NoCrypto+Total+Uniform": lambda: StackConfig.byz(
+        total_order=True, uniform_delivery=True),
+    "SymCrypto+Total": lambda: StackConfig.byz(crypto="sym",
+                                               total_order=True),
+    "SymCrypto+Uniform": lambda: StackConfig.byz(crypto="sym",
+                                                 uniform_delivery=True),
+    "SymCrypto+Total+Uniform": lambda: StackConfig.byz(
+        crypto="sym", total_order=True, uniform_delivery=True),
+}
+
+
+# ----------------------------------------------------------------------
+# Figures 5 and 7: throughput
+# ----------------------------------------------------------------------
+def ring_throughput(config, n, seed=7, burst=None, warm=None, measure=None,
+                    msg_size=16):
+    """Ring-demo throughput for one (config, n) point.
+
+    Windows shrink with n so each point costs a roughly constant number of
+    simulated datagrams; PubCrypto gets long windows (its event rate is
+    tiny) and a small burst (a large one would never complete a round).
+    """
+    if config.crypto == "pub":
+        burst = burst or 2
+        warm = warm if warm is not None else 1.0
+        measure = measure or 3.0
+    elif config.uniform_delivery and not config.total_order:
+        # per-cast uniform agreement is slow by design (the paper could
+        # not batch it either); it needs wider windows to complete rounds
+        burst = burst or 8
+        warm = warm if warm is not None else 0.25
+        measure = measure or 0.4
+    else:
+        burst = burst or 16
+        warm = warm if warm is not None else max(0.05, 0.4 / n)
+        measure = measure or max(0.1, 1.6 / n)
+    group = Group.bootstrap(n, config=config, seed=seed)
+    ring = RingDemo(group, burst=burst, msg_size=msg_size)
+    ring.start()
+    group.run(warm)
+    ring.start_measurement()
+    group.run(measure)
+    ring.stop_measurement()
+    view_changes = max(p.membership.view_changes
+                       for p in group.processes.values())
+    result = {
+        "label": config.label(),
+        "n": n,
+        "throughput": ring.throughput,
+        "rounds": ring.min_rounds_completed(),
+        "view_changes": view_changes,
+        "sim_seconds": measure,
+    }
+    group.stop()
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 6: latency of 1-byte messages
+# ----------------------------------------------------------------------
+def ring_latency(config, n, seed=7, duration=None):
+    """Mean cast-to-delivery latency with burst k = 1 (paper Figure 6)."""
+    group = Group.bootstrap(n, config=config, seed=seed)
+    ring = RingDemo(group, burst=1, msg_size=1, warmup_rounds=3)
+    ring.start()
+    group.run(duration if duration is not None else max(0.2, 2.0 / n))
+    result = {
+        "label": config.label(),
+        "n": n,
+        "latency_ms": ring.latency.mean * 1000.0,
+        "p99_ms": ring.latency.p99 * 1000.0,
+        "rounds": ring.min_rounds_completed(),
+    }
+    group.stop()
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 8: time to establish a new view
+# ----------------------------------------------------------------------
+def view_change_latency(n, kind, seed=7, config=None):
+    """Seconds from the triggering event to the new view (Figure 8).
+
+    ``kind`` is ``"leave"`` (a member departs; measured from the leave
+    announcement) or ``"merge"`` (a singleton joins; measured from the
+    merge request reaching the coordinator).
+    """
+    config = config or StackConfig.byz()
+    if kind == "leave":
+        group = Group.bootstrap(n, config=config, seed=seed)
+        group.run(0.05)
+        group.endpoints[n - 1].leave()
+        survivors = [node for node in group.processes if node != n - 1]
+        ok = group.run_until(
+            lambda: all(p.view.n == n - 1 for node, p in group.processes.items()
+                        if node != n - 1), timeout=10.0)
+    elif kind == "merge":
+        # n-1 established members; a fresh node joins mid-run
+        group = Group.bootstrap(n - 1, config=config, seed=seed)
+        group.run(0.05)
+        group.add_node(n - 1)
+        survivors = [node for node in group.processes if node != n - 1]
+        ok = group.run_until(
+            lambda: all(p.view.n == n for p in group.processes.values()),
+            timeout=10.0)
+    else:
+        raise ValueError("unknown view-change kind: %r" % (kind,))
+    # as in the paper, the clock starts when the event is *known* (leave
+    # received / merge request accepted), not when it physically happened
+    durations = [group.processes[node].membership.last_change_duration
+                 for node in survivors
+                 if group.processes[node].membership.last_change_duration]
+    elapsed = mean(durations) if (ok and durations) else float("nan")
+    result = {"n": n, "kind": kind, "seconds": elapsed, "converged": ok}
+    group.stop()
+    return result
+
+
+# ----------------------------------------------------------------------
+# Table 1: recovery time from problematic scenarios
+# ----------------------------------------------------------------------
+def _recovery_run(n, seed, behaviors, exclude, detect_event=None,
+                  config=None):
+    """Run a fault scenario; return detection->install recovery time.
+
+    Following the paper, the time reported EXCLUDES the failure-detection
+    period itself ("does not include the failure detection time as this is
+    a tunable parameter"): we take the latest change-start among survivors
+    as the detection instant.
+    """
+    config = config or StackConfig.byz()
+    group = Group.bootstrap(n, config=config, seed=seed, behaviors=behaviors)
+    group.run(0.05)
+    if detect_event is not None:
+        detect_event(group)
+    ok = group.run_until(
+        lambda: all(exclude not in p.view.mbrs
+                    for node, p in group.processes.items()
+                    if node != exclude and not p.stopped),
+        timeout=10.0)
+    durations = [p.membership.last_change_duration
+                 for node, p in group.processes.items()
+                 if node != exclude and not p.stopped
+                 and p.membership.last_change_duration is not None]
+    group.stop()
+    return {
+        "recovered": ok,
+        "recovery_seconds": mean(durations) if durations else float("nan"),
+        "max_recovery_seconds": max(durations) if durations else float("nan"),
+    }
+
+
+def recovery_time(scenario, n=12, seed=7):
+    """Table 1: recovery time for one named scenario at group size n."""
+    if scenario == "ByzLeave":
+        def leave(group):
+            group.endpoints[n - 1].leave()
+        return _recovery_run(n, seed, {}, exclude=n - 1, detect_event=leave)
+    if scenario == "ByzMuteNode":
+        return _recovery_run(n, seed, {n - 1: MuteNode(mute_at=0.08)},
+                             exclude=n - 1)
+    if scenario == "ByzMuteCoord":
+        coord = choose_coordinator(1, tuple(range(n)))
+        return _recovery_run(n, seed, {coord: MuteCoordinator(mute_at=0.08)},
+                             exclude=coord)
+    if scenario == "ByzVerboseNode":
+        return _recovery_run(n, seed, {n - 1: VerboseNode(start_at=0.08)},
+                             exclude=n - 1)
+    if scenario == "CoordBadView":
+        # crash one node so a view change runs; its generator is Byzantine
+        # and sends a wrong view, forcing a re-run that also evicts it
+        survivors = [m for m in range(n) if m != n - 1]
+        bad_gen = choose_coordinator(1, survivors)
+        behaviors = {bad_gen: BadViewCoordinator()}
+
+        def crash(group):
+            group.crash(n - 1)
+        return _recovery_run(n, seed, behaviors, exclude=bad_gen,
+                             detect_event=crash)
+    raise ValueError("unknown scenario: %r" % (scenario,))
+
+
+TABLE1_SCENARIOS = ("ByzLeave", "ByzMuteNode", "ByzMuteCoord",
+                    "ByzVerboseNode", "CoordBadView")

@@ -1,0 +1,80 @@
+"""Compute farm with parsimonious execution (paper section 5, [43]/[56]).
+
+When requests are computation-intensive it pays to split *agreement* from
+*execution*: all 8 members agree on the order, but each request runs on a
+rotating committee of only f + 1 = 2 members; replies are voted, and a
+mismatch escalates to f more executors where a result repeated f + 1
+times wins.  The farm does ~2/8 of the work of full active replication --
+until a lying executor forces (and loses) an escalation.
+
+Run:  python examples/compute_farm.py
+"""
+
+from repro import Group, StackConfig
+from repro.apps.parsimonious import ParsimoniousService
+
+
+def expensive(command):
+    """Stand-in for a heavy deterministic computation."""
+    op, payload = command
+    if op == "factor":
+        n = payload
+        factors = []
+        d = 2
+        while d * d <= n:
+            while n % d == 0:
+                factors.append(d)
+                n //= d
+            d += 1
+        if n > 1:
+            factors.append(n)
+        return tuple(factors)
+    return ("unknown-op",)
+
+
+def main():
+    config = StackConfig.byz(total_order=True, crypto="sym")
+    group = Group.bootstrap(8, config=config, seed=17)
+    results = {node: {} for node in group.endpoints}
+    farms = {}
+    for node, endpoint in group.endpoints.items():
+        farms[node] = ParsimoniousService(
+            endpoint, execute=expensive,
+            on_result=lambda rid, res, node=node:
+                results[node].__setitem__(rid, res),
+            # node 5 lies about every computation it performs
+            lie=(lambda cmd, res: ("bogus",)) if node == 5 else None)
+    group.byzantine_nodes = {5}
+    f = group.processes[0].f
+    print("farm of 8, f=%d: committees of %d, full replication would be 8"
+          % (f, f + 1))
+
+    numbers = [982451653, 479001599, 2147483647, 999999937,
+               123456789, 600851475143, 1234567891, 987654321]
+    rids = [farms[k % 8].submit(("factor", num))
+            for k, num in enumerate(numbers)]
+    group.run(3.0)
+
+    total_execs = sum(s.executions for s in farms.values())
+    print("requests: %d   total executions: %d   (full replication: %d)"
+          % (len(numbers), total_execs, len(numbers) * 8))
+    for rid, num in zip(rids, numbers):
+        certified = {repr(results[node].get(rid)) for node in group.endpoints
+                     if node != 5}
+        assert len(certified) == 1, "replicas disagree on %d" % num
+        value = results[0][rid]
+        assert value != ("bogus",), "the liar won?!"
+        product = 1
+        for factor in value:
+            product *= factor
+        assert product == num
+        print("  factor(%d) = %s" % (num, "*".join(map(str, value))))
+    liar_work = farms[5].executions
+    print("liar executed %d times; every lie was outvoted" % liar_work)
+    assert total_execs < len(numbers) * 8, "no savings over full replication"
+    print("OK: ~%.0f%% of full-replication work, Byzantine-safe results"
+          % (100.0 * total_execs / (len(numbers) * 8)))
+
+
+if __name__ == "__main__":
+    main()

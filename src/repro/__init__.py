@@ -1,0 +1,48 @@
+"""repro -- reproduction of "Practical Byzantine Group Communication".
+
+Drabkin, Friedman, Kama (Technion TR CS-2005-17 / ICDCS 2006): a Byzantine
+fault tolerant group communication system derived from JazzEnsemble, with
+fuzzy mute/verbose failure detectors, vector Byzantine consensus, a 2-step
+Byzantine uniform broadcast, and a layered micro-protocol stack -- running
+here on a deterministic discrete-event network simulator.
+
+Quickstart::
+
+    from repro import Group, StackConfig
+
+    group = Group.bootstrap(8, config=StackConfig.byz(crypto="sym"))
+    group.endpoints[0].cast({"hello": "world"}, size=16)
+    group.run(0.5)
+    for event in group.endpoints[3].events:
+        print(event)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured results of every table and figure.
+"""
+
+from repro.core.config import StackConfig
+from repro.core.endpoint import GroupEndpoint
+from repro.core.events import BlockEvent, CastDeliver, SendDeliver, ViewEvent
+from repro.core.group import Group
+from repro.core.history import Execution, History
+from repro.core.process import GroupProcess
+from repro.core.view import View, ViewId, singleton_view
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BlockEvent",
+    "CastDeliver",
+    "Execution",
+    "Group",
+    "GroupEndpoint",
+    "GroupProcess",
+    "History",
+    "SendDeliver",
+    "StackConfig",
+    "View",
+    "ViewEvent",
+    "ViewId",
+    "singleton_view",
+    "__version__",
+]

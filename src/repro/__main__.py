@@ -1,0 +1,99 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Small operational surface for poking at the system without writing a
+script -- run a demo cluster, inject a fault, or print the calibration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def cmd_demo(args):
+    """Boot a group, broadcast, crash a member, show the view change."""
+    from repro import Group, StackConfig
+    config = StackConfig.byz(crypto=args.crypto,
+                             total_order=args.total_order)
+    group = Group.bootstrap(args.nodes, config=config, seed=args.seed)
+    print("booted %d nodes: %s (f=%d, %s)"
+          % (args.nodes, group.processes[0].view, group.processes[0].f,
+             config.label()))
+    for node, endpoint in group.endpoints.items():
+        endpoint.cast(("hello", node), size=16)
+    group.run(0.3)
+    delivered = len([e for e in group.endpoints[0].events
+                     if type(e).__name__ == "CastDeliver"])
+    print("node 0 delivered %d casts" % delivered)
+    victim = args.nodes - 1
+    print("crashing node %d ..." % victim)
+    group.crash(victim)
+    ok = group.run_until(
+        lambda: all(victim not in p.view.mbrs
+                    for n, p in group.processes.items()
+                    if n != victim and not p.stopped), timeout=10.0)
+    duration = group.processes[0].membership.last_change_duration
+    print("recovered=%s new view=%s (%.1f ms)"
+          % (ok, group.processes[0].view,
+             (duration or 0) * 1000.0))
+    return 0
+
+
+def cmd_attack(args):
+    """Inject a Table-1 scenario and report the recovery time."""
+    sys.path.insert(0, ".")
+    from benchmarks.harness import TABLE1_SCENARIOS, recovery_time
+    if args.scenario not in TABLE1_SCENARIOS:
+        print("scenarios: %s" % ", ".join(TABLE1_SCENARIOS))
+        return 2
+    result = recovery_time(args.scenario, n=args.nodes, seed=args.seed)
+    print("%s at n=%d: recovered=%s in %.4f s (max %.4f s)"
+          % (args.scenario, args.nodes, result["recovered"],
+             result["recovery_seconds"], result["max_recovery_seconds"]))
+    return 0 if result["recovered"] else 1
+
+
+def cmd_calibration(args):
+    """Print the calibration tables the benchmarks run on."""
+    from repro.crypto.cost import CryptoCostModel
+    from repro.sim.topology import BladeCenterTopology, HostModel
+    host = HostModel()
+    print("host model:")
+    print("  send_cpu      %8.2f us/datagram" % (host.send_cpu * 1e6))
+    print("  recv_cpu      %8.2f us/datagram" % (host.recv_cpu * 1e6))
+    print("  byz_check_cpu %8.2f us/datagram" % (host.byz_check_cpu * 1e6))
+    print("crypto: %s" % CryptoCostModel().describe())
+    print("topology: %s" % BladeCenterTopology(args.nodes).describe())
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Practical Byzantine Group Communication (reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help=cmd_demo.__doc__)
+    demo.add_argument("--nodes", type=int, default=8)
+    demo.add_argument("--seed", type=int, default=1)
+    demo.add_argument("--crypto", choices=("none", "sym", "pub"),
+                      default="sym")
+    demo.add_argument("--total-order", action="store_true")
+    demo.set_defaults(func=cmd_demo)
+
+    attack = sub.add_parser("attack", help=cmd_attack.__doc__)
+    attack.add_argument("scenario")
+    attack.add_argument("--nodes", type=int, default=12)
+    attack.add_argument("--seed", type=int, default=7)
+    attack.set_defaults(func=cmd_attack)
+
+    calib = sub.add_parser("calibration", help=cmd_calibration.__doc__)
+    calib.add_argument("--nodes", type=int, default=48)
+    calib.set_defaults(func=cmd_calibration)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

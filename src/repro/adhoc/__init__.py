@@ -1,0 +1,23 @@
+"""MANET extension (paper section 6): Byzantine routing + gossip stability.
+
+The ongoing-work section of the paper names two pieces needed to take
+JazzEnsemble's Byzantine stack to ad-hoc networks: a Byzantine routing
+mechanism (their [24]) and a gossip-based stability protocol (their
+[29]).  This subpackage builds both on a geometric radio model, and
+``Group.bootstrap_adhoc`` runs the *unchanged* group-communication stack
+on top of them.
+"""
+
+from repro.adhoc.geometry import Field
+from repro.adhoc.gossip_stability import GossipStability, simulate_convergence
+from repro.adhoc.network import AdHocNetwork, AdHocNetworkConfig
+from repro.adhoc.routing import RouteTable
+
+__all__ = [
+    "AdHocNetwork",
+    "AdHocNetworkConfig",
+    "Field",
+    "GossipStability",
+    "RouteTable",
+    "simulate_convergence",
+]

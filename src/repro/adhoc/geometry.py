@@ -1,0 +1,108 @@
+"""Geometric radio topology for the MANET extension (paper section 6).
+
+JazzEnsemble was built for ad-hoc networks ("a group communication system
+for MANET"); the ICDCS paper measures the wired cluster but names the two
+missing pieces -- Byzantine routing and gossip-based stability -- as the
+ongoing extension.  This module provides their substrate: nodes placed in
+the unit square with a fixed radio range, the induced unit-disk
+connectivity graph, and random-waypoint-style movement.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class Field:
+    """Node positions in the unit square and the radio graph they induce."""
+
+    def __init__(self, radio_range=0.35):
+        self.radio_range = radio_range
+        self.positions = {}
+
+    # ------------------------------------------------------------------
+    def place(self, node_id, x, y):
+        if not (0.0 <= x <= 1.0 and 0.0 <= y <= 1.0):
+            raise ValueError("position out of the unit square: %r" % ((x, y),))
+        self.positions[node_id] = (x, y)
+
+    def place_random(self, node_ids, rng):
+        for node_id in node_ids:
+            self.place(node_id, rng.random(), rng.random())
+
+    def place_grid(self, node_ids, cols=None):
+        """Deterministic placement on a grid (for reproducible tests)."""
+        nodes = list(node_ids)
+        if cols is None:
+            cols = max(1, int(math.ceil(math.sqrt(len(nodes)))))
+        rows = max(1, -(-len(nodes) // cols))
+        for index, node_id in enumerate(nodes):
+            col, row = index % cols, index // cols
+            x = (col + 0.5) / cols
+            y = (row + 0.5) / rows
+            self.place(node_id, x, y)
+
+    def move(self, node_id, dx, dy):
+        x, y = self.positions[node_id]
+        self.positions[node_id] = (min(1.0, max(0.0, x + dx)),
+                                   min(1.0, max(0.0, y + dy)))
+
+    def drift_random(self, rng, step=0.02):
+        """One random-waypoint-ish step for every node."""
+        for node_id in list(self.positions):
+            angle = rng.random() * 2 * math.pi
+            self.move(node_id, step * math.cos(angle), step * math.sin(angle))
+
+    # ------------------------------------------------------------------
+    def distance(self, a, b):
+        ax, ay = self.positions[a]
+        bx, by = self.positions[b]
+        return math.hypot(ax - bx, ay - by)
+
+    def in_range(self, a, b):
+        return a != b and self.distance(a, b) <= self.radio_range
+
+    def neighbors(self, node_id):
+        return {other for other in self.positions
+                if other != node_id and self.in_range(node_id, other)}
+
+    def adjacency(self):
+        return {node: self.neighbors(node) for node in self.positions}
+
+    # ------------------------------------------------------------------
+    def components(self):
+        """Connected components of the radio graph."""
+        remaining = set(self.positions)
+        components = []
+        while remaining:
+            seed = next(iter(remaining))
+            component = {seed}
+            frontier = [seed]
+            while frontier:
+                node = frontier.pop()
+                for neighbor in self.neighbors(node):
+                    if neighbor in remaining and neighbor not in component:
+                        component.add(neighbor)
+                        frontier.append(neighbor)
+            remaining -= component
+            components.append(component)
+        return components
+
+    def is_connected(self):
+        return len(self.components()) <= 1
+
+    def shortest_hops(self, src, dst):
+        """BFS hop count, or None if unreachable."""
+        if src == dst:
+            return 0
+        seen = {src}
+        frontier = [(src, 0)]
+        while frontier:
+            node, hops = frontier.pop(0)
+            for neighbor in self.neighbors(node):
+                if neighbor == dst:
+                    return hops + 1
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    frontier.append((neighbor, hops + 1))
+        return None

@@ -1,0 +1,189 @@
+"""Multi-hop radio network: the ad-hoc substitute for the wired Network.
+
+Drop-in compatible with :class:`repro.sim.network.Network` (the whole
+group-communication stack runs unchanged on top): ``send`` forwards along
+the node-disjoint paths of the :class:`RouteTable`, charging per-hop
+latency and per-relay forwarding CPU; connectivity is radio reachability,
+which is symmetric and -- at the granularity of connected components --
+transitive, exactly the relation the paper's model demands (section 2.1,
+footnote on peer-to-peer routing restoring transitivity).
+
+Byzantine forwarders are modelled by :class:`DroppingRelay` plans: a relay
+on the path may swallow the copy; disjoint multipath delivery masks up to
+(paths - 1) dropping relays per destination pair, and persistent loss
+demotes the poisoned path.
+"""
+
+from __future__ import annotations
+
+from repro.adhoc.routing import RouteTable
+from repro.sim.network import Network, NetworkConfig
+
+
+class AdHocNetworkConfig(NetworkConfig):
+    """Radio-specific knobs on top of the base network config."""
+
+    __slots__ = ("hop_latency", "relay_cpu", "route_request_cost")
+
+    def __init__(self, hop_latency=1.2e-3, relay_cpu=2.5e-5,
+                 route_request_cost=5.0e-5, **kw):
+        kw.setdefault("jitter", 2e-4)
+        super().__init__(**kw)
+        self.hop_latency = hop_latency
+        self.relay_cpu = relay_cpu
+        self.route_request_cost = route_request_cost
+
+
+class AdHocNetwork(Network):
+    """The simulated MANET."""
+
+    def __init__(self, sim, field, config=None, max_paths=2):
+        self.field = field
+        self.routes = RouteTable(field, max_paths=max_paths)
+        self._dropping_relays = set()
+        self._seen_copies = {}   # dst -> markers of already-delivered sends
+        self._copy_counter = 0   # unique marker per logical send
+        self.relayed_hops = 0
+        self.dropped_by_relay = 0
+        self.no_route = 0
+        super().__init__(sim, _FieldTopology(field), config or AdHocNetworkConfig())
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+    def set_dropping_relays(self, relays):
+        """Relays that forward nothing (Byzantine droppers)."""
+        self._dropping_relays = set(relays)
+
+    def on_movement(self):
+        """Call after moving nodes: recompute connectivity and routes."""
+        self.routes.invalidate()
+        components = self.field.components()
+        self.set_components(components)
+
+    # ------------------------------------------------------------------
+    # connectivity: radio reachability
+    # ------------------------------------------------------------------
+    def refresh_components(self):
+        self.set_components(self.field.components())
+
+    # ------------------------------------------------------------------
+    # datagram path: multipath forwarding
+    # ------------------------------------------------------------------
+    def send(self, src, dst, size_bytes, payload):
+        self.datagrams_sent += 1
+        src_port = self._ports.get(src)
+        dst_port = self._ports.get(dst)
+        if src_port is None or src_port.crashed:
+            self.datagrams_dropped += 1
+            return
+        sent_at = src_port.nic.transmit(size_bytes)
+        if dst_port is None or dst_port.crashed:
+            self.datagrams_dropped += 1
+            return
+        self._copy_counter += 1
+        marker = self._copy_counter
+        if self.field.in_range(src, dst):
+            self._deliver_over(src, dst, [src, dst], sent_at, payload, marker)
+            return
+        paths = [p for p in self.routes.paths(src, dst)
+                 if self._path_alive(p)]
+        if not paths:
+            self.no_route += 1
+            self.datagrams_dropped += 1
+            return
+        delivered_any = False
+        for path in paths:
+            if self._path_blocked(path):
+                self.dropped_by_relay += 1
+                continue
+            self._deliver_over(src, dst, path, sent_at, payload, marker)
+            delivered_any = True
+        if not delivered_any:
+            self.datagrams_dropped += 1
+
+    def _path_alive(self, path):
+        for relay in path[1:-1]:
+            port = self._ports.get(relay)
+            if port is None or port.crashed:
+                return False
+        return True
+
+    def _path_blocked(self, path):
+        return any(relay in self._dropping_relays for relay in path[1:-1])
+
+    def _deliver_over(self, src, dst, path, sent_at, payload, marker):
+        hops = len(path) - 1
+        self.relayed_hops += max(0, hops - 1)
+        rng = self.sim.rng
+        if self.config.drop_prob:
+            # each radio hop is an independent loss opportunity
+            for _hop in range(hops):
+                if rng.random() < self.config.drop_prob:
+                    self.datagrams_dropped += 1
+                    return
+        delay = hops * self.config.hop_latency
+        if self.config.jitter:
+            delay += rng.random() * self.config.jitter * hops
+        self.sim.schedule_at(sent_at + delay, self._deliver_dedup,
+                             dst, src, payload, marker)
+
+    # receivers dedupe multipath copies by explicit per-send markers
+    def _deliver_dedup(self, dst, src, payload, marker):
+        port = self._ports.get(dst)
+        if port is None or port.crashed:
+            self.datagrams_dropped += 1
+            return
+        seen = self._seen_copies.setdefault(dst, set())
+        if marker in seen:
+            return  # another disjoint path already delivered this send
+        seen.add(marker)
+        if len(seen) > 65536:
+            # markers grow monotonically; keep only the recent half
+            cutoff = self._copy_counter - 32768
+            self._seen_copies[dst] = {m for m in seen if m > cutoff}
+        self.datagrams_delivered += 1
+        port.deliver(src, payload)
+
+    # ------------------------------------------------------------------
+    # radio gossip: one broadcast reaches the whole component via flooding
+    # ------------------------------------------------------------------
+    def gossip_cast(self, src, size_bytes, payload):
+        src_port = self._ports.get(src)
+        if src_port is None or src_port.crashed:
+            return
+        sent_at = src_port.nic.transmit(size_bytes)
+        component = None
+        for comp in self.field.components():
+            if src in comp:
+                component = comp
+                break
+        if component is None:
+            return
+        for node_id in sorted(component, key=repr):
+            if node_id == src:
+                continue
+            port = self._ports.get(node_id)
+            if port is None or port.crashed or port.gossip_deliver is None:
+                continue
+            hops = self.field.shortest_hops(src, node_id) or 1
+            delay = hops * self.config.hop_latency
+            self.sim.schedule_at(sent_at + delay, self._deliver_gossip,
+                                 node_id, src, payload)
+
+
+class _FieldTopology:
+    """Adapter: the Network base class wants a Topology for NIC placement."""
+
+    nic_bandwidth_bps = 11e6  # 802.11b-era radio
+    per_packet_overhead_bytes = 50
+
+    def __init__(self, field):
+        self.field = field
+        self.n = len(field.positions)
+
+    def latency(self, src, dst):
+        return 1.2e-3  # single-hop airtime; multi-hop handled by AdHocNetwork
+
+    def nic_id(self, node):
+        return node

@@ -1,0 +1,106 @@
+"""Byzantine-tolerant multipath routing (paper section 6, citing [24]).
+
+In an ad-hoc network nodes cannot all talk directly; some act as
+forwarders -- and a Byzantine forwarder can silently drop or corrupt
+traffic.  Corruption is already caught end-to-end by the bottom layer's
+signatures; *dropping* is what routing must survive.  Following the
+spirit of the authors' secure-broadcast work [24], we use node-disjoint
+multipath forwarding:
+
+* route discovery is flooding-based (AODV-style) on the current radio
+  graph, collecting up to ``k`` node-disjoint paths per destination;
+* every unicast is forwarded along **all** of its disjoint paths; with at
+  most f Byzantine relays and f + 1 disjoint paths, at least one copy
+  arrives (receivers dedupe);
+* a path whose copies persistently vanish is demoted, so routes heal
+  around droppers without ever needing to *identify* them.
+
+Discovery here is computed from the geometry oracle rather than by
+simulated flood packets -- the paths are exactly those a flood would
+find, and what the reproduction needs is their *fault* behaviour, not
+their discovery cost (the control-plane cost is modelled by
+``route_request_cost`` charged per discovery).
+"""
+
+from __future__ import annotations
+
+
+class RouteTable:
+    """Per-source routing state over a :class:`Field`."""
+
+    def __init__(self, field, max_paths=2):
+        self.field = field
+        self.max_paths = max_paths
+        self._cache = {}       # (src, dst) -> [paths]
+        self._generation = 0
+        self.discoveries = 0
+        self.demotions = 0
+
+    # ------------------------------------------------------------------
+    def invalidate(self):
+        """Topology changed (movement, crash): drop every cached route."""
+        self._cache.clear()
+        self._generation += 1
+
+    def demote(self, src, dst, path):
+        """A path's copies keep vanishing: stop using it for a while."""
+        paths = self._cache.get((src, dst))
+        if paths and tuple(path) in {tuple(p) for p in paths}:
+            self._cache[(src, dst)] = [p for p in paths
+                                       if tuple(p) != tuple(path)]
+            self.demotions += 1
+
+    # ------------------------------------------------------------------
+    def paths(self, src, dst):
+        """Up to ``max_paths`` node-disjoint paths src -> dst (cached)."""
+        key = (src, dst)
+        cached = self._cache.get(key)
+        if cached:
+            return cached
+        found = self._discover(src, dst)
+        self._cache[key] = found
+        self.discoveries += 1
+        return found
+
+    def _discover(self, src, dst):
+        """Successive BFS with interior-node removal: node-disjoint paths."""
+        banned = set()
+        paths = []
+        for _attempt in range(self.max_paths):
+            path = self._bfs(src, dst, banned)
+            if path is None:
+                break
+            paths.append(path)
+            banned.update(path[1:-1])  # interior relays become off-limits
+        return paths
+
+    def _bfs(self, src, dst, banned):
+        if src == dst:
+            return [src]
+        parents = {src: None}
+        frontier = [src]
+        while frontier:
+            node = frontier.pop(0)
+            for neighbor in sorted(self.field.neighbors(node), key=repr):
+                if neighbor in banned or neighbor in parents:
+                    continue
+                parents[neighbor] = node
+                if neighbor == dst:
+                    path = [dst]
+                    while parents[path[-1]] is not None:
+                        path.append(parents[path[-1]])
+                    path.reverse()
+                    return path
+                frontier.append(neighbor)
+        return None
+
+    # ------------------------------------------------------------------
+    def hops(self, src, dst):
+        routes = self.paths(src, dst)
+        return len(routes[0]) - 1 if routes else None
+
+    def reachable(self, src, dst):
+        return bool(self.paths(src, dst))
+
+    def disjoint_count(self, src, dst):
+        return len(self.paths(src, dst))

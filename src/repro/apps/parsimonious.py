@@ -1,0 +1,148 @@
+"""Parsimonious execution: separating agreement from execution.
+
+The paper's related-work discussion (section 5, citing Yin et al. [56]
+and Ramasamy et al. [43]) describes the split the authors say their
+results apply to: an *agreement cluster* of all members orders the
+requests, but each request is *executed* by only a small primary
+committee of f + 1 members; replies are compared, and a mismatch triggers
+re-execution on f more members, where any reply repeated f + 1 times is
+correct (at most f liars).
+
+This module implements that service on top of the totally-ordered group:
+the whole group agrees on the order (consensus does that), committee
+membership is deterministic per request (rotating, locally computable),
+and reply voting tolerates Byzantine executors while doing ~(f+1)/n of
+the work of full active replication.
+"""
+
+from __future__ import annotations
+
+
+class ParsimoniousService:
+    """One member's instance of the agreement/execution split.
+
+    Parameters
+    ----------
+    endpoint:
+        A group endpoint whose stack runs ``total_order=True``.
+    execute:
+        Deterministic ``execute(command) -> result`` supplied by the
+        application.  A Byzantine member may return garbage; voting masks
+        up to f of them per request.
+    on_result:
+        ``callback(request_id, result)`` once a reply is certified.
+    """
+
+    def __init__(self, endpoint, execute, on_result=None, lie=None):
+        if not endpoint.process.config.total_order:
+            raise ValueError("parsimonious execution requires total_order")
+        self.endpoint = endpoint
+        self.execute = execute
+        self.on_result = on_result or (lambda request_id, result: None)
+        self.lie = lie  # Byzantine hook: corrupt our own replies
+        self._ordered = 0
+        self._replies = {}     # request_id -> {member: result}
+        self._certified = {}   # request_id -> result
+        self._pending = {}     # request_id -> command
+        self._escalated = set()
+        self.executions = 0
+        endpoint.on_cast = self._on_cast
+
+    # ------------------------------------------------------------------
+    @property
+    def f(self):
+        return self.endpoint.process.f
+
+    def submit(self, command, size=32):
+        """Order a request; returns its request id."""
+        return self.endpoint.cast(("preq", command), size=size)
+
+    def certified(self, request_id):
+        return self._certified.get(request_id)
+
+    # ------------------------------------------------------------------
+    def committee(self, index, extra=0):
+        """The deterministic executor committee of request ``index``.
+
+        f + 1 members, rotating with the request index so load spreads;
+        ``extra`` widens it for the escalation round.
+        """
+        members = self.endpoint.view.mbrs
+        size = min(len(members), self.f + 1 + extra)
+        start = index % len(members)
+        return tuple(members[(start + k) % len(members)]
+                     for k in range(size))
+
+    # ------------------------------------------------------------------
+    def _on_cast(self, event):
+        payload = event.payload
+        if not isinstance(payload, tuple) or len(payload) != 2:
+            return
+        tag, body = payload
+        if tag == "preq":
+            self._on_request(event.msg_id, body)
+        elif tag == "prep":
+            self._on_reply(event.origin, body)
+
+    def _on_request(self, request_id, command):
+        index = self._ordered
+        self._ordered += 1
+        self._pending[request_id] = (index, command)
+        me = self.endpoint.node_id
+        if me in self.committee(index):
+            self._run_and_reply(request_id, command)
+
+    def _run_and_reply(self, request_id, command):
+        self.executions += 1
+        result = self.execute(command)
+        if self.lie is not None:
+            result = self.lie(command, result)
+        self.endpoint.cast(("prep", (request_id, result)), size=24)
+
+    def _on_reply(self, executor, body):
+        if not isinstance(body, tuple) or len(body) != 2:
+            return
+        request_id, result = body
+        if request_id in self._certified:
+            return
+        entry = self._pending.get(request_id)
+        if entry is None:
+            return
+        index, command = entry
+        committee = self.committee(
+            index, extra=self.f if request_id in self._escalated else 0)
+        if executor not in committee:
+            # a reply from outside the committee is a verbose failure
+            self.endpoint.process.verbose_detector.illegal(
+                executor, "parsimonious:uninvited-reply")
+            return
+        replies = self._replies.setdefault(request_id, {})
+        replies.setdefault(executor, result)
+        self._evaluate(request_id, index, command, committee)
+
+    def _evaluate(self, request_id, index, command, committee):
+        replies = self._replies.get(request_id, {})
+        votes = {}
+        for result in replies.values():
+            votes[result] = votes.get(result, 0) + 1
+        # a result repeated f+1 times cannot be all-liars: certify it
+        for result, count in votes.items():
+            if count >= self.f + 1:
+                self._certify(request_id, result)
+                return
+        if len(replies) >= len(committee):
+            if len(votes) == 1 and self.f == 0:
+                self._certify(request_id, next(iter(votes)))
+                return
+            if len(votes) > 1 and request_id not in self._escalated:
+                # mismatch: escalate to f more executors ([43])
+                self._escalated.add(request_id)
+                wider = self.committee(index, extra=self.f)
+                if self.endpoint.node_id in wider and \
+                        self.endpoint.node_id not in replies:
+                    self._run_and_reply(request_id, command)
+
+    def _certify(self, request_id, result):
+        self._certified[request_id] = result
+        self._pending.pop(request_id, None)
+        self.on_result(request_id, result)

@@ -1,0 +1,110 @@
+"""The Ensemble "Ring" demo (paper section 4).
+
+The application advances in rounds: each node casts a burst of k messages
+and waits until it has received k messages from every other member, then
+moves to the next round.  With k = 1 the round time measures network
+latency; with large k the system saturates and the delivered-broadcast
+rate measures throughput.
+
+Throughput accounting follows the paper: a broadcast delivered to n nodes
+counts as *one* message.
+"""
+
+from __future__ import annotations
+
+from repro.sim.stats import LatencyProbe
+
+
+class RingDemo:
+    """Drives a :class:`repro.core.group.Group` through Ring rounds."""
+
+    def __init__(self, group, burst=8, msg_size=16, warmup_rounds=2):
+        self.group = group
+        self.burst = burst
+        self.msg_size = msg_size
+        self.warmup_rounds = warmup_rounds
+        self._round = {}        # node -> current round number
+        self._received = {}     # node -> {origin: count in current round}
+        self._cast_times = {}   # msg_id -> cast time
+        self.latency = LatencyProbe()
+        self.rounds_completed = {}
+        self.deliveries = 0     # total cast-deliver events (all nodes)
+        self.measuring = False
+        self._measure_start = None
+        self._measured_deliveries = 0
+        for node, endpoint in group.endpoints.items():
+            endpoint.record_events = False
+            endpoint.on_cast = self._make_on_cast(node)
+            self._round[node] = 0
+            self._received[node] = {}
+            self.rounds_completed[node] = 0
+
+    # ------------------------------------------------------------------
+    def start(self):
+        for node in self.group.endpoints:
+            self._send_burst(node)
+
+    def start_measurement(self):
+        self.measuring = True
+        self._measure_start = self.group.sim.now
+        self._measured_deliveries = 0
+
+    def stop_measurement(self):
+        self.measuring = False
+        self._measure_stop = self.group.sim.now
+
+    @property
+    def throughput(self):
+        """Broadcasts delivered per simulated second (paper's metric)."""
+        stop = getattr(self, "_measure_stop", self.group.sim.now)
+        elapsed = stop - (self._measure_start or 0.0)
+        n = len(self.group.endpoints)
+        if elapsed <= 0 or n == 0:
+            return float("nan")
+        return self._measured_deliveries / (n - 1) / elapsed
+
+    def min_rounds_completed(self):
+        return min(self.rounds_completed.values())
+
+    # ------------------------------------------------------------------
+    def _send_burst(self, node):
+        endpoint = self.group.endpoints[node]
+        if endpoint.process.stopped:
+            return
+        rnd = self._round[node]
+        now = self.group.sim.now
+        for i in range(self.burst):
+            msg_id = endpoint.cast((rnd, i), size=self.msg_size)
+            self._cast_times[msg_id] = now
+
+    def _make_on_cast(self, node):
+        def on_cast(event):
+            self.deliveries += 1
+            if self.measuring:
+                self._measured_deliveries += 1
+            cast_time = self._cast_times.get(event.msg_id)
+            if cast_time is not None and self.rounds_completed[node] >= self.warmup_rounds:
+                self.latency.add(event.time - cast_time)
+            if event.origin == node:
+                return  # own messages do not gate the round
+            received = self._received[node]
+            received[event.origin] = received.get(event.origin, 0) + 1
+            self._maybe_advance(node)
+        return on_cast
+
+    def _maybe_advance(self, node):
+        endpoint = self.group.endpoints[node]
+        view = endpoint.view
+        received = self._received[node]
+        for member in view.mbrs:
+            if member == node:
+                continue
+            if received.get(member, 0) < self.burst:
+                return
+        for member in list(received):
+            received[member] = received[member] - self.burst
+            if received[member] <= 0:
+                del received[member]
+        self._round[node] += 1
+        self.rounds_completed[node] += 1
+        self._send_burst(node)

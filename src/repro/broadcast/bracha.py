@@ -1,0 +1,122 @@
+"""Bracha's reliable broadcast (n > 3f) -- the higher-resilience option.
+
+The paper's layered architecture allows swapping in "any other protocol
+that offers higher resiliency, yet higher latency, such as [11]" (Bracha).
+This is the classic 3-phase echo/ready protocol:
+
+* the origin sends ``initial(v)``;
+* on the origin's ``initial``, a process sends ``echo(v)`` (at most once);
+* on more than (n + f) / 2 ``echo(v)`` or f + 1 ``ready(v)``, a process
+  sends ``ready(v)`` (at most once);
+* on 2f + 1 ``ready(v)``, a process delivers ``v``.
+
+It tolerates f < n/3 at the cost of three communication steps -- one more
+than :class:`repro.broadcast.uniform.UniformBroadcast`, which is exactly
+the performance/resilience trade-off the membership layer lets deployments
+pick (``StackConfig.uniform_protocol``).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.consensus.interface import AgreementInstance
+
+
+class BrachaBroadcast(AgreementInstance):
+    """One Bracha reliable-broadcast instance."""
+
+    def __init__(self, instance_id, members, me, f, origin, broadcast,
+                 on_deliver=None, on_misbehavior=None):
+        super().__init__(instance_id, members, me, f, broadcast,
+                         is_suspected=None, on_decide=on_deliver,
+                         on_misbehavior=on_misbehavior)
+        if self.n <= 3 * f:
+            raise ValueError(
+                "Bracha broadcast needs n > 3f (n=%d, f=%d)" % (self.n, f)
+            )
+        self.origin = origin
+        self._initial_value = None
+        self._echoed = None
+        self._readied = None
+        self._echoes = {}
+        self._readies = {}
+
+    #: number of communication steps to delivery in a failure-free run
+    steps = 3
+
+    # ------------------------------------------------------------------
+    def originate(self, value):
+        if self.me != self.origin:
+            raise RuntimeError("only the origin may originate")
+        self.broadcast(("br-initial", value))
+        self._on_initial(self.me, value)
+
+    def on_message(self, sender, payload):
+        if sender not in self.members:
+            return
+        kind = payload[0]
+        if kind == "br-initial":
+            self._on_initial(sender, payload[1])
+        elif kind == "br-echo":
+            self._record(self._echoes, sender, payload[1], "echo")
+        elif kind == "br-ready":
+            self._record(self._readies, sender, payload[1], "ready")
+        else:
+            self.on_misbehavior(sender, "bracha:unknown-kind")
+        self._progress()
+
+    @property
+    def delivered(self):
+        return self.decided
+
+    # ------------------------------------------------------------------
+    def _on_initial(self, sender, value):
+        if sender != self.origin:
+            self.on_misbehavior(sender, "bracha:initial-forged")
+            return
+        if self._initial_value is not None:
+            if self._initial_value != value:
+                self.on_misbehavior(sender, "bracha:initial-equivocated")
+            return
+        self._initial_value = value
+        self._send_echo(value)
+        self._progress()
+
+    def _record(self, table, sender, value, tag):
+        previous = table.get(sender)
+        if previous is not None:
+            if previous != value:
+                self.on_misbehavior(sender, "bracha:%s-equivocated" % tag)
+            return
+        table[sender] = value
+
+    def _send_echo(self, value):
+        if self._echoed is not None:
+            return
+        self._echoed = value
+        self.broadcast(("br-echo", value))
+        self._echoes.setdefault(self.me, value)
+
+    def _send_ready(self, value):
+        if self._readied is not None:
+            return
+        self._readied = value
+        self.broadcast(("br-ready", value))
+        self._readies.setdefault(self.me, value)
+
+    def _progress(self):
+        n, f = self.n, self.f
+        echo_counts = Counter(self._echoes.values())
+        ready_counts = Counter(self._readies.values())
+        for value, count in echo_counts.items():
+            if count > (n + f) / 2.0:
+                self._send_ready(value)
+        for value, count in Counter(self._readies.values()).items():
+            if count >= f + 1:
+                self._send_ready(value)
+        ready_counts = Counter(self._readies.values())
+        for value, count in ready_counts.items():
+            if count >= 2 * f + 1:
+                self._decide(value)
+                return

@@ -1,0 +1,116 @@
+"""The paper's 2-step Byzantine uniform broadcast (section 3.4.3, Figure 4).
+
+A Byzantine sender may hand different versions of "the same" message to
+different correct processes; *uniform* broadcast guarantees all core
+processes deliver one identical value.  The paper trades resilience for
+latency: two communication steps (``initial`` then ``echo``) instead of
+Bracha's three, at the price of lower resilience.
+
+Per broadcast (tagged ``(origin, k)`` to keep concurrent broadcasts apart):
+
+* the originator sends ``initial(v)``;
+* a process echoes ``v`` after receiving the ``initial`` from the origin
+  itself, or after n/2 + f + 1 ``echo(v)`` messages -- and echoes at most
+  once, ever;
+* a process delivers ``v`` after n/2 + 2f + 1 ``echo(v)`` messages.
+
+Safety (Lemma 3.7) holds because two deliverable values would need
+n/2 + f + 1 core echoes each, forcing some core process to echo twice.
+Liveness (Lemmas 3.8/3.9) needs every core process to be able to reach the
+delivery threshold, i.e. n - f >= n/2 + 2f + 1; the paper headlines
+f < n/5 but that inequality actually requires n >= 6f + 2, and we expose
+the safe bound as :func:`repro.consensus.interface.max_f_uniform`
+(DESIGN.md deviation 1).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.consensus.interface import AgreementInstance
+
+
+class UniformBroadcast(AgreementInstance):
+    """One uniform broadcast instance, identified by ``(origin, k)``."""
+
+    def __init__(self, instance_id, members, me, f, origin, broadcast,
+                 on_deliver=None, on_misbehavior=None):
+        super().__init__(instance_id, members, me, f, broadcast,
+                         is_suspected=None, on_decide=on_deliver,
+                         on_misbehavior=on_misbehavior)
+        if self.n - f < self.n / 2.0 + 2 * f + 1:
+            raise ValueError(
+                "2-step uniform broadcast cannot terminate with n=%d, f=%d "
+                "(needs n - f >= n/2 + 2f + 1)" % (self.n, f)
+            )
+        self.origin = origin
+        self._initial_value = None
+        self._echoed_value = None  # a correct process echoes at most once
+        self._echoes = {}          # sender -> value (first echo only)
+
+    # thresholds, kept as real-valued comparisons exactly as in Figure 4
+    @property
+    def echo_threshold(self):
+        return self.n / 2.0 + self.f + 1
+
+    @property
+    def deliver_threshold(self):
+        return self.n / 2.0 + 2 * self.f + 1
+
+    # ------------------------------------------------------------------
+    def originate(self, value):
+        """Step 0: only the origin broadcasts ``initial``."""
+        if self.me != self.origin:
+            raise RuntimeError("only the origin may originate")
+        self.broadcast(("ub-initial", value))
+        self._on_initial(self.me, value)
+
+    def on_message(self, sender, payload):
+        if sender not in self.members:
+            return
+        kind = payload[0]
+        if kind == "ub-initial":
+            self._on_initial(sender, payload[1])
+        elif kind == "ub-echo":
+            self._on_echo(sender, payload[1])
+        else:
+            self.on_misbehavior(sender, "ub:unknown-kind")
+
+    @property
+    def delivered(self):
+        return self.decided
+
+    # ------------------------------------------------------------------
+    def _on_initial(self, sender, value):
+        if sender != self.origin:
+            # only the origin may send initial for its own tag
+            self.on_misbehavior(sender, "ub:initial-forged")
+            return
+        if self._initial_value is not None:
+            if self._initial_value != value:
+                self.on_misbehavior(sender, "ub:initial-equivocated")
+            return
+        self._initial_value = value
+        self._maybe_echo(value)
+
+    def _on_echo(self, sender, value):
+        previous = self._echoes.get(sender)
+        if previous is not None:
+            if previous != value:
+                self.on_misbehavior(sender, "ub:echo-equivocated")
+            return
+        self._echoes[sender] = value
+        counts = Counter(self._echoes.values())
+        count = counts[value]
+        if count >= self.echo_threshold:
+            self._maybe_echo(value)
+            count = Counter(self._echoes.values())[value]
+        if count >= self.deliver_threshold:
+            self._decide(value)
+
+    def _maybe_echo(self, value):
+        if self._echoed_value is not None:
+            return
+        self._echoed_value = value
+        self.broadcast(("ub-echo", value))
+        self._on_echo(self.me, value)

@@ -1,0 +1,158 @@
+"""Randomized binary Byzantine consensus (Ben-Or [7] / Toueg [53] family).
+
+The paper's layered architecture "allows us to utilize any known Byzantine
+consensus protocol" (section 3.4.1) and its related work opens with the
+randomized protocols of Ben-Or and Rabin.  This module provides that
+alternative: a coin-flipping binary consensus that needs **no failure
+detector at all** -- termination comes from randomization instead of
+◇P-mute, trading expected round count for freedom from timing assumptions.
+
+Per round r (two phases, all messages broadcast):
+
+* **report**: send ``(R, r, est)``; wait for n - f reports;
+  if more than (n + f) / 2 carry the same value v, *propose* v,
+  otherwise propose ⊥;
+* **propose**: send ``(P, r, w)``; wait for n - f proposals;
+  - some value v != ⊥ appears  >= 3f + 1 times  -> **decide** v,
+  - some value v != ⊥ appears  >= f + 1 times   -> adopt est = v,
+  - otherwise                                    -> est = local coin flip.
+
+With n > 5f a decided value is adopted by every correct process in the
+same round (3f + 1 occurrences imply >= 2f + 1 correct proposers, so
+every correct process sees >= f + 1), after which validity locks it in;
+agreement follows.  Expected termination is O(2^n) rounds in the
+adversarial worst case but a handful of rounds in practice -- the classic
+trade the paper contrasts with its detector-based protocol.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.consensus.interface import AgreementInstance
+
+BOTTOM = "_bot_"
+
+
+def max_f_benor(n):
+    """Largest f with n > 5f."""
+    return max(0, (n - 1) // 5)
+
+
+class BenOrConsensus(AgreementInstance):
+    """One binary consensus instance; values are 0 or 1.
+
+    ``coin`` is a callable returning 0 or 1 -- pass the simulator's seeded
+    RNG for reproducible runs (local coins, as in Ben-Or's original).
+    """
+
+    def __init__(self, instance_id, members, me, f, proposal, broadcast,
+                 coin, on_decide=None, on_misbehavior=None, max_rounds=500):
+        super().__init__(instance_id, members, me, f, broadcast,
+                         is_suspected=None, on_decide=on_decide,
+                         on_misbehavior=on_misbehavior)
+        if self.n <= 5 * f:
+            raise ValueError(
+                "Ben-Or consensus needs n > 5f (n=%d, f=%d)" % (self.n, f))
+        if proposal not in (0, 1):
+            raise ValueError("binary consensus: proposal must be 0 or 1")
+        self.est = proposal
+        self.coin = coin
+        self.max_rounds = max_rounds
+        self.round = 0
+        self.phase = None          # "report" | "propose"
+        self._reports = {}         # round -> {sender: value}
+        self._proposals = {}       # round -> {sender: value}
+        self.rounds_executed = 0
+        self._in_progress = False
+        self._again = False
+
+    # ------------------------------------------------------------------
+    def start(self):
+        if self.round != 0:
+            raise RuntimeError("instance already started")
+        self._enter_round(1)
+
+    def on_message(self, sender, payload):
+        if sender not in self.members:
+            return
+        if (not isinstance(payload, tuple) or len(payload) != 3
+                or payload[0] not in ("R", "P")):
+            self.on_misbehavior(sender, "benor:malformed")
+            return
+        kind, rnd, value = payload
+        if not isinstance(rnd, int) or value not in (0, 1, BOTTOM):
+            self.on_misbehavior(sender, "benor:bad-fields")
+            return
+        if kind == "R" and value == BOTTOM:
+            self.on_misbehavior(sender, "benor:bottom-report")
+            return
+        table = (self._reports if kind == "R" else self._proposals)
+        per_round = table.setdefault(rnd, {})
+        if sender in per_round:
+            if per_round[sender] != value:
+                self.on_misbehavior(sender, "benor:equivocated")
+            return
+        per_round[sender] = value
+        self._progress()
+
+    # ------------------------------------------------------------------
+    def _enter_round(self, rnd):
+        if rnd > self.max_rounds:
+            raise RuntimeError("Ben-Or exceeded %d rounds" % self.max_rounds)
+        self.round = rnd
+        self.rounds_executed += 1
+        self.phase = "report"
+        self._reports.setdefault(rnd, {})[self.me] = self.est
+        self.broadcast(("R", rnd, self.est))
+        self._progress()
+
+    def _progress(self):
+        if self._in_progress:
+            self._again = True
+            return
+        self._in_progress = True
+        try:
+            again = True
+            while again and not self.decided and self.round:
+                self._again = False
+                if self.phase == "report":
+                    self._try_finish_report()
+                else:
+                    self._try_finish_propose()
+                again = self._again
+        finally:
+            self._in_progress = False
+
+    def _try_finish_report(self):
+        reports = self._reports.get(self.round, {})
+        if len(reports) < self.n - self.f:
+            return
+        counts = Counter(reports.values())
+        value, count = counts.most_common(1)[0]
+        proposal = value if count > (self.n + self.f) / 2.0 else BOTTOM
+        self.phase = "propose"
+        self._proposals.setdefault(self.round, {})[self.me] = proposal
+        self.broadcast(("P", self.round, proposal))
+        self._again = True
+
+    def _try_finish_propose(self):
+        proposals = self._proposals.get(self.round, {})
+        if len(proposals) < self.n - self.f:
+            return
+        counts = Counter(v for v in proposals.values() if v != BOTTOM)
+        if counts:
+            value, count = counts.most_common(1)[0]
+            if count >= 3 * self.f + 1:
+                self.est = value
+                self._decide(value)
+                # help stragglers: one more report round's worth of votes
+                self.broadcast(("R", self.round + 1, value))
+                self.broadcast(("P", self.round + 1, value))
+                return
+            if count >= self.f + 1:
+                self.est = value
+                self._enter_round(self.round + 1)
+                return
+        self.est = self.coin()
+        self._enter_round(self.round + 1)

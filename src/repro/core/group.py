@@ -1,0 +1,220 @@
+"""Cluster builder: spin up n daemons on one simulated network.
+
+This is the experiment harness every test, example, and benchmark uses.
+``Group.bootstrap`` creates the simulator, the network (BladeCenter
+topology by default, matching the paper's testbed), the key manager, and
+one :class:`GroupProcess` + :class:`GroupEndpoint` per node.
+
+With ``established=True`` (the default) all nodes start inside one common
+view -- the steady state the paper measures from.  With
+``established=False`` every node boots in its own singleton view and the
+gossip/merge machinery must assemble the group, which is how the join
+path is exercised.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import StackConfig
+from repro.core.endpoint import GroupEndpoint
+from repro.core.history import Execution
+from repro.core.process import GroupProcess
+from repro.core.view import View, ViewId, singleton_view
+from repro.crypto.keys import KeyManager
+from repro.sim.network import Network, NetworkConfig
+from repro.sim.scheduler import Simulator
+from repro.sim.topology import BladeCenterTopology
+
+
+class Group:
+    """A simulated cluster of group-communication daemons."""
+
+    def __init__(self, sim, network, processes, endpoints, config,
+                 keys=None):
+        self.sim = sim
+        self.network = network
+        self.processes = processes    # {node_id: GroupProcess}
+        self.endpoints = endpoints    # {node_id: GroupEndpoint}
+        self.config = config
+        self.keys = keys or KeyManager()
+        self.byzantine_nodes = set()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def bootstrap(cls, n, config=None, seed=0, topology_cls=None,
+                  net_config=None, behaviors=None, established=True,
+                  start=True, node_ids=None):
+        """Create and (optionally) start a cluster of ``n`` nodes.
+
+        Parameters
+        ----------
+        behaviors:
+            ``{node_id: ByzantineBehavior}`` -- fault-injection plan.
+        established:
+            Start all nodes in one common view (True) or in singleton
+            views that must merge (False).
+        """
+        config = config or StackConfig.byz()
+        sim = Simulator(seed=seed)
+        topology = (topology_cls or BladeCenterTopology)(n)
+        network = Network(sim, topology, net_config or NetworkConfig())
+        keys = KeyManager()
+        if node_ids is None:
+            node_ids = list(range(n))
+        behaviors = behaviors or {}
+        members = tuple(node_ids)
+        f = config.resilience(n)
+        common = View(ViewId(1, members[0]), members, f=f,
+                      underprovisioned=(f == 0 and config.byzantine))
+        processes = {}
+        endpoints = {}
+        for node_id in node_ids:
+            initial = common if established else singleton_view(node_id)
+            process = GroupProcess(sim, network, node_id, config, keys,
+                                   initial, behavior=behaviors.get(node_id))
+            processes[node_id] = process
+            endpoints[node_id] = GroupEndpoint(process)
+        group = cls(sim, network, processes, endpoints, config, keys=keys)
+        group.byzantine_nodes = set(behaviors)
+        if start:
+            group.start()
+        return group
+
+    @classmethod
+    def bootstrap_adhoc(cls, n, config=None, seed=0, field=None,
+                        net_config=None, behaviors=None, established=True,
+                        start=True, max_paths=2):
+        """Create a cluster on a simulated MANET (paper section 6).
+
+        The identical protocol stack runs over a multi-hop radio network:
+        unit-disk connectivity, node-disjoint multipath forwarding, and
+        flooding gossip.  With ``field=None`` the nodes are placed on a
+        deterministic grid whose radio range yields a connected graph.
+        """
+        from repro.adhoc.geometry import Field
+        from repro.adhoc.network import AdHocNetwork
+        config = config or StackConfig.byz()
+        # radio timing is ~20x wired: scale the detection constants so the
+        # stack does not mistake multi-hop latency for muteness
+        config = config.clone(
+            # "the stability protocol must become gossip based" (section 6)
+            ack_mode="gossip",
+            heartbeat_interval=max(config.heartbeat_interval, 0.1),
+            mute_timeout=max(config.mute_timeout, 0.5),
+            gossip_interval=max(config.gossip_interval, 0.25),
+            consensus_msg_timeout=max(config.consensus_msg_timeout, 0.5),
+            newview_timeout=max(config.newview_timeout, 0.8),
+            retrans_timeout=max(config.retrans_timeout, 0.2),
+            ack_interval=max(config.ack_interval, 0.05),
+            fuzzy_decay_interval=max(config.fuzzy_decay_interval, 0.25),
+            suspicion_settle_delay=max(config.suspicion_settle_delay, 0.05))
+        sim = Simulator(seed=seed)
+        node_ids = list(range(n))
+        if field is None:
+            field = Field(radio_range=0.45)
+            field.place_grid(node_ids)
+        network = AdHocNetwork(sim, field, net_config, max_paths=max_paths)
+        keys = KeyManager()
+        behaviors = behaviors or {}
+        members = tuple(node_ids)
+        f = config.resilience(n)
+        common = View(ViewId(1, members[0]), members, f=f,
+                      underprovisioned=(f == 0 and config.byzantine))
+        processes = {}
+        endpoints = {}
+        for node_id in node_ids:
+            initial = common if established else singleton_view(node_id)
+            process = GroupProcess(sim, network, node_id, config, keys,
+                                   initial, behavior=behaviors.get(node_id))
+            processes[node_id] = process
+            endpoints[node_id] = GroupEndpoint(process)
+        network.refresh_components()
+        group = cls(sim, network, processes, endpoints, config, keys=keys)
+        group.byzantine_nodes = set(behaviors)
+        if start:
+            group.start()
+        return group
+
+    def start(self):
+        for process in self.processes.values():
+            process.start()
+
+    def stop(self):
+        for process in self.processes.values():
+            process.stop()
+
+    # ------------------------------------------------------------------
+    # driving the simulation
+    # ------------------------------------------------------------------
+    def run(self, duration, max_events=None):
+        """Advance the cluster ``duration`` simulated seconds."""
+        return self.sim.run(until=self.sim.now + duration,
+                            max_events=max_events)
+
+    def run_until(self, predicate, timeout=5.0, max_events=None):
+        return self.sim.run_until(predicate, timeout, max_events=max_events)
+
+    def run_until_stable_views(self, timeout=5.0):
+        """Run until every live correct node has installed the same view."""
+        def settled():
+            vids = {p.view.vid for p in self._live_correct()}
+            mbrs = {p.view.mbrs for p in self._live_correct()}
+            return len(vids) == 1 and len(mbrs) == 1
+        return self.run_until(settled, timeout)
+
+    def _live_correct(self):
+        return [p for node, p in self.processes.items()
+                if not p.stopped and node not in self.byzantine_nodes]
+
+    # ------------------------------------------------------------------
+    # observation helpers
+    # ------------------------------------------------------------------
+    def views(self):
+        return {node: p.view for node, p in self.processes.items()}
+
+    def common_view(self):
+        """The single view all live correct nodes share, or None."""
+        live = self._live_correct()
+        if not live:
+            return None
+        views = {p.view for p in live}
+        if len(views) == 1:
+            return live[0].view
+        return None
+
+    def execution(self):
+        """Snapshot the run as an :class:`Execution` for property checks."""
+        histories = {node: p.history for node, p in self.processes.items()}
+        correct = set(self.processes) - self.byzantine_nodes
+        return Execution(histories, correct=correct)
+
+    def add_node(self, node_id, behavior=None, start=True):
+        """Spawn a new node mid-run, in its own singleton view.
+
+        This is the paper's *join* path: the newcomer establishes a
+        singleton view (Horus/Ensemble style), its gossip is heard by the
+        established group's members, and the merge machinery folds it in.
+        """
+        if node_id in self.processes:
+            raise ValueError("node %r already exists" % (node_id,))
+        process = GroupProcess(self.sim, self.network, node_id, self.config,
+                               self.keys, singleton_view(node_id),
+                               behavior=behavior)
+        endpoint = GroupEndpoint(process)
+        self.processes[node_id] = process
+        self.endpoints[node_id] = endpoint
+        if behavior is not None:
+            self.byzantine_nodes.add(node_id)
+        if start:
+            process.start()
+        return endpoint
+
+    def crash(self, node_id):
+        """Crash-stop a node (the benign special case of Byzantine)."""
+        self.processes[node_id].stop()
+
+    def partition(self, *component_groups):
+        """Split the network into the given connectivity components."""
+        self.network.set_components([set(g) for g in component_groups])
+
+    def heal(self):
+        self.network.heal()

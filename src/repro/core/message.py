@@ -1,0 +1,97 @@
+"""Messages and per-layer headers (paper Figure 2).
+
+Every message carries a *kind* (application cast/send, or a protocol
+layer's own traffic), the identity of its original sender (``origin``),
+the view it was sent in, and a header map.  Each layer pushes its header on
+the way down and reads it on the way up; a layer never inspects another
+layer's header -- lower-layer headers are opaque "data" to it, exactly the
+structure the fuzzy detectors exploit (a layer knows which of *its own*
+headers it is owed).
+
+Wire-size accounting: the application declares its payload size in bytes;
+each layer declares a fixed header overhead; the bottom layer adds the
+signature size.  The simulator charges NIC bandwidth for the total.
+"""
+
+from __future__ import annotations
+
+# application-data kinds
+KIND_CAST = "cast"
+KIND_SEND = "send"
+
+# protocol kinds (layer-originated traffic)
+KIND_ACK = "ack"
+KIND_NAK = "nak"
+KIND_RETRANS = "retrans"
+KIND_HEARTBEAT = "heartbeat"
+KIND_SLANDER = "slander"
+KIND_CONSENSUS = "consensus"
+KIND_UB = "ub"
+KIND_SYNC = "sync"
+KIND_NEWVIEW = "newview"
+KIND_LEAVE = "leave"
+KIND_ORDER = "order"
+KIND_UDELIV = "udeliv"
+KIND_MERGE = "merge"
+KIND_MANNOUNCE = "mannounce"
+KIND_FRAG = "frag"
+
+
+class Message:
+    """One protocol message travelling through a node's stack."""
+
+    __slots__ = ("kind", "origin", "sender", "view_id", "payload",
+                 "payload_size", "headers", "signature", "dest", "msg_id")
+
+    def __init__(self, kind, origin, view_id, payload, payload_size=0,
+                 dest=None, msg_id=None):
+        self.kind = kind
+        self.origin = origin      # the node that created the message
+        self.sender = origin      # the node that last transmitted it
+        self.view_id = view_id
+        self.payload = payload
+        self.payload_size = payload_size
+        self.headers = {}
+        self.signature = None
+        self.dest = dest          # None for broadcast
+        self.msg_id = msg_id
+
+    # ------------------------------------------------------------------
+    def push_header(self, layer_name, header):
+        self.headers[layer_name] = header
+
+    def header(self, layer_name, default=None):
+        return self.headers.get(layer_name, default)
+
+    def pop_header(self, layer_name, default=None):
+        return self.headers.pop(layer_name, default)
+
+    # ------------------------------------------------------------------
+    def auth_content(self):
+        """The byte-stable content covered by the bottom layer's signature.
+
+        Covers everything a Byzantine retransmitter could try to alter:
+        kind, origin, view id, headers, and the payload itself.
+        """
+        vid = self.view_id.to_wire() if self.view_id is not None else None
+        return (self.kind, repr(self.origin), vid,
+                tuple(sorted((k, repr(v)) for k, v in self.headers.items())),
+                repr(self.payload))
+
+    def wire_size(self, header_overhead, signature_bytes):
+        base = 8  # kind + origin + view-id framing
+        return base + self.payload_size + header_overhead + signature_bytes
+
+    def clone_for(self, dest):
+        """Shallow copy addressed to one destination (used by two-faced
+        Byzantine behaviour and by per-destination retransmission)."""
+        copy = Message(self.kind, self.origin, self.view_id, self.payload,
+                       self.payload_size, dest=dest, msg_id=self.msg_id)
+        copy.sender = self.sender
+        copy.headers = dict(self.headers)
+        copy.signature = self.signature
+        return copy
+
+    def __repr__(self):
+        return "Message({}, origin={}, vid={}, hdrs={})".format(
+            self.kind, self.origin, self.view_id, sorted(self.headers))

@@ -1,0 +1,46 @@
+"""Calibrated CPU cost table for cryptographic operations.
+
+The paper performs cryptography in software (OCaml CryptoKit on 2.2 GHz
+PowerPC JS20 blades) and measures its throughput impact.  In this
+reproduction the MACs are computed for real (HMAC-SHA256) but their *time*
+cost is charged to the simulated clock from this table, which encodes
+2005-era software-crypto costs:
+
+* AES-128 pairwise MAC: a few microseconds per signature -- the paper's
+  "symmetric key cryptography reduces the performance by about half" when
+  every broadcast is signed n-1 times;
+* 512-bit RSA: milliseconds to tens of milliseconds per signature -- the
+  paper's "throughput with public key cryptography ... drops to a few dozen
+  messages per second, making it almost useless".
+
+The constants are calibration inputs (DESIGN.md section 6) and are printed
+by every benchmark that uses them.
+"""
+
+from __future__ import annotations
+
+
+class CryptoCostModel:
+    """Per-operation simulated-CPU charges, in seconds."""
+
+    __slots__ = ("sym_sign", "sym_verify", "pub_sign", "pub_verify",
+                 "hash_digest")
+
+    def __init__(self, sym_sign=1.2e-5, sym_verify=1.0e-5,
+                 pub_sign=5.0e-3, pub_verify=5.0e-4, hash_digest=1.5e-6):
+        self.sym_sign = sym_sign
+        self.sym_verify = sym_verify
+        self.pub_sign = pub_sign
+        self.pub_verify = pub_verify
+        self.hash_digest = hash_digest
+
+    def describe(self):
+        return ("CryptoCostModel(sym_sign={:.1e}s, sym_verify={:.1e}s, "
+                "pub_sign={:.1e}s, pub_verify={:.1e}s)").format(
+                    self.sym_sign, self.sym_verify,
+                    self.pub_sign, self.pub_verify)
+
+
+#: cost model with all charges zeroed, for the NoCrypto configurations
+FREE = CryptoCostModel(sym_sign=0.0, sym_verify=0.0,
+                       pub_sign=0.0, pub_verify=0.0, hash_digest=0.0)

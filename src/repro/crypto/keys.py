@@ -1,0 +1,68 @@
+"""Key management.
+
+The paper relies on Rodeh's Ensemble key management and assumes the
+required cryptographic infrastructure exists (section 2.2).  We provide the
+same abstraction: a :class:`KeyManager` that hands out
+
+* one *pairwise symmetric key* per unordered node pair -- used by
+  :class:`repro.crypto.auth.PairwiseSymmetricAuth`, where each broadcast is
+  signed once per receiver (the n-1 MAC trick of Castro-Liskov that the
+  paper adopts), and
+* one *signing keypair* per node -- used by
+  :class:`repro.crypto.auth.PublicKeyAuth` and by the reliable layer when a
+  third node retransmits an original sender's message.
+
+Impersonation is prevented structurally: private material is only released
+to its owner (``private_key_of`` checks the requester), which realizes the
+paper's "nodes cannot impersonate other nodes" assumption.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+
+class KeyAccessError(PermissionError):
+    """A node asked for key material it does not own."""
+
+
+class KeyManager:
+    """Derives all keys deterministically from one master secret.
+
+    In a deployment this would be a key-distribution service; in the
+    reproduction it doubles as the trusted infrastructure the paper assumes,
+    while still producing real HMAC keys so signatures are actual MACs.
+    """
+
+    def __init__(self, master_secret=b"repro-master-secret"):
+        if isinstance(master_secret, str):
+            master_secret = master_secret.encode("utf-8")
+        self._master = master_secret
+
+    # ------------------------------------------------------------------
+    def pair_key(self, a, b):
+        """Symmetric key shared by the unordered pair (a, b)."""
+        lo, hi = sorted((repr(a), repr(b)))
+        material = "pair:{}:{}".format(lo, hi).encode("utf-8")
+        return hmac.new(self._master, material, hashlib.sha256).digest()
+
+    def private_key_of(self, owner, requester):
+        """Signing key of ``owner``; only ``owner`` itself may fetch it."""
+        if requester != owner:
+            raise KeyAccessError(
+                "node %r may not read the private key of %r" % (requester, owner)
+            )
+        material = "priv:{}".format(repr(owner)).encode("utf-8")
+        return hmac.new(self._master, material, hashlib.sha256).digest()
+
+    def _private_key_unchecked(self, owner):
+        """Internal: used by verifiers in the simulated public-key scheme.
+
+        The scheme is modeled, not real asymmetric crypto: verification
+        recomputes the MAC under the owner's key, but this method is only
+        reachable through :class:`repro.crypto.auth.PublicKeyAuth.verify`,
+        never through the signing path, so in-model forgery is impossible.
+        """
+        material = "priv:{}".format(repr(owner)).encode("utf-8")
+        return hmac.new(self._master, material, hashlib.sha256).digest()

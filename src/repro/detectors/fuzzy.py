@@ -1,0 +1,97 @@
+"""Fuzzy levels with aging (paper sections 3.1-3.2).
+
+Rather than a binary alive/suspected verdict, JazzEnsemble maintains a
+graded *fuzziness level* per member.  Layers raise the level when they
+observe misbehaviour; an aging timer decays levels back toward zero so that
+transient overloads and short-lived disconnections do not accumulate into
+a false removal.  Levels are visible to every layer (flow control, buffer
+management, consensus failure detection, the suspicion layer) but hidden
+from the application.
+"""
+
+from __future__ import annotations
+
+
+class FuzzyLevels:
+    """A named, aged, per-member fuzziness map.
+
+    Parameters
+    ----------
+    sim:
+        The simulator (for the aging timer).
+    name:
+        ``"mute"`` or ``"verbose"`` in this system; used in change events.
+    decay_interval / decay_amount:
+        Every ``decay_interval`` simulated seconds, each member's level is
+        reduced by ``decay_amount`` (never below zero).
+    """
+
+    def __init__(self, sim, name, decay_interval=0.05, decay_amount=1.0):
+        self.sim = sim
+        self.name = name
+        self.decay_interval = decay_interval
+        self.decay_amount = decay_amount
+        self._levels = {}
+        self._listeners = []
+        self._aging_timer = None
+        self._start_aging()
+
+    # ------------------------------------------------------------------
+    def subscribe(self, callback):
+        """``callback(name, member, level)`` on every level change."""
+        self._listeners.append(callback)
+
+    def level(self, member):
+        return self._levels.get(member, 0.0)
+
+    def snapshot(self):
+        return dict(self._levels)
+
+    def members_above(self, threshold):
+        return {m for m, lvl in self._levels.items() if lvl >= threshold}
+
+    # ------------------------------------------------------------------
+    def raise_level(self, member, amount=1.0):
+        if amount <= 0:
+            return
+        new = self._levels.get(member, 0.0) + amount
+        self._levels[member] = new
+        self._notify(member, new)
+
+    def reset(self, member):
+        if self._levels.pop(member, None) is not None:
+            self._notify(member, 0.0)
+
+    def forget_all(self):
+        """Clear every level -- used when a new view is installed."""
+        members = list(self._levels)
+        self._levels.clear()
+        for member in members:
+            self._notify(member, 0.0)
+
+    def stop(self):
+        if self._aging_timer is not None:
+            self._aging_timer.cancel()
+            self._aging_timer = None
+
+    # ------------------------------------------------------------------
+    def _start_aging(self):
+        self._aging_timer = self.sim.schedule(self.decay_interval, self._age)
+
+    def _age(self):
+        expired = []
+        for member, lvl in self._levels.items():
+            new = lvl - self.decay_amount
+            if new <= 0:
+                expired.append(member)
+            else:
+                self._levels[member] = new
+                self._notify(member, new)
+        for member in expired:
+            del self._levels[member]
+            self._notify(member, 0.0)
+        self._start_aging()
+
+    def _notify(self, member, level):
+        for callback in self._listeners:
+            callback(self.name, member, level)

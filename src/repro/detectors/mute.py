@@ -1,0 +1,114 @@
+"""Fuzzy mute failure detector (paper section 3.2).
+
+A *mute failure* of q with respect to p is q consistently failing to send a
+protocol message that p's layer expects -- an acknowledgement, a new-view
+message from the coordinator, the coordinator's gossip announcement, a
+consensus round message.  Because each layer knows exactly which headers it
+is owed, muteness is detectable from locally observed events alone.
+
+Layers use the registration API directly:
+
+* :meth:`expect` -- "I am owed a message of kind ``tag`` from ``member``
+  within ``timeout``"; returns a handle;
+* :meth:`fulfil` -- the owed message arrived; the oldest matching
+  expectation is discharged;
+* on timeout, the member's fuzzy *mute* level is raised by the
+  expectation's weight.
+
+The detector approximates the class 3P-mute: completeness comes from
+timeouts, eventual accuracy from the aging in
+:class:`repro.detectors.fuzzy.FuzzyLevels` plus generous thresholds.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+class Expectation:
+    """Handle for one registered expectation."""
+
+    __slots__ = ("member", "tag", "weight", "timer", "done")
+
+    def __init__(self, member, tag, weight):
+        self.member = member
+        self.tag = tag
+        self.weight = weight
+        self.timer = None
+        self.done = False
+
+    def cancel(self):
+        if not self.done:
+            self.done = True
+            if self.timer is not None:
+                self.timer.cancel()
+
+
+class FuzzyMuteDetector:
+    """Expectation registry feeding a fuzzy mute level."""
+
+    def __init__(self, sim, levels, default_timeout=0.2):
+        self.sim = sim
+        self.levels = levels
+        self.default_timeout = default_timeout
+        self._pending = {}
+        self.timeouts_fired = 0
+
+    # ------------------------------------------------------------------
+    def expect(self, member, tag, timeout=None, weight=1.0):
+        """Register that ``member`` owes us a ``tag`` message."""
+        exp = Expectation(member, tag, weight)
+        exp.timer = self.sim.schedule(
+            timeout if timeout is not None else self.default_timeout,
+            self._timed_out, exp,
+        )
+        self._pending.setdefault((member, tag), deque()).append(exp)
+        return exp
+
+    def fulfil(self, member, tag):
+        """Discharge the oldest live expectation for (member, tag).
+
+        Returns True if one was pending -- callers can treat an unexpected
+        message of an expected kind as input for the *verbose* detector.
+        """
+        queue = self._pending.get((member, tag))
+        while queue:
+            exp = queue.popleft()
+            if not exp.done:
+                exp.cancel()
+                if not queue:
+                    del self._pending[(member, tag)]
+                return True
+        if queue is not None and not queue:
+            del self._pending[(member, tag)]
+        return False
+
+    def cancel_member(self, member):
+        """Drop all expectations against ``member`` (it left or was removed)."""
+        for (m, _tag), queue in list(self._pending.items()):
+            if m != member:
+                continue
+            for exp in queue:
+                exp.cancel()
+            del self._pending[(m, _tag)]
+
+    def cancel_all(self):
+        for queue in self._pending.values():
+            for exp in queue:
+                exp.cancel()
+        self._pending.clear()
+
+    def pending_count(self, member=None):
+        total = 0
+        for (m, _tag), queue in self._pending.items():
+            if member is None or m == member:
+                total += sum(1 for e in queue if not e.done)
+        return total
+
+    # ------------------------------------------------------------------
+    def _timed_out(self, exp):
+        if exp.done:
+            return
+        exp.done = True
+        self.timeouts_fired += 1
+        self.levels.raise_level(exp.member, exp.weight)

@@ -1,0 +1,85 @@
+"""Fuzzy verbose failure detector (paper section 3.2).
+
+A *verbose failure* of q with respect to p is q sending protocol messages
+it should not: too many of a rate-limited kind (e.g. messages beyond the
+flow-control window, incessant view-change requests) or a message that a
+correct process would never send (e.g. an acknowledgement for a message
+that was never sent).  Like muteness, verbosity is detectable from locally
+observed events.
+
+Layers either declare a *rate bound* for a message kind and then feed every
+observation through :meth:`observe`, or report an outright protocol
+violation through :meth:`illegal`.
+"""
+
+from __future__ import annotations
+
+
+class _RateBound:
+    __slots__ = ("max_count", "window", "count", "window_start", "weight")
+
+    def __init__(self, max_count, window, weight, now):
+        self.max_count = max_count
+        self.window = window
+        self.weight = weight
+        self.count = 0
+        self.window_start = now
+
+
+class FuzzyVerboseDetector:
+    """Rate-bound registry feeding a fuzzy verbose level."""
+
+    #: weight used for messages a correct process would never send
+    ILLEGAL_WEIGHT = 3.0
+
+    def __init__(self, sim, levels):
+        self.sim = sim
+        self.levels = levels
+        self._bounds = {}
+        self._counters = {}
+        self.violations = 0
+
+    # ------------------------------------------------------------------
+    def set_rate_bound(self, tag, max_count, window, weight=1.0):
+        """Declare that any member may send at most ``max_count`` ``tag``
+        messages per ``window`` simulated seconds."""
+        self._bounds[tag] = (max_count, window, weight)
+
+    def observe(self, member, tag):
+        """Record one ``tag`` message from ``member``; raise level if over."""
+        bound = self._bounds.get(tag)
+        if bound is None:
+            return False
+        max_count, window, weight = bound
+        state = self._state(member, tag, max_count, window, weight)
+        now = self.sim.now
+        if now - state.window_start >= state.window:
+            state.window_start = now
+            state.count = 0
+        state.count += 1
+        if state.count > state.max_count:
+            self.violations += 1
+            self.levels.raise_level(member, state.weight)
+            return True
+        return False
+
+    def illegal(self, member, tag, weight=None):
+        """A message a correct process would never send arrived."""
+        del tag
+        self.violations += 1
+        self.levels.raise_level(
+            member, self.ILLEGAL_WEIGHT if weight is None else weight
+        )
+
+    def forget(self, member):
+        for key in [k for k in self._counters if k[0] == member]:
+            del self._counters[key]
+
+    # ------------------------------------------------------------------
+    def _state(self, member, tag, max_count, window, weight):
+        key = (member, tag)
+        state = self._counters.get(key)
+        if state is None:
+            state = _RateBound(max_count, window, weight, self.sim.now)
+            self._counters[key] = state
+        return state

@@ -1,0 +1,139 @@
+"""Layer and stack glue (paper Figure 2, Ensemble's micro-protocol model).
+
+A node's group-communication module is a stack of small layers.  Messages
+travel *down* from the application (each layer may push a header and pass
+on, or originate its own messages) and *up* from the network (each layer
+pops its header, acts, and passes on).  Layers also receive *control*
+notifications -- view installation, block/unblock, fuzzy level changes,
+suspicion adoption -- broadcast to the whole stack, which is how Ensemble
+layers coordinate without knowing each other.
+
+A layer that wants to talk to its peers at other nodes simply creates a
+:class:`repro.core.message.Message` with its own ``kind`` and sends it
+down: the reliable layer gives every broadcast kind FIFO delivery, the
+bottom layer signs it once -- no protocol-level signatures anywhere, as
+the paper requires.
+"""
+
+from __future__ import annotations
+
+
+class Layer:
+    """Base micro-protocol layer.  Subclasses override the handlers."""
+
+    name = "layer"
+
+    def __init__(self):
+        self.stack = None
+
+    # wiring -----------------------------------------------------------
+    def attach(self, stack):
+        self.stack = stack
+
+    @property
+    def process(self):
+        return self.stack.process
+
+    @property
+    def sim(self):
+        return self.stack.process.sim
+
+    @property
+    def config(self):
+        return self.stack.process.config
+
+    @property
+    def view(self):
+        return self.stack.process.view
+
+    @property
+    def me(self):
+        return self.stack.process.node_id
+
+    # message path -----------------------------------------------------
+    def handle_down(self, msg):
+        """A message heading to the network; default: pass through."""
+        self.send_down(msg)
+
+    def handle_up(self, msg):
+        """A message arriving from the network; default: pass through."""
+        self.send_up(msg)
+
+    def send_down(self, msg):
+        self.stack.down_from(self, msg)
+
+    def send_up(self, msg):
+        self.stack.up_from(self, msg)
+
+    # control path ------------------------------------------------------
+    def on_view(self, view):
+        """A new view was installed (called bottom-up on every layer)."""
+
+    def on_control(self, event, data):
+        """A stack-wide control notification; ``event`` is a string."""
+
+    def start(self):
+        """Called once when the process boots (timers go here)."""
+
+    def stop(self):
+        """Called when the process shuts down."""
+
+
+class LayerStack:
+    """Orders the layers and routes messages/control between them."""
+
+    def __init__(self, process, layers):
+        self.process = process
+        self.layers = list(layers)  # bottom first
+        for idx, layer in enumerate(self.layers):
+            layer._idx = idx
+            layer.attach(self)
+        self._by_name = {layer.name: layer for layer in self.layers}
+        if len(self._by_name) != len(self.layers):
+            raise ValueError("duplicate layer names in stack")
+        self.blocked = False
+
+    def layer(self, name):
+        return self._by_name[name]
+
+    def has_layer(self, name):
+        return name in self._by_name
+
+    # ------------------------------------------------------------------
+    def down_from(self, layer, msg):
+        idx = layer._idx
+        if idx == 0:
+            raise RuntimeError("bottom layer cannot send further down")
+        self.layers[idx - 1].handle_down(msg)
+
+    def up_from(self, layer, msg):
+        idx = layer._idx
+        if idx == len(self.layers) - 1:
+            raise RuntimeError("top layer cannot send further up")
+        self.layers[idx + 1].handle_up(msg)
+
+    def inject_down(self, msg):
+        """Entry point for the endpoint: hand a message to the top layer."""
+        self.layers[-1].handle_down(msg)
+
+    def inject_up(self, msg):
+        """Entry point for the network: hand a datagram to the bottom."""
+        self.layers[0].handle_up(msg)
+
+    # ------------------------------------------------------------------
+    def control(self, event, **data):
+        """Broadcast a control notification to every layer, bottom-up."""
+        for layer in self.layers:
+            layer.on_control(event, data)
+
+    def install_view(self, view):
+        for layer in self.layers:
+            layer.on_view(view)
+
+    def start(self):
+        for layer in self.layers:
+            layer.start()
+
+    def stop(self):
+        for layer in self.layers:
+            layer.stop()

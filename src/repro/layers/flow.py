@@ -1,0 +1,91 @@
+"""Window-based multicast flow control with the fuzzy optimization.
+
+Classic multicast flow control cannot advance the sending window until
+*all* receivers acknowledge -- so one slow node pauses the whole group.
+JazzEnsemble's fuzzy membership fixes this (paper section 3.1): the window
+advances as soon as all members with *low fuzziness* have acknowledged;
+slow nodes have high fuzziness and therefore do not stall the sender.
+
+The layer also enforces the receive-side rate bound the verbose detector
+needs: a member sending application casts far beyond any plausible window
+is reported as verbose (paper section 3.2's "q should not send messages
+faster than this limit").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core import message as mk
+from repro.layers.base import Layer
+
+
+class FlowLayer(Layer):
+    """Sender window over the app stream."""
+
+    name = "flow"
+
+    def __init__(self):
+        super().__init__()
+        self._queue = deque()
+        self._sent = 0
+        self.stalls = 0
+
+    def start(self):
+        self.process.stability.subscribe(self._maybe_drain)
+        if self.config.byzantine:
+            # a correct sender is bounded by its window between acks; allow
+            # ample slack so bursty-but-correct senders never trip this
+            self.process.verbose_detector.set_rate_bound(
+                "flow:cast", max_count=self.config.flow_window * 8,
+                window=0.05)
+
+    def on_view(self, view):
+        self._queue.clear()
+        self._sent = 0
+
+    def on_control(self, event, data):
+        if event != "view-change-started" or not self._queue:
+            return
+        # unsent casts must be re-stamped and re-sent in the NEXT view, or
+        # a correct sender's messages would silently vanish (Def 2.2 item 3)
+        queued, self._queue = self._queue, type(self._queue)()
+        self.process.top.requeue_casts(
+            [(m.msg_id, m.payload, m.payload_size) for m in queued])
+
+    # ------------------------------------------------------------------
+    def handle_down(self, msg):
+        if msg.kind != mk.KIND_CAST or msg.dest is not None:
+            self.send_down(msg)
+            return
+        if self._window_open():
+            self._sent += 1
+            self.send_down(msg)
+        else:
+            self.stalls += 1
+            self._queue.append(msg)
+
+    def _window_open(self):
+        # the fuzzy optimization (paper section 3.1): members with high
+        # mute fuzziness do not hold the sending window back; disabling it
+        # reproduces classic all-ack flow control for the ablation bench
+        floor = self.process.stability.min_ack(
+            self.me, "a", self.view.mbrs,
+            ignore_fuzzy=self.config.fuzzy_flow)
+        return self._sent - floor < self.config.flow_window
+
+    def _maybe_drain(self):
+        while self._queue and self._window_open():
+            self._sent += 1
+            self.send_down(self._queue.popleft())
+
+    @property
+    def queued(self):
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    def handle_up(self, msg):
+        if (msg.kind == mk.KIND_CAST and self.config.byzantine
+                and msg.origin != self.me):
+            self.process.verbose_detector.observe(msg.origin, "flow:cast")
+        self.send_up(msg)

@@ -1,0 +1,806 @@
+"""Byzantine membership maintenance (paper section 3.4).
+
+The view-change state machine, per node:
+
+::
+
+    IDLE --(start-view-change)--> CONSENSUS     vector consensus on the
+                                                suspicion vector
+    CONSENSUS --decided--> SYNC                 wedge app stream, exchange
+                                                SYNC reports (flush)
+    SYNC --all survivors reported--> CUT        agreed cut; recover gaps,
+                                                deliver exactly up to it
+    CUT --complete--> AWAIT_VIEW                new coordinator uniformly
+                                                broadcasts the new view
+    AWAIT_VIEW --UB delivered + verified--> install
+
+Byzantine defences at each step:
+
+* the suspicion vector is agreed via :class:`VectorConsensus` so a
+  Byzantine minority can never evict a correct member on its own;
+* the new coordinator is *locally computable* (rank rotation), so every
+  member knows who must produce the view and registers a fuzzy-mute
+  expectation against it;
+* the new-view message travels by Byzantine uniform broadcast, and members
+  verify its content against what they can compute themselves before
+  echoing (a coordinator sending a wrong view -- the paper's CoordBadView
+  scenario -- is caught here and the change re-runs without it);
+* a member withholds its uniform-broadcast echo until every message it
+  knows of from the terminating view is deliverable locally (the flush
+  rule of section 3.4.4), so installing members agree on delivered sets.
+
+Merging (section 3.4.2): all nodes listen to coordinator gossip.  The
+side with the *smaller* view identifier requests a merge; the target
+coordinator announces the joiners to its own members (so the eventual view
+is verifiable by everyone) and runs a normal view change that appends
+them.  Joiners receive the installed view by direct message, cross-check
+it among themselves, flush their own terminating view, and install.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.broadcast.bracha import BrachaBroadcast
+from repro.broadcast.uniform import UniformBroadcast
+from repro.core import message as mk
+from repro.core.message import Message
+from repro.core.view import View, ViewId, choose_coordinator
+from repro.layers.base import Layer
+from repro.layers.heartbeat import stack_fingerprint
+
+IDLE = "idle"
+CONSENSUS = "consensus"
+SYNC = "sync"
+CUT = "cut"
+AWAIT_VIEW = "await-view"
+JOINING = "joining"
+
+
+def _digest(obj):
+    return hashlib.sha256(repr(obj).encode("utf-8")).hexdigest()[:16]
+
+
+class MembershipLayer(Layer):
+    """Coordinator-driven Byzantine view management."""
+
+    name = "membership"
+
+    def __init__(self):
+        super().__init__()
+        self._state = IDLE
+        self._epoch = 0
+        self._consensus = None
+        self._consensus_pending = []   # (sender, instance_id, payload)
+        self._suspected_at_start = set()
+        self._leavers = set()
+        self._survivors = None
+        self._failed = None
+        self._new_coord = None
+        self._sync_reports = {}
+        self._sync_ord_k = {}
+        self._cut = None
+        self._cut_done = False
+        self._ub = None
+        self._ub_pending = []
+        self._ub_ready = False
+        self._pending_joiners = None   # foreign View whose members join us
+        self._merge_requested_at = {}
+        self._merge_inflight = None    # (target coordinator, request time)
+        self._regroup_timer = None
+        self._join_offer = None        # (view, digest) received as a joiner
+        self._join_echoes = {}
+        self._expectations = []
+        self._waiting_stability = False
+        self._flush_undecidable = False
+        # measurement hooks used by the benchmarks
+        self.view_changes = 0
+        self.change_started_at = None
+        self.last_change_duration = None
+        self.leaving = False
+
+    # ------------------------------------------------------------------
+    # control plane
+    # ------------------------------------------------------------------
+    def on_view(self, view):
+        self._reset_change_state()
+        self._leavers.clear()
+        self._pending_joiners = None
+        self._join_offer = None
+        self._join_echoes = {}
+        self._merge_requested_at.clear()
+        self._merge_inflight = None
+
+    def _reset_change_state(self):
+        self._state = IDLE
+        self._consensus = None
+        self._consensus_pending = []
+        self._survivors = None
+        self._failed = None
+        self._new_coord = None
+        self._sync_reports = {}
+        self._sync_ord_k = {}
+        self._cut = None
+        self._cut_done = False
+        self._ub = None
+        self._ub_pending = []
+        self._ub_ready = False
+        self._waiting_stability = False
+        self._flush_undecidable = False
+        self._cancel_expectations()
+
+    def _cancel_expectations(self):
+        for exp in self._expectations:
+            exp.cancel()
+        self._expectations = []
+
+    def _expect(self, member, tag, timeout):
+        exp = self.process.mute_detector.expect(member, tag, timeout)
+        self._expectations.append(exp)
+        return exp
+
+    def on_control(self, event, data):
+        if event == "start-view-change":
+            self._begin(data.get("suspected", set()))
+        elif event == "suspicions-updated":
+            self._on_suspicions_updated(data.get("suspected", set()))
+        elif event == "foreign-gossip":
+            self._on_foreign_gossip(data["src"], data["view"],
+                                    data["fingerprint"])
+
+    # ------------------------------------------------------------------
+    # message plane
+    # ------------------------------------------------------------------
+    def handle_up(self, msg):
+        kind = msg.kind
+        if kind == mk.KIND_CONSENSUS:
+            self._on_consensus_msg(msg)
+        elif kind == mk.KIND_SYNC:
+            self._on_sync_msg(msg)
+        elif kind == mk.KIND_UB:
+            self._on_ub_msg(msg)
+        elif kind == mk.KIND_LEAVE:
+            self._on_leave(msg)
+        elif kind == mk.KIND_MERGE:
+            self._on_merge_request(msg)
+        elif kind == mk.KIND_MANNOUNCE:
+            self._on_merge_announce(msg)
+        elif kind == mk.KIND_NEWVIEW:
+            self._on_join_offer(msg)
+        else:
+            self.send_up(msg)
+
+    # ------------------------------------------------------------------
+    # phase 1: consensus on the suspicion vector
+    # ------------------------------------------------------------------
+    def _begin(self, suspected, bump_epoch=True):
+        if self._state != IDLE and bump_epoch:
+            return
+        if self.view.n == 1 and self._pending_joiners is None:
+            return  # nothing to decide in a singleton view
+        self._state = CONSENSUS
+        if self.change_started_at is None:
+            self.change_started_at = self.sim.now
+        self.stack.blocked = True
+        self.stack.control("view-change-started")
+        self._suspected_at_start = (set(suspected) | self._leavers)
+        self._epoch += 1
+        self._start_agreement()
+
+    def _start_consensus_instance(self):
+        view = self.view
+        proposal = tuple(
+            1 if member in self._suspected_at_start else 0
+            for member in view.mbrs)
+        instance_id = ("vc", view.vid.key(), self._epoch)
+        process = self.process
+
+        def bcast(payload):
+            size = 12 + view.n
+            out = Message(mk.KIND_CONSENSUS, self.me, view.vid,
+                          (instance_id, payload), payload_size=size)
+            self.send_down(out)
+
+        def on_round(rnd, awaited):
+            for member in awaited:
+                if member != self.me:
+                    self._expect(member, "consensus",
+                                 self.config.consensus_msg_timeout)
+
+        from repro.consensus.vector import VectorConsensus
+        self._consensus = VectorConsensus(
+            instance_id, list(view.mbrs), self.me, process.f, proposal,
+            bcast,
+            is_suspected=self._fd_suspects,
+            on_decide=self._on_consensus_decided,
+            on_misbehavior=self._on_peer_misbehavior,
+            coordinator_seed=view.vid.key(),
+            on_round=on_round)
+        pending, self._consensus_pending = self._consensus_pending, []
+        self._consensus.start()
+        for sender, iid, payload in pending:
+            if iid == instance_id:
+                self._consensus.on_message(sender, payload)
+
+    def _fd_suspects(self, member):
+        process = self.process
+        if process.suspicion.is_suspected(member):
+            return True
+        return (process.mute_levels.level(member)
+                >= self.config.mute_suspect_threshold)
+
+    def _on_peer_misbehavior(self, member, reason):
+        if self.config.byzantine and member != self.me:
+            self.process.verbose_detector.illegal(member, reason)
+
+    def _on_consensus_msg(self, msg):
+        payload = msg.payload
+        if not isinstance(payload, tuple) or len(payload) != 2:
+            self._on_peer_misbehavior(msg.origin, "membership:bad-consensus")
+            return
+        instance_id, proto = payload
+        if (not isinstance(instance_id, tuple) or len(instance_id) != 3
+                or instance_id[0] != "vc"):
+            self._on_peer_misbehavior(msg.origin, "membership:bad-instance")
+            return
+        self.process.mute_detector.fulfil(msg.origin, "consensus")
+        _tag, vid_key, epoch = instance_id
+        if vid_key != self.view.vid.key():
+            return
+        if not isinstance(epoch, int) or epoch < 1 or epoch > self._epoch + 64:
+            return
+        if epoch > self._epoch:
+            # another member detected failures (or a later attempt) first:
+            # join its consensus epoch with our own local evidence
+            self._consensus_pending.append((msg.origin, instance_id, proto))
+            self._join_epoch(epoch)
+            return
+        if self._consensus is not None and instance_id == self._consensus.instance_id:
+            self._consensus.on_message(msg.origin, proto)
+        elif epoch == self._epoch and self._consensus is None:
+            self._consensus_pending.append((msg.origin, instance_id, proto))
+            self._begin(self.process.suspicion.suspected_set(),
+                        bump_epoch=False)
+
+    def _join_epoch(self, epoch):
+        self._cancel_expectations()
+        self._state = CONSENSUS
+        if self.change_started_at is None:
+            self.change_started_at = self.sim.now
+        self.stack.blocked = True
+        self.stack.control("view-change-started")
+        self._suspected_at_start = (
+            set(self.process.suspicion.suspected_set()) | self._leavers)
+        self._epoch = epoch
+        self._sync_reports = {}
+        self._sync_ord_k = {}
+        self._start_agreement()
+
+    def _on_suspicions_updated(self, suspected):
+        if self._consensus is not None:
+            self._consensus.notify_suspicion_change()
+        if self._state == CONSENSUS:
+            fresh = set(suspected) - self._suspected_at_start
+            if fresh and len(set(suspected) | self._leavers) > self.process.f:
+                # the consensus floor of n - f responders is no longer
+                # reachable; restart, which routes into regroup mode
+                self._restart()
+        elif self._state in (SYNC, CUT, AWAIT_VIEW):
+            blocking = set(self._survivors or ()) & set(suspected)
+            if blocking - self._suspected_at_start:
+                # a survivor (possibly the new coordinator) failed during
+                # the flush: re-run the agreement with the new evidence
+                self._restart()
+
+    def _restart(self):
+        self._cancel_expectations()
+        self._state = CONSENSUS
+        self._epoch += 1
+        self._suspected_at_start = (
+            set(self.process.suspicion.suspected_set()) | self._leavers)
+        self._sync_reports = {}
+        self._sync_ord_k = {}
+        self._cut = None
+        self._cut_done = False
+        self._ub = None
+        self._ub_pending = []
+        self._ub_ready = False
+        self._waiting_stability = False
+        self._start_agreement()
+
+    def _start_agreement(self):
+        """Choose how to agree on the failed set.
+
+        The vector consensus needs a core of n - f connected correct
+        members; when more than f members are suspected (a partition or a
+        mass crash), that core cannot exist and the consensus would never
+        terminate.  The paper leaves this case open (section 3.4.5); we
+        fall back to *regroup* mode: survivors converge on the suspicion
+        set through slander exchange, then go straight to the flush -- the
+        verified uniform broadcast of the new view still prevents a wrong
+        membership from installing.
+        """
+        if len(self._suspected_at_start) > self.process.f:
+            self._consensus = None
+            epoch = self._epoch
+            # one heartbeat of grace so slanders equalize suspicion sets
+            timer = self.sim.schedule(self.config.heartbeat_interval,
+                                      self._regroup_fire, epoch)
+            self._regroup_timer = timer
+        else:
+            self._start_consensus_instance()
+
+    def _regroup_fire(self, epoch):
+        if epoch != self._epoch or self._state != CONSENSUS:
+            return
+        self._suspected_at_start = (
+            set(self.process.suspicion.suspected_set()) | self._leavers)
+        view = self.view
+        vector = tuple(1 if m in self._suspected_at_start else 0
+                       for m in view.mbrs)
+        self._on_consensus_decided(vector)
+
+    # ------------------------------------------------------------------
+    # phase 2: flush (sync + cut)
+    # ------------------------------------------------------------------
+    def _on_consensus_decided(self, vector):
+        view = self.view
+        failed = {view.mbrs[k] for k, bit in enumerate(vector) if bit == 1}
+        self._failed = failed
+        if not failed and self._pending_joiners is None:
+            # nothing to change after all; resume normal operation
+            self._reset_change_state()
+            self.change_started_at = None
+            self.stack.blocked = False
+            self.stack.control("view-change-aborted")
+            return
+        if self.me in failed:
+            # the group agreed to exclude us; fall back to a singleton view
+            # (counter carried forward -- view ids must stay monotonic in
+            # our own history, Def 2.1 item 2) and try to merge back in
+            fallback = View(ViewId(view.vid.counter + 1, self.me),
+                            (self.me,), coordinator=self.me, f=0,
+                            underprovisioned=True)
+            self._install(fallback)
+            return
+        survivors = [m for m in view.mbrs if m not in failed]
+        self._survivors = survivors
+        self._new_coord = choose_coordinator(view.vid.counter, survivors)
+        self._state = SYNC
+        self.process.reliable.wedge()
+        self.stack.control("wedged")
+        report = self.process.reliable.stream_state()
+        # regroup territory: when the agreed survivor set is smaller than
+        # n - f, no further ordering-consensus quorum can complete; freeze
+        # the ordering layer so the watermarks we report stay true
+        self._flush_undecidable = (
+            len(survivors) < view.n - self.process.f)
+        ord_k = self.process.ordering_freeze(self._flush_undecidable)
+        wire_report = tuple(sorted(report.items(), key=repr))
+        out = Message(mk.KIND_SYNC, self.me, view.vid,
+                      ("report", self._epoch, wire_report, ord_k),
+                      payload_size=8 + 6 * len(wire_report))
+        self.send_down(out)
+        self._sync_reports[self.me] = dict(report)
+        self._sync_ord_k = {self.me: ord_k}
+        # (re-sent below for every survivor we have not yet heard from)
+        for member in survivors:
+            if member != self.me and member not in self._sync_reports:
+                self._expect(member, "sync", self.config.consensus_msg_timeout)
+        self._maybe_finish_sync()
+
+    def _on_sync_msg(self, msg):
+        payload = msg.payload
+        if not isinstance(payload, tuple) or not payload:
+            self._on_peer_misbehavior(msg.origin, "membership:bad-sync")
+            return
+        if payload[0] == "nv-echo":
+            self._on_join_echo(msg)
+            return
+        if len(payload) != 4 or payload[0] != "report":
+            self._on_peer_misbehavior(msg.origin, "membership:bad-sync")
+            return
+        _tag, epoch, wire_report, ord_k = payload
+        self.process.mute_detector.fulfil(msg.origin, "sync")
+        if epoch != self._epoch or self._state not in (SYNC, CUT, AWAIT_VIEW):
+            return
+        if msg.origin in self._sync_reports:
+            return
+        try:
+            report = {origin: int(top) for origin, top in wire_report}
+            ord_k = (int(ord_k[0]), int(ord_k[1]))
+        except (TypeError, ValueError, IndexError):
+            self._on_peer_misbehavior(msg.origin, "membership:bad-sync-body")
+            return
+        if any(top < 0 for top in report.values()) or min(ord_k) < 0:
+            self._on_peer_misbehavior(msg.origin, "membership:bad-sync-body")
+            return
+        self._sync_reports[msg.origin] = report
+        self._sync_ord_k[msg.origin] = ord_k
+        if self._state == SYNC:
+            self._maybe_finish_sync()
+
+    def _maybe_finish_sync(self):
+        if self._state != SYNC:
+            return
+        for member in self._survivors:
+            if member not in self._sync_reports:
+                return
+        cut = {origin: 0 for origin in self.view.mbrs}
+        for member in self._survivors:
+            for origin, top in self._sync_reports[member].items():
+                if origin in cut and top > cut[origin]:
+                    cut[origin] = top
+        self._cut = cut
+        self._state = CUT
+        if self._new_coord != self.me:
+            self._expect(self._new_coord, "newview",
+                         self.config.newview_timeout)
+        self.process.reliable.set_cut(cut, on_complete=self._on_cut_complete)
+
+    def _on_cut_complete(self):
+        if self._state != CUT:
+            return
+        epoch = self._epoch
+        index = 1 if self._flush_undecidable else 0
+        k_star = max((self._sync_ord_k.get(m, (0, 0))[index]
+                      for m in self._survivors), default=0)
+        # the app layers (total ordering / uniform delivery) finish their
+        # agreed backlog now that every member holds exactly the cut; only
+        # then may we echo the new view (paper section 3.4.4)
+        self.process.flush_app(k_star,
+                               lambda: self._after_app_flush(epoch),
+                               undecidable=self._flush_undecidable)
+
+    def _after_app_flush(self, epoch):
+        if self._state != CUT or epoch != self._epoch:
+            return
+        self._cut_done = True
+        self._state = AWAIT_VIEW
+        self._ub_ready = True
+        pending, self._ub_pending = self._ub_pending, []
+        for sender, payload in pending:
+            self._feed_ub(sender, payload)
+        if self.me == self._new_coord:
+            self._coordinator_try_send_view()
+
+    # ------------------------------------------------------------------
+    # phase 3: uniform broadcast of the new view
+    # ------------------------------------------------------------------
+    def _proposed_view(self):
+        view = self.view
+        joiners = ()
+        counter = view.vid.counter + 1
+        if self._pending_joiners is not None:
+            joiners = tuple(sorted(self._pending_joiners.mbrs, key=repr))
+            counter = max(counter, self._pending_joiners.vid.counter + 1)
+        members = tuple(self._survivors) + joiners
+        f = self.config.resilience(len(members))
+        return View(ViewId(counter, self._new_coord), members,
+                    coordinator=self._new_coord, f=f,
+                    underprovisioned=(f == 0 and self.config.byzantine))
+
+    def _coordinator_try_send_view(self):
+        if not self._cut_done or self._state != AWAIT_VIEW:
+            return
+        survivors = self._survivors
+        if not self.process.stability.all_stable(self._cut, survivors):
+            if not self._waiting_stability:
+                self._waiting_stability = True
+                self.process.stability.subscribe(self._on_stability_update)
+            return
+        value = (self._proposed_view().to_wire(),
+                 tuple(sorted(self._cut.items(), key=repr)))
+        ub = self._make_ub_instance()
+        if ub is None:
+            # view too small for the agreement protocol: send the view as a
+            # plain broadcast (underprovisioned mode, DESIGN.md deviation 5);
+            # build the message first -- installing the view resets all the
+            # change state this closure reads
+            out = Message(mk.KIND_UB, self.me, self.view.vid,
+                          (("nv", self.view.vid.key(), self._epoch),
+                           ("ub-plain", value)),
+                          payload_size=24 + 8 * len(self._survivors))
+            self.send_down(out)
+            self._on_ub_delivered(value)
+        else:
+            ub.originate(value)
+
+    def _on_stability_update(self):
+        if self._waiting_stability and self._state == AWAIT_VIEW:
+            self._coordinator_try_send_view()
+
+    def _make_ub_instance(self):
+        if self._ub is not None:
+            return self._ub
+        survivors = list(self._survivors)
+        f = self.process.f
+        instance_id = ("nv", self.view.vid.key(), self._epoch)
+
+        def bcast(payload):
+            out = Message(mk.KIND_UB, self.me, self.view.vid,
+                          (instance_id, payload),
+                          payload_size=24 + 8 * len(survivors))
+            self.send_down(out)
+
+        protocol = (UniformBroadcast if self.config.uniform_protocol == "twostep"
+                    else BrachaBroadcast)
+        try:
+            self._ub = protocol(
+                instance_id, survivors, self.me, f, self._new_coord, bcast,
+                on_deliver=self._on_ub_delivered,
+                on_misbehavior=self._on_peer_misbehavior)
+        except ValueError:
+            # n too small for the chosen protocol at this f; retry at f=0,
+            # and below even that (tiny views) fall back to plain delivery
+            self._ub = None
+            if f > 0:
+                try:
+                    self._ub = protocol(
+                        instance_id, survivors, self.me, 0, self._new_coord,
+                        bcast, on_deliver=self._on_ub_delivered,
+                        on_misbehavior=self._on_peer_misbehavior)
+                except ValueError:
+                    self._ub = None
+        return self._ub
+
+    def _on_ub_msg(self, msg):
+        payload = msg.payload
+        if not isinstance(payload, tuple) or len(payload) != 2:
+            self._on_peer_misbehavior(msg.origin, "membership:bad-ub")
+            return
+        instance_id, proto = payload
+        if (not isinstance(instance_id, tuple) or len(instance_id) != 3
+                or instance_id[0] != "nv"
+                or instance_id[1] != self.view.vid.key()):
+            return
+        if not self._ub_ready:
+            self._ub_pending.append((msg.origin, (instance_id, proto)))
+            return
+        self._feed_ub(msg.origin, (instance_id, proto))
+
+    def _feed_ub(self, sender, payload):
+        instance_id, proto = payload
+        if instance_id[2] != self._epoch or self._state != AWAIT_VIEW:
+            return
+        if not isinstance(proto, tuple) or len(proto) != 2:
+            self._on_peer_misbehavior(sender, "membership:bad-ub-proto")
+            return
+        if proto[0] == "ub-plain":
+            # underprovisioned fallback: accept the coordinator's word
+            if sender == self._new_coord and self._ub is None:
+                self._on_ub_delivered(proto[1])
+            return
+        if proto[0] in ("ub-initial", "br-initial"):
+            self.process.mute_detector.fulfil(self._new_coord, "newview")
+            if not self._verify_view_value(proto[1]):
+                # the coordinator sent a wrong view (CoordBadView): do not
+                # echo it, suspect the coordinator, and re-run the change
+                self.process.verbose_detector.illegal(
+                    self._new_coord, "membership:bad-view-content")
+                self.process.suspicion.suspect_locally(
+                    self._new_coord, reason="bad-view")
+                return
+        ub = self._make_ub_instance()
+        if ub is not None:
+            ub.on_message(sender, proto)
+
+    def _verify_view_value(self, value):
+        if not isinstance(value, tuple) or len(value) != 2:
+            return False
+        view_wire, cut_wire = value
+        try:
+            proposed = View.from_wire(view_wire)
+            cut = {origin: int(top) for origin, top in cut_wire}
+        except (TypeError, ValueError):
+            return False
+        expected = self._proposed_view()
+        if proposed.mbrs != expected.mbrs:
+            return False
+        if proposed.coordinator != self._new_coord:
+            return False
+        if proposed.vid.counter < self.view.vid.counter + 1:
+            return False
+        if proposed.vid.creator != self._new_coord:
+            return False
+        if cut != self._cut:
+            return False
+        return True
+
+    def _on_ub_delivered(self, value):
+        if self._state != AWAIT_VIEW:
+            return
+        if not self._verify_view_value(value):
+            # can only happen if >= quorum echoed a bad view, which needs
+            # more than f Byzantine members; still never install it
+            self.process.suspicion.suspect_locally(
+                self._new_coord, reason="bad-view-delivered")
+            return
+        view_wire, _cut_wire = value
+        new_view = View.from_wire(view_wire)
+        joiners = [m for m in new_view.mbrs if m not in self.view.mbrs]
+        self._install(new_view)
+        if joiners and new_view.coordinator == self.me:
+            for joiner in joiners:
+                offer = Message(mk.KIND_NEWVIEW, self.me, new_view.vid,
+                                ("joined", new_view.to_wire()),
+                                payload_size=24 + 8 * new_view.n,
+                                dest=joiner)
+                self.send_down(offer)
+
+    def _install(self, new_view):
+        started = self.change_started_at
+        self.view_changes += 1
+        if started is not None:
+            self.last_change_duration = self.sim.now - started
+        self.change_started_at = None
+        self.process.install_view(new_view)
+
+    # ------------------------------------------------------------------
+    # leave
+    # ------------------------------------------------------------------
+    def _on_leave(self, msg):
+        leaver = msg.origin
+        if leaver == self.me or leaver not in self.view.mbrs:
+            return
+        if leaver in self._leavers:
+            return
+        self._leavers.add(leaver)
+        self.process.suspicion.adopt(leaver, reason="leave")
+
+    def announce_leave(self):
+        """Called by the endpoint: politely announce departure."""
+        self.leaving = True
+        out = Message(mk.KIND_LEAVE, self.me, self.view.vid, ("leave",),
+                      payload_size=6)
+        self.send_down(out)
+
+    # ------------------------------------------------------------------
+    # merge (section 3.4.2)
+    # ------------------------------------------------------------------
+    def _on_foreign_gossip(self, src, foreign, fingerprint):
+        view = self.view
+        if fingerprint != stack_fingerprint(self.config):
+            return
+        if set(foreign.mbrs) & set(view.mbrs):
+            return  # not disjoint: stale gossip about an ancestor view
+        if self._state != IDLE or self.leaving:
+            return
+        if foreign.vid.key() > view.vid.key():
+            # we are the smaller side: our coordinator must request a merge
+            if view.coordinator == self.me:
+                inflight = self._merge_inflight
+                now = self.sim.now
+                if (inflight is not None
+                        and now - inflight[1] < 6 * self.config.gossip_interval
+                        and inflight[0] != foreign.coordinator):
+                    return  # one courtship at a time: avoids split joins
+                last = self._merge_requested_at.get(foreign.coordinator, -1e9)
+                if now - last < self.config.gossip_interval:
+                    return
+                self._merge_inflight = (foreign.coordinator, now)
+                self._merge_requested_at[foreign.coordinator] = self.sim.now
+                request = Message(mk.KIND_MERGE, self.me, view.vid,
+                                  ("request", view.to_wire()),
+                                  payload_size=24 + 8 * view.n,
+                                  dest=foreign.coordinator)
+                self.send_down(request)
+            else:
+                # expect our coordinator to pursue the merge; if no new view
+                # arrives, the coordinator gains mute fuzziness
+                self._expect(view.coordinator, "merge-progress",
+                             6 * self.config.gossip_interval)
+
+    def _on_merge_request(self, msg):
+        payload = msg.payload
+        if (not isinstance(payload, tuple) or len(payload) != 2
+                or payload[0] != "request"):
+            self._on_peer_misbehavior(msg.origin, "membership:bad-merge")
+            return
+        try:
+            foreign = View.from_wire(payload[1])
+        except (TypeError, ValueError):
+            self._on_peer_misbehavior(msg.origin, "membership:bad-merge-view")
+            return
+        view = self.view
+        if (self.me != view.coordinator or self._state != IDLE
+                or self.leaving):
+            return
+        if msg.origin != foreign.coordinator:
+            return
+        if set(foreign.mbrs) & set(view.mbrs):
+            return
+        if not foreign.vid.key() < view.vid.key():
+            return
+        self._pending_joiners = foreign
+        announce = Message(mk.KIND_MANNOUNCE, self.me, view.vid,
+                           ("announce", payload[1]),
+                           payload_size=24 + 8 * foreign.n)
+        self.send_down(announce)
+        self._begin(self.process.suspicion.suspected_set())
+
+    def _on_merge_announce(self, msg):
+        payload = msg.payload
+        if (not isinstance(payload, tuple) or len(payload) != 2
+                or payload[0] != "announce"):
+            self._on_peer_misbehavior(msg.origin, "membership:bad-announce")
+            return
+        if msg.origin != self.view.coordinator:
+            self._on_peer_misbehavior(msg.origin, "membership:announce-usurper")
+            return
+        try:
+            foreign = View.from_wire(payload[1])
+        except (TypeError, ValueError):
+            self._on_peer_misbehavior(msg.origin, "membership:bad-announce")
+            return
+        if set(foreign.mbrs) & set(self.view.mbrs):
+            return
+        if self._pending_joiners is None:
+            self._pending_joiners = foreign
+            self.process.mute_detector.fulfil(self.view.coordinator,
+                                              "merge-progress")
+
+    # ------------------------------------------------------------------
+    # joiner side: receive and cross-check the merged view
+    # ------------------------------------------------------------------
+    def _on_join_offer(self, msg):
+        payload = msg.payload
+        if (not isinstance(payload, tuple) or len(payload) != 2
+                or payload[0] != "joined"):
+            return
+        try:
+            offered = View.from_wire(payload[1])
+        except (TypeError, ValueError):
+            return
+        view = self.view
+        if self.me not in offered:
+            return
+        if not all(member in offered for member in view.mbrs):
+            return  # the target may not drop any of our members
+        if not offered.vid.key() > view.vid.key():
+            return
+        if msg.sender not in offered.mbrs:
+            return
+        digest = _digest(payload[1])
+        self._join_offer = (offered, digest)
+        self.process.mute_detector.fulfil(view.coordinator, "merge-progress")
+        if view.n == 1:
+            self._install(offered)
+            return
+        # cross-check among our old members: a two-faced target coordinator
+        # must not split us across different "merged" views
+        self._state = JOINING
+        echo = Message(mk.KIND_SYNC, self.me, view.vid,
+                       ("nv-echo", digest, payload[1]), payload_size=24)
+        self.send_down(echo)
+        self._join_echoes[self.me] = digest
+        self._maybe_finish_join()
+
+    def _on_join_echo(self, msg):
+        payload = msg.payload
+        if len(payload) != 3:
+            return
+        _tag, digest, view_wire = payload
+        if msg.origin in self._join_echoes:
+            if self._join_echoes[msg.origin] != digest:
+                self._on_peer_misbehavior(msg.origin, "membership:join-equiv")
+            return
+        self._join_echoes[msg.origin] = digest
+        if self._join_offer is None:
+            # adopt the offer relayed by a peer member (we may have missed
+            # the unicast); full verification still applies
+            relayed = Message(mk.KIND_NEWVIEW, msg.origin, self.view.vid,
+                              ("joined", view_wire), dest=self.me)
+            relayed.sender = msg.sender
+            self._on_join_offer(relayed)
+            return
+        self._maybe_finish_join()
+
+    def _maybe_finish_join(self):
+        if self._join_offer is None:
+            return
+        offered, digest = self._join_offer
+        for member in self.view.mbrs:
+            if self._join_echoes.get(member) != digest:
+                return
+        self._install(offered)

@@ -1,0 +1,330 @@
+"""Total ordering via repeated Byzantine consensus (paper section 3.5).
+
+Nodes accumulate the casts they receive; each node proposes a
+deterministically-chosen batch (all accumulated undelivered messages,
+sorted by id) to a consensus instance.  Decided batches are delivered in
+decided order, then the next instance starts.
+
+Because the batch rule is deterministic and messages keep accumulating
+while an instance runs, under continuous load every instance after the
+first finds all correct proposals identical and decides in **one
+communication round** -- the amortized single-step cost the paper measures
+(the first instance of a burst may disagree and take more rounds).
+
+For small messages the proposals carry the messages themselves, so total
+ordering subsumes uniform broadcast without a separate protocol, exactly
+as the paper notes.
+
+View-change interaction: the SYNC reports of the flush protocol carry each
+member's highest started instance; every member joins all instances up to
+the maximum before delivering the deterministic tail, so the total order
+extends unbroken to the view boundary.
+"""
+
+from __future__ import annotations
+
+from repro.core import message as mk
+from repro.core.message import Message
+from repro.layers.base import Layer
+
+#: bound on how far a (possibly lying) SYNC report can make us chase
+#: ordering instances past our own; vacuous instances are cheap but a
+#: Byzantine member must not be able to request unbounded work
+MAX_INSTANCE_SKEW = 64
+
+
+def batch_sort_key(msg_id):
+    """Deterministic order that preserves per-origin FIFO: group by
+    origin, then numeric send counter (repr of the counter would put 10
+    before 2)."""
+    origin, counter = msg_id
+    return (repr(origin), counter)
+
+
+class OrderingLayer(Layer):
+    """Atomic (totally ordered) delivery of application casts."""
+
+    name = "ordering"
+
+    def __init__(self):
+        super().__init__()
+        self._buffer = {}        # msg_id -> Message (received, unordered)
+        self._delivered = set()  # msg_ids already delivered
+        self._instance = None
+        self._instance_k = 0     # number of the running/last instance
+        self._pending = {}       # k -> [(sender, proto)] early messages
+        self._tick_timer = None
+        self._stopped_proposing = False
+        self._decided_k = 0
+        self._flush_target = None
+        self._flush_done_cb = None
+        self._flush_undecidable = False
+        self._frozen_undecidable = False
+        self.batches_decided = 0
+        self.messages_ordered = 0
+
+    # ------------------------------------------------------------------
+    def start(self):
+        if self.config.total_order:
+            self._tick_timer = self.sim.schedule(self.config.order_tick,
+                                                 self._tick)
+
+    def stop(self):
+        if self._tick_timer is not None:
+            self._tick_timer.cancel()
+
+    def on_view(self, view):
+        self._buffer.clear()
+        self._delivered.clear()
+        self._instance = None
+        self._instance_k = 0
+        self._pending.clear()
+        self._stopped_proposing = False
+        self._decided_k = 0
+        self._flush_target = None
+        self._flush_done_cb = None
+        self._flush_undecidable = False
+        self._frozen_undecidable = False
+
+    def on_control(self, event, data):
+        if not self.config.total_order:
+            return
+        if event == "view-change-started":
+            self._stopped_proposing = True
+
+    @property
+    def highest_instance(self):
+        """Highest instance started locally (reported in SYNC)."""
+        return self._instance_k
+
+    def freeze_for_flush(self, undecidable):
+        """Called by the membership layer just before it broadcasts its
+        SYNC report.  Returns the (started, decided) instance watermarks.
+
+        In *undecidable* mode -- the agreed survivor set is smaller than
+        n - f, so no further round quorum can ever complete -- the
+        in-flight instance is frozen: it may only finish by adopting the
+        broadcast decision of a member that decided before the freeze.
+        This pins the watermarks the SYNC reports carry, making the
+        members' flush decisions mutually consistent.
+        """
+        self._stopped_proposing = True
+        if undecidable:
+            self._frozen_undecidable = True
+            if self._instance is not None:
+                self._instance.dec_adoption_quorum = self.process.f + 1
+                self._instance.freeze_rounds()
+        return (self._instance_k, self._decided_k)
+
+    # ------------------------------------------------------------------
+    # message plane
+    # ------------------------------------------------------------------
+    def handle_up(self, msg):
+        if not self.config.total_order:
+            self.send_up(msg)
+            return
+        if msg.kind == mk.KIND_CAST:
+            if msg.msg_id is None or msg.msg_id in self._delivered:
+                return
+            self._buffer[msg.msg_id] = msg
+            return
+        if msg.kind == mk.KIND_ORDER:
+            self._on_order_msg(msg)
+            return
+        self.send_up(msg)
+
+    def _on_order_msg(self, msg):
+        self.process.mute_detector.fulfil(msg.origin, "ordering")
+        payload = msg.payload
+        if not isinstance(payload, tuple) or len(payload) != 3:
+            self._misbehavior(msg.origin, "ordering:bad-msg")
+            return
+        _tag, k, proto = payload
+        if payload[0] != "ord" or not isinstance(k, int) or k < 1:
+            self._misbehavior(msg.origin, "ordering:bad-instance")
+            return
+        if self._instance is not None and k == self._instance_k:
+            self._instance.on_message(msg.origin, proto)
+        elif k > self._instance_k:
+            if k > self._instance_k + MAX_INSTANCE_SKEW:
+                self._misbehavior(msg.origin, "ordering:instance-skew")
+                return
+            self._pending.setdefault(k, []).append((msg.origin, proto))
+            if self._instance is None and k == self._instance_k + 1:
+                # someone is ahead of us: join their instance even with an
+                # empty local batch, or we would block their termination
+                self._start_instance()
+
+    # ------------------------------------------------------------------
+    # instance lifecycle
+    # ------------------------------------------------------------------
+    def _tick(self):
+        if (self._instance is None and self._buffer
+                and not self._stopped_proposing):
+            self._start_instance()
+        self._tick_timer = self.sim.schedule(self.config.order_tick,
+                                             self._tick)
+
+    def _proposal(self):
+        entries = []
+        for msg_id, msg in self._buffer.items():
+            entries.append((msg_id, msg.payload, msg.payload_size))
+        entries.sort(key=lambda e: batch_sort_key(e[0]))
+        return tuple(entries[: self.config.order_batch_max])
+
+    def _start_instance(self):
+        view = self.view
+        k = self._instance_k + 1
+        self._instance_k = k
+        batch = self._proposal()
+        instance_id = ("ord", view.vid.key(), k)
+
+        def bcast(proto):
+            size = 16 + sum(e[2] + 10 for e in batch)
+            out = Message(mk.KIND_ORDER, self.me, view.vid,
+                          ("ord", k, proto), payload_size=size)
+            self.send_down(out)
+
+        def on_round(rnd, awaited):
+            for member in awaited:
+                if member != self.me:
+                    self.process.mute_detector.expect(
+                        member, "ordering", self.config.consensus_msg_timeout)
+
+        from repro.consensus.vector import VectorConsensus
+        self._instance = VectorConsensus(
+            instance_id, list(view.mbrs), self.me, self.process.f,
+            (batch,), bcast,
+            is_suspected=self._fd_suspects,
+            on_decide=lambda vec, k=k: self._on_decided(k, vec),
+            on_misbehavior=self._misbehavior,
+            coordinator_seed=("ord",) + view.vid.key() + (k,),
+            on_round=on_round)
+        early = self._pending.pop(k, [])
+        self._instance.start()
+        for sender, proto in early:
+            self._instance.on_message(sender, proto)
+
+    def _fd_suspects(self, member):
+        process = self.process
+        if process.suspicion.is_suspected(member):
+            return True
+        return (process.mute_levels.level(member)
+                >= self.config.mute_suspect_threshold)
+
+    def _misbehavior(self, member, reason):
+        if self.config.byzantine and member != self.me:
+            self.process.verbose_detector.illegal(member, reason)
+
+    def _on_decided(self, k, vector):
+        if k != self._instance_k:
+            return
+        self._instance = None
+        self._decided_k = k
+        batch = vector[0]
+        if isinstance(batch, tuple):
+            self.batches_decided += 1
+            entries = sorted(
+                (e for e in batch
+                 if isinstance(e, tuple) and len(e) == 3
+                 and isinstance(e[0], tuple) and len(e[0]) == 2
+                 and isinstance(e[0][1], int)),
+                key=lambda e: batch_sort_key(e[0]))
+            for msg_id, payload, size in entries:
+                self._deliver(msg_id, payload, size)
+        if self._flush_target is not None:
+            self._continue_flush()
+            return
+        if self._pending.get(k + 1) or (self._buffer
+                                        and not self._stopped_proposing):
+            self._start_instance()
+
+    def _deliver(self, msg_id, payload, size):
+        if msg_id in self._delivered or not isinstance(msg_id, tuple):
+            return
+        self._delivered.add(msg_id)
+        self.messages_ordered += 1
+        held = self._buffer.pop(msg_id, None)
+        origin = msg_id[0]
+        # always deliver the *decided* content: with a two-faced origin our
+        # local copy may differ from what the group agreed on, and content
+        # agreement is exactly what consensus-based ordering buys
+        if held is not None and held.payload == payload:
+            self.send_up(held)
+        else:
+            out = Message(mk.KIND_CAST, origin, self.view.vid, payload,
+                          size if isinstance(size, int) else 0,
+                          msg_id=msg_id)
+            self.send_up(out)
+
+    # ------------------------------------------------------------------
+    # flush at view change
+    # ------------------------------------------------------------------
+    def flush(self, k_star, on_done, undecidable=False):
+        """Resolve every instance up to ``k_star``, then deliver the tail.
+
+        Decidable mode (survivors still form an n - f quorum of the old
+        view): join every instance up to the maximum *started* anywhere;
+        each terminates normally.
+
+        Undecidable mode: ``k_star`` is the maximum *decided* anywhere
+        (from the frozen SYNC watermarks); instances up to it finish by
+        adopting the decider's broadcast ``dec``; instances beyond it were
+        decided by nobody and are poisoned identically at every member --
+        their messages fall into the deterministic tail.
+        """
+        self._stopped_proposing = True
+        self._flush_undecidable = undecidable
+        self._flush_target = min(k_star, self._instance_k + MAX_INSTANCE_SKEW)
+        self._flush_done_cb = on_done
+        self._continue_flush()
+
+    def _continue_flush(self):
+        if self._flush_undecidable:
+            self._continue_flush_undecidable()
+            return
+        if self._instance is not None:
+            return  # wait for the in-flight instance to decide
+        if self._instance_k < self._flush_target:
+            self._start_instance()
+            return
+        # every agreed batch is delivered; the rest of the cut is delivered
+        # in a deterministic order identical at all members
+        for msg_id in sorted(self._buffer, key=batch_sort_key):
+            msg = self._buffer[msg_id]
+            self._delivered.add(msg_id)
+            self.messages_ordered += 1
+            self.send_up(msg)
+        self._buffer.clear()
+        done, self._flush_done_cb = self._flush_done_cb, None
+        self._flush_target = None
+        if done is not None:
+            done()
+
+    def _continue_flush_undecidable(self):
+        if self._decided_k < self._flush_target:
+            if self._instance is None:
+                # a peer decided an instance we never started: open it in
+                # frozen mode purely to receive and adopt the dec
+                self._start_instance()
+                if self._instance is not None:
+                    self._instance.dec_adoption_quorum = self.process.f + 1
+                    self._instance.freeze_rounds()
+            return  # the decider's dec broadcast will resolve it
+        if self._instance is not None and self._instance_k > self._flush_target:
+            # nobody decided this instance before the freeze: poison it;
+            # its messages remain in the buffer and join the tail
+            self._instance = None
+        self._deliver_tail()
+
+    def _deliver_tail(self):
+        for msg_id in sorted(self._buffer, key=batch_sort_key):
+            msg = self._buffer[msg_id]
+            self._delivered.add(msg_id)
+            self.messages_ordered += 1
+            self.send_up(msg)
+        self._buffer.clear()
+        done, self._flush_done_cb = self._flush_done_cb, None
+        self._flush_target = None
+        if done is not None:
+            done()

@@ -1,0 +1,585 @@
+"""Reliable FIFO delivery with NAK-based retransmission (paper section 3.3).
+
+Every broadcast kind is carried on one of two per-origin FIFO streams:
+
+* the **app** stream (``"a"``): application casts -- subject to the flush
+  protocol's wedge/cut at view changes;
+* the **ctl** stream (``"c"``): protocol traffic (consensus, uniform
+  broadcast, slander, sync, ...) -- never wedged, because the view-change
+  protocols themselves must keep flowing while the view is wedged.
+
+Point-to-point sends use per-pair streams (``"p"``).
+
+Loss recovery is receiver-driven: a gap starts a timer; on expiry the
+receiver NAKs the origin (and, on repeated misses, other members -- any
+holder may retransmit).  A third-party retransmission wraps the *original*
+message together with its *original bottom-layer signature*, so the
+receiver can verify it is indeed the origin's message being re-sent --
+the one place the paper needs cryptography above raw sends (section 1.2).
+
+The layer feeds the fuzzy detectors: acknowledgements that could not
+correspond to any sent message, malformed stream headers, and NAK floods
+are verbose failures; persistent ack laggards are handled by the
+stability tracker.
+"""
+
+from __future__ import annotations
+
+from repro.core import message as mk
+from repro.core.message import Message
+from repro.layers.base import Layer
+
+#: kinds that bypass reliability entirely
+UNRELIABLE_KINDS = frozenset({
+    mk.KIND_ACK, mk.KIND_NAK, mk.KIND_RETRANS, mk.KIND_HEARTBEAT,
+    mk.KIND_MERGE, mk.KIND_NEWVIEW,
+})
+
+#: broadcast kinds carried on the app stream (wedged during view changes)
+APP_STREAM_KINDS = frozenset({mk.KIND_CAST})
+
+STREAM_APP = "a"
+STREAM_CTL = "c"
+STREAM_P2P = "p"
+
+
+class _InStream:
+    """Receive side of one FIFO stream from one origin."""
+
+    __slots__ = ("next_seq", "buffer", "gap_timer", "nak_round")
+
+    def __init__(self):
+        self.next_seq = 1
+        self.buffer = {}
+        self.gap_timer = None
+        self.nak_round = 0
+
+    @property
+    def delivered(self):
+        return self.next_seq - 1
+
+
+class ReliableLayer(Layer):
+    """Reliable FIFO broadcast + point-to-point delivery."""
+
+    name = "reliable"
+
+    def __init__(self):
+        super().__init__()
+        self._reset_state()
+        self.retransmissions_served = 0
+        self.naks_sent = 0
+        self.duplicates = 0
+        self.archive_trimmed = 0
+
+    def _reset_state(self):
+        self._out_seq = {STREAM_APP: 0, STREAM_CTL: 0}
+        self._p2p_out = {}
+        self._in_streams = {}   # (origin, stream) -> _InStream
+        self._archive = {}      # (origin, stream, seq) -> archived wire tuple
+        self._since_ack = 0
+        self._wedged = False
+        self._cut = None        # {origin: seq} ceiling on the app stream
+        self._cut_callback = None
+        self._trailing_nak_at = {}  # (origin, stream) -> last trailing NAK
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self):
+        self._ack_timer = self.sim.schedule(self.config.ack_interval,
+                                            self._ack_tick)
+
+    def stop(self):
+        if getattr(self, "_ack_timer", None) is not None:
+            self._ack_timer.cancel()
+
+    def on_view(self, view):
+        for stream in self._in_streams.values():
+            if stream.gap_timer is not None:
+                stream.gap_timer.cancel()
+        self._reset_state()
+        self.process.stability.reset(view)
+
+    # ------------------------------------------------------------------
+    # downward path
+    # ------------------------------------------------------------------
+    def handle_down(self, msg):
+        if msg.kind in UNRELIABLE_KINDS:
+            self.send_down(msg)
+            return
+        if msg.dest is None:
+            stream = STREAM_APP if msg.kind in APP_STREAM_KINDS else STREAM_CTL
+            self._out_seq[stream] += 1
+            seq = self._out_seq[stream]
+            msg.push_header("rel", (stream, seq))
+            self._archive_message(self.me, stream, seq, msg)
+            self.send_down(msg)
+            # self-delivery: a node receives its own broadcasts, in order
+            own = msg.clone_for(self.me)
+            self.sim.schedule(0.0, self._accept_stream, self.me, own,
+                              stream, seq)
+        else:
+            seq = self._p2p_out.get(msg.dest, 0) + 1
+            self._p2p_out[msg.dest] = seq
+            msg.push_header("rel", (STREAM_P2P, seq))
+            self._archive_message(self.me, STREAM_P2P + repr(msg.dest), seq, msg)
+            self.send_down(msg)
+
+    # ------------------------------------------------------------------
+    # upward path
+    # ------------------------------------------------------------------
+    def handle_up(self, msg):
+        kind = msg.kind
+        if kind == mk.KIND_ACK:
+            self._on_ack(msg)
+        elif kind == mk.KIND_NAK:
+            self._on_nak(msg)
+        elif kind == mk.KIND_RETRANS:
+            self._on_retrans(msg)
+        elif kind in UNRELIABLE_KINDS:
+            self.send_up(msg)
+        else:
+            header = msg.pop_header("rel")
+            if (not isinstance(header, tuple) or len(header) != 2
+                    or not isinstance(header[1], int) or header[1] < 1):
+                if self.config.byzantine:
+                    self.process.verbose_detector.illegal(
+                        msg.sender, "rel:malformed-header")
+                return
+            stream, seq = header
+            if stream == STREAM_P2P:
+                self._accept_p2p(msg, seq)
+            elif stream in (STREAM_APP, STREAM_CTL):
+                self._accept_stream(msg.origin, msg, stream, seq)
+            elif self.config.byzantine:
+                self.process.verbose_detector.illegal(
+                    msg.sender, "rel:unknown-stream")
+
+    # ------------------------------------------------------------------
+    # stream acceptance and in-order delivery
+    # ------------------------------------------------------------------
+    def _accept_stream(self, origin, msg, stream, seq):
+        key = (origin, stream)
+        state = self._in_streams.get(key)
+        if state is None:
+            state = _InStream()
+            self._in_streams[key] = state
+        if seq < state.next_seq or seq in state.buffer:
+            self.duplicates += 1
+            return
+        if msg.origin != origin:
+            return
+        state.buffer[seq] = msg
+        if origin != self.me:
+            self._archive_from(msg, stream, seq)
+        self._drain(origin, stream, state)
+        if state.buffer and state.gap_timer is None:
+            state.gap_timer = self.sim.schedule(
+                self.config.retrans_timeout, self._gap_expired, origin, stream)
+
+    def _drain(self, origin, stream, state):
+        while state.next_seq in state.buffer:
+            seq = state.next_seq
+            if (stream == STREAM_APP
+                    and not self._may_deliver_app(origin, seq)):
+                break
+            msg = state.buffer.pop(seq)
+            state.next_seq = seq + 1
+            self._since_ack += 1
+            self.send_up(msg)
+        if not state.buffer and state.gap_timer is not None:
+            state.gap_timer.cancel()
+            state.gap_timer = None
+        if self._since_ack >= self.config.ack_every:
+            self._broadcast_ack()
+        self.process.stability.on_local_progress(self._delivered_vector())
+        if self._cut is not None and self._cut_callback is not None:
+            if self.cut_complete(self._cut):
+                callback, self._cut_callback = self._cut_callback, None
+                callback()
+
+    def _may_deliver_app(self, origin, seq):
+        if self._cut is not None:
+            return seq <= self._cut.get(origin, 0)
+        return not self._wedged
+
+    def _accept_p2p(self, msg, seq):
+        if msg.dest != self.me:
+            return
+        key = (msg.origin, STREAM_P2P)
+        state = self._in_streams.get(key)
+        if state is None:
+            state = _InStream()
+            self._in_streams[key] = state
+        if seq < state.next_seq or seq in state.buffer:
+            self.duplicates += 1
+            return
+        state.buffer[seq] = msg
+        while state.next_seq in state.buffer:
+            self.send_up(state.buffer.pop(state.next_seq))
+            state.next_seq += 1
+        if state.buffer and state.gap_timer is None:
+            state.gap_timer = self.sim.schedule(
+                self.config.retrans_timeout, self._gap_expired,
+                msg.origin, STREAM_P2P)
+
+    # ------------------------------------------------------------------
+    # acknowledgements
+    # ------------------------------------------------------------------
+    def _delivered_vector(self):
+        vector = []
+        for (origin, stream), state in self._in_streams.items():
+            if stream in (STREAM_APP, STREAM_CTL):
+                top = state.delivered
+                if state.buffer:
+                    # also acknowledge buffered-but-undeliverable prefix so
+                    # the flush can account for wedged messages we hold
+                    held = state.delivered
+                    while held + 1 in state.buffer:
+                        held += 1
+                    top = held
+                vector.append((origin, stream, top))
+        vector.append((self.me, STREAM_APP, self._out_seq[STREAM_APP]))
+        vector.append((self.me, STREAM_CTL, self._out_seq[STREAM_CTL]))
+        return tuple(sorted(vector, key=repr))
+
+    def _ack_tick(self):
+        self._broadcast_ack()
+        self._ack_timer = self.sim.schedule(self.config.ack_interval,
+                                            self._ack_tick)
+
+    def _broadcast_ack(self):
+        self._since_ack = 0
+        vector = self._delivered_vector()
+        if self.config.ack_mode == "gossip":
+            self._gossip_ack(vector)
+            return
+        ack = Message(mk.KIND_ACK, self.me, self.view.vid, vector,
+                      payload_size=6 * len(vector))
+        self.send_down(ack)
+
+    def _gossip_ack(self, vector):
+        """Epidemic ack dissemination ([29]): send the aggregated matrix
+        to a few random peers instead of broadcasting our own vector."""
+        stability = self.process.stability
+        stability.on_local_progress(vector)
+        rows = stability.matrix_rows()
+        peers = [m for m in self.view.mbrs if m != self.me]
+        if not peers:
+            return
+        rng = self.sim.rng
+        rng.shuffle(peers)
+        size = 8 + sum(6 * len(row_vector) for _m, row_vector in rows)
+        for peer in peers[: self.config.ack_gossip_fanout]:
+            ack = Message(mk.KIND_ACK, self.me, self.view.vid,
+                          ("matrix", rows), payload_size=size, dest=peer)
+            self.send_down(ack)
+
+    def _on_ack(self, msg):
+        vector = msg.payload
+        if (isinstance(vector, tuple) and len(vector) == 2
+                and vector[0] == "matrix"):
+            self._on_matrix_ack(msg, vector[1])
+            return
+        if not isinstance(vector, tuple):
+            if self.config.byzantine:
+                self.process.verbose_detector.illegal(msg.sender, "rel:bad-ack")
+            return
+        for entry in vector:
+            if (not isinstance(entry, tuple) or len(entry) != 3
+                    or not isinstance(entry[2], int) or entry[2] < 0):
+                if self.config.byzantine:
+                    self.process.verbose_detector.illegal(
+                        msg.sender, "rel:bad-ack-entry")
+                return
+            origin, stream, cum = entry
+            # verbose check: acknowledging our own stream beyond what we
+            # ever sent is a message a correct process could never send
+            if (origin == self.me and stream in self._out_seq
+                    and cum > self._out_seq[stream]
+                    and self.config.byzantine):
+                self.process.verbose_detector.illegal(
+                    msg.sender, "rel:ack-for-unsent")
+                return
+        self.process.stability.on_ack(msg.sender, vector)
+        self._recover_trailing(vector)
+
+    def _on_matrix_ack(self, msg, rows):
+        if self.config.ack_mode != "gossip":
+            if self.config.byzantine:
+                self.process.verbose_detector.illegal(
+                    msg.sender, "rel:unexpected-matrix-ack")
+            return
+        if not isinstance(rows, tuple):
+            if self.config.byzantine:
+                self.process.verbose_detector.illegal(
+                    msg.sender, "rel:bad-matrix-ack")
+            return
+        clean = []
+        for row in rows:
+            if (not isinstance(row, tuple) or len(row) != 2
+                    or not isinstance(row[1], tuple)):
+                continue
+            member, vector = row
+            if member not in self.view.mbrs:
+                continue
+            entries = tuple(entry for entry in vector
+                            if isinstance(entry, tuple) and len(entry) == 3
+                            and isinstance(entry[2], int) and entry[2] >= 0)
+            # overstating OUR own stream is still detectable
+            if self.config.byzantine:
+                bogus = any(origin == self.me and stream in self._out_seq
+                            and cum > self._out_seq[stream]
+                            for origin, stream, cum in entries)
+                if bogus:
+                    self.process.verbose_detector.illegal(
+                        msg.sender, "rel:matrix-ack-for-unsent")
+                    return
+            clean.append((member, entries))
+            if member == msg.sender:
+                self._recover_trailing(entries)
+        self.process.stability.on_matrix(clean)
+
+    def _recover_trailing(self, vector):
+        """Chase messages nobody followed up on.
+
+        Gap-based NAKs need a later message to reveal the hole; the last
+        message of a burst has none.  Ack vectors double as existence
+        proofs: if any member acknowledges an origin's stream beyond what
+        we hold, the missing suffix is real and we request it.
+        """
+        now = self.sim.now
+        for origin, stream, cum in vector:
+            if stream not in (STREAM_APP, STREAM_CTL) or origin == self.me:
+                continue
+            state = self._in_streams.get((origin, stream))
+            top = 0
+            if state is not None:
+                top = state.delivered
+                while top + 1 in state.buffer:
+                    top += 1
+            if cum <= top:
+                continue
+            key = (origin, stream)
+            last = self._trailing_nak_at.get(key, -1.0)
+            if now - last < self.config.retrans_timeout:
+                continue
+            self._trailing_nak_at[key] = now
+            # bound the chase: a lying ack cannot make us request unbounded
+            # ranges the origin never sent
+            self.request_range(origin, stream, top + 1,
+                               min(cum, top + self.config.flow_window))
+
+    # ------------------------------------------------------------------
+    # loss recovery
+    # ------------------------------------------------------------------
+    def _gap_expired(self, origin, stream):
+        key = (origin, stream)
+        state = self._in_streams.get(key)
+        if state is None:
+            return
+        state.gap_timer = None
+        if not state.buffer:
+            return
+        want_from = state.next_seq
+        want_to = max(state.buffer) - 1
+        if stream == STREAM_APP and self._cut is not None:
+            want_to = min(want_to, self._cut.get(origin, 0) - 1)
+        missing = [s for s in range(want_from, want_to + 1)
+                   if s not in state.buffer]
+        if missing:
+            self._send_nak(origin, stream, missing, state.nak_round)
+            state.nak_round += 1
+        state.gap_timer = self.sim.schedule(
+            self.config.retrans_timeout, self._gap_expired, origin, stream)
+
+    def request_range(self, origin, stream, first, last, nak_round=0):
+        """Explicit recovery request -- used by the flush protocol."""
+        missing = []
+        key = (origin, stream)
+        state = self._in_streams.get(key)
+        delivered = state.delivered if state else 0
+        buffered = state.buffer if state else {}
+        for seq in range(max(first, delivered + 1), last + 1):
+            if seq not in buffered:
+                missing.append(seq)
+        if missing:
+            self._send_nak(origin, stream, missing, nak_round)
+
+    def _send_nak(self, origin, stream, missing, nak_round):
+        # first ask the origin; on repeats, rotate through other members,
+        # since any holder can retransmit with the origin's signature
+        # (p2p copies exist only at the origin)
+        if nak_round == 0 or origin == self.me or stream == STREAM_P2P:
+            target = origin
+        else:
+            others = [m for m in self.view.mbrs if m not in (self.me, origin)]
+            if not others:
+                target = origin
+            else:
+                target = others[nak_round % len(others)]
+        if target == self.me:
+            return
+        self.naks_sent += 1
+        payload = (origin, stream, tuple(missing[:64]))
+        nak = Message(mk.KIND_NAK, self.me, self.view.vid, payload,
+                      payload_size=8 + 4 * len(payload[2]), dest=target)
+        self.send_down(nak)
+
+    def _on_nak(self, msg):
+        if self.config.byzantine:
+            if self.process.verbose_detector.observe(msg.sender, "rel:nak"):
+                return
+        payload = msg.payload
+        if (not isinstance(payload, tuple) or len(payload) != 3
+                or not isinstance(payload[2], tuple)):
+            if self.config.byzantine:
+                self.process.verbose_detector.illegal(msg.sender, "rel:bad-nak")
+            return
+        origin, stream, seqs = payload
+        for seq in seqs:
+            if not isinstance(seq, int):
+                continue
+            if stream == STREAM_P2P:
+                # p2p streams are per-pair; only the origin holds the copy,
+                # filed under the requester's pair key
+                wire = self._archive.get(
+                    (origin, STREAM_P2P + repr(msg.sender), seq))
+            else:
+                wire = self._archive.get((origin, stream, seq))
+            if wire is None:
+                continue
+            self.retransmissions_served += 1
+            retrans = Message(mk.KIND_RETRANS, self.me, self.view.vid, wire,
+                              payload_size=wire[6] + 24, dest=msg.sender)
+            self.send_down(retrans)
+
+    def _on_retrans(self, msg):
+        wire = msg.payload
+        if not isinstance(wire, tuple) or len(wire) != 9:
+            if self.config.byzantine:
+                self.process.verbose_detector.illegal(
+                    msg.sender, "rel:bad-retrans")
+            return
+        (kind, origin, vid_wire, stream, seq, payload, size, signature,
+         msg_id) = wire
+        if not isinstance(seq, int):
+            return
+        if isinstance(stream, str) and stream.startswith(STREAM_P2P):
+            inner = Message(kind, origin, self.view.vid, payload, size,
+                            dest=self.me, msg_id=msg_id)
+            inner.sender = origin
+            self._accept_p2p(inner, seq)
+            return
+        if stream not in (STREAM_APP, STREAM_CTL):
+            return
+        inner = Message(kind, origin, self.view.vid, payload, size,
+                        msg_id=msg_id)
+        inner.push_header("rel", (stream, seq))
+        inner.signature = signature
+        if (msg.sender != origin and self.config.byzantine
+                and self.config.crypto != "none"):
+            # third-party retransmission: verify the ORIGIN's signature over
+            # the reconstructed content -- p must prove it is q's message
+            ok, cost = self.process.auth.verify(
+                self.me, origin, inner.auth_content(), signature)
+            self.process.cpu.charge(cost)
+            if not ok:
+                self.process.verbose_detector.illegal(
+                    msg.sender, "rel:forged-retrans")
+                return
+        inner.pop_header("rel")
+        inner.sender = origin
+        self._accept_stream(origin, inner, stream, seq)
+
+    # ------------------------------------------------------------------
+    # archiving
+    # ------------------------------------------------------------------
+    def _archive_message(self, origin, stream, seq, msg):
+        self._archive[(origin, stream, seq)] = self._wire_of(msg, stream, seq)
+
+    def _archive_from(self, msg, stream, seq):
+        self._archive[(msg.origin, stream, seq)] = self._wire_of(msg, stream, seq)
+
+    @staticmethod
+    def _wire_of(msg, stream, seq):
+        vid = msg.view_id.to_wire() if msg.view_id is not None else None
+        return (msg.kind, msg.origin, vid, stream, seq, msg.payload,
+                msg.payload_size, msg.signature, msg.msg_id)
+
+    def trim_archive(self):
+        """Buffer management (paper section 3.1): messages acknowledged
+        by every low-fuzziness member are dropped from the retransmission
+        archive.  Called periodically by the stability tracker."""
+        stability = self.process.stability
+        members = self.view.mbrs
+        floors = {}
+        removed = []
+        for key in self._archive:
+            origin, stream, seq = key
+            if stream not in (STREAM_APP, STREAM_CTL):
+                continue  # p2p acks are not tracked; keep those copies
+            group = (origin, stream)
+            if group not in floors:
+                floors[group] = stability.min_ack(origin, stream, members,
+                                                  ignore_fuzzy=True)
+            if seq <= floors[group]:
+                removed.append(key)
+        for key in removed:
+            del self._archive[key]
+        self.archive_trimmed += len(removed)
+
+    @property
+    def archive_size(self):
+        return len(self._archive)
+
+    # ------------------------------------------------------------------
+    # flush support (wedge / cut), driven by the membership layer
+    # ------------------------------------------------------------------
+    def wedge(self):
+        """Stop delivering new app-stream messages (view change started)."""
+        self._wedged = True
+
+    def stream_state(self):
+        """Per-origin contiguously-received app-stream maxima (for SYNC)."""
+        state = {}
+        for (origin, stream), in_stream in self._in_streams.items():
+            if stream != STREAM_APP:
+                continue
+            top = in_stream.delivered
+            while top + 1 in in_stream.buffer:
+                top += 1
+            state[origin] = top
+        state[self.me] = self._out_seq[STREAM_APP]
+        return state
+
+    def set_cut(self, cut, on_complete=None):
+        """Fix the agreed app-stream cut; deliver up to it, recover gaps."""
+        self._cut = dict(cut)
+        self._cut_callback = on_complete
+        for origin, last in self._cut.items():
+            if origin == self.me:
+                continue
+            key = (origin, STREAM_APP)
+            state = self._in_streams.get(key)
+            if state is None and last > 0:
+                state = _InStream()
+                self._in_streams[key] = state
+            if state is not None:
+                self._drain(origin, STREAM_APP, state)
+            self.request_range(origin, STREAM_APP, 1, last)
+        if self._cut_callback is not None and self.cut_complete(self._cut):
+            callback, self._cut_callback = self._cut_callback, None
+            callback()
+
+    def cut_complete(self, cut):
+        """Have we *delivered* every app message up to the cut?"""
+        for origin, last in cut.items():
+            if origin == self.me:
+                continue
+            state = self._in_streams.get((origin, STREAM_APP))
+            delivered = state.delivered if state else 0
+            if delivered < last:
+                return False
+        return True

@@ -1,0 +1,159 @@
+"""Stability tracking (paper sections 3.1 and 3.4.4).
+
+A broadcast message is *stable* once every member not considered faulty
+has acknowledged it.  The tracker aggregates the periodic ack vectors from
+:class:`repro.layers.reliable.ReliableLayer` into an ack matrix and
+answers the two questions the system asks of it:
+
+* flow control: how far has the slowest *low-fuzziness* member acked my
+  stream?  (fuzzy optimization: slow nodes with high fuzziness do not hold
+  the sender's window back -- paper section 3.1);
+* flush: are all messages up to the agreed cut stable at every survivor?
+
+It also performs buffer management (messages acknowledged by all
+low-fuzziness members are trimmed from the retransmission archive) and
+detects *ack laggards*, feeding the fuzzy mute level of members that stop
+acknowledging -- which is how mute nodes are noticed between heartbeats.
+"""
+
+from __future__ import annotations
+
+
+class StabilityTracker:
+    """Ack matrix + stability queries for one process."""
+
+    def __init__(self, process):
+        self.process = process
+        self._acked = {}       # member -> {(origin, stream): cum}
+        self._listeners = []
+        self._view = None
+        self._scan_timer = None
+        self._lag_strikes = {}
+
+    # ------------------------------------------------------------------
+    def start(self):
+        config = self.process.config
+        self._scan_timer = self.process.sim.schedule(
+            config.ack_interval * 4, self._laggard_scan)
+
+    def stop(self):
+        if self._scan_timer is not None:
+            self._scan_timer.cancel()
+            self._scan_timer = None
+
+    def reset(self, view):
+        self._view = view
+        self._acked = {}
+        self._lag_strikes = {}
+
+    def subscribe(self, callback):
+        """``callback()`` after every ack-matrix update."""
+        self._listeners.append(callback)
+
+    # ------------------------------------------------------------------
+    # feeds
+    # ------------------------------------------------------------------
+    def on_ack(self, member, vector):
+        table = self._acked.setdefault(member, {})
+        for origin, stream, cum in vector:
+            key = (origin, stream)
+            if cum > table.get(key, 0):
+                table[key] = cum
+        self._notify()
+
+    def on_local_progress(self, vector):
+        self.on_ack(self.process.node_id, vector)
+
+    def on_matrix(self, rows):
+        """Merge a gossiped ack matrix: per-(member, stream) maximum.
+
+        Third-party rows are trusted as in the benign gossip stability of
+        [29]; the Byzantine-hardened variant is the open problem the paper
+        names in section 6.
+        """
+        for member, vector in rows:
+            table = self._acked.setdefault(member, {})
+            for origin, stream, cum in vector:
+                key = (origin, stream)
+                if isinstance(cum, int) and cum > table.get(key, 0):
+                    table[key] = cum
+        self._notify()
+
+    def matrix_rows(self):
+        """The full known matrix as wire rows for gossip exchange."""
+        rows = []
+        for member, table in self._acked.items():
+            vector = tuple(sorted(((origin, stream, cum)
+                                   for (origin, stream), cum in table.items()),
+                                  key=repr))
+            rows.append((member, vector))
+        rows.sort(key=repr)
+        return tuple(rows)
+
+    def _notify(self):
+        for callback in self._listeners:
+            callback()
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def acked_seq(self, member, origin, stream="a"):
+        return self._acked.get(member, {}).get((origin, stream), 0)
+
+    def min_ack(self, origin, stream="a", members=None, ignore_fuzzy=True):
+        """Lowest ack for ``origin``'s stream across ``members``.
+
+        With ``ignore_fuzzy``, members whose mute fuzziness is above the
+        suspicion threshold do not hold the result back -- the fuzzy
+        flow-control optimization.
+        """
+        process = self.process
+        if members is None:
+            members = process.view.mbrs
+        config = process.config
+        lowest = None
+        for member in members:
+            if ignore_fuzzy and member != process.node_id:
+                level = process.mute_levels.level(member)
+                if level >= config.fuzzy_flow_threshold:
+                    continue
+            value = self.acked_seq(member, origin, stream)
+            if lowest is None or value < lowest:
+                lowest = value
+        return 0 if lowest is None else lowest
+
+    def all_stable(self, cut, members):
+        """Is every app message up to ``cut`` acked by all ``members``?"""
+        for origin, last in cut.items():
+            if last <= 0:
+                continue
+            for member in members:
+                if self.acked_seq(member, origin, "a") < last:
+                    return False
+        return True
+
+    # ------------------------------------------------------------------
+    # laggard detection (fuzzy mute input between heartbeats)
+    # ------------------------------------------------------------------
+    def _laggard_scan(self):
+        process = self.process
+        config = process.config
+        me = process.node_id
+        my_top = self.acked_seq(me, me, "a")
+        if my_top > 0 and self._view is not None:
+            for member in self._view.mbrs:
+                if member == me:
+                    continue
+                behind = my_top - self.acked_seq(member, me, "a")
+                if behind > config.flow_window:
+                    strikes = self._lag_strikes.get(member, 0) + 1
+                    self._lag_strikes[member] = strikes
+                    if strikes >= 2:
+                        process.mute_levels.raise_level(member, 1.0)
+                else:
+                    self._lag_strikes.pop(member, None)
+        # buffer management: drop archived copies that every low-fuzziness
+        # member has acknowledged (paper section 3.1)
+        process.reliable.trim_archive()
+        self._scan_timer = self.process.sim.schedule(
+            config.ack_interval * 4, self._laggard_scan)

@@ -1,0 +1,38 @@
+"""Virtual time primitives for the discrete-event simulator.
+
+The paper's system runs on wall-clock time; the reproduction runs on a
+virtual clock owned by :class:`repro.sim.scheduler.Simulator`.  Layers and
+failure detectors never read the OS clock -- they receive the simulator's
+``now`` and set :class:`Timer` objects, which keeps every run deterministic
+and lets benchmarks measure *simulated* seconds.
+"""
+
+from __future__ import annotations
+
+
+class Timer:
+    """A cancellable handle for a scheduled callback.
+
+    Timers are returned by :meth:`Simulator.schedule`.  Cancellation is
+    lazy: the heap entry stays in place and is discarded when popped.
+    """
+
+    __slots__ = ("deadline", "callback", "args", "cancelled")
+
+    def __init__(self, deadline, callback, args):
+        self.deadline = deadline
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self):
+        """Prevent the callback from firing.  Safe to call repeatedly."""
+        self.cancelled = True
+
+    @property
+    def active(self):
+        return not self.cancelled
+
+    def __repr__(self):
+        state = "cancelled" if self.cancelled else "armed"
+        return "Timer(deadline={:.6f}, {})".format(self.deadline, state)

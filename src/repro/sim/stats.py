@@ -1,0 +1,98 @@
+"""Measurement probes used by the benchmark harness.
+
+All times are simulated seconds; all probes are pure accumulators with no
+effect on the execution they observe.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def mean(samples):
+    if not samples:
+        return float("nan")
+    return sum(samples) / len(samples)
+
+
+def percentile(samples, q):
+    """Nearest-rank percentile; ``q`` in [0, 100]."""
+    if not samples:
+        return float("nan")
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1, int(math.ceil(q / 100.0 * len(ordered))) - 1))
+    return ordered[rank]
+
+
+def stddev(samples):
+    if len(samples) < 2:
+        return 0.0
+    mu = mean(samples)
+    return math.sqrt(sum((s - mu) ** 2 for s in samples) / (len(samples) - 1))
+
+
+class ThroughputProbe:
+    """Counts completed operations between :meth:`start` and :meth:`stop`."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.count = 0
+        self._start = None
+        self._stop = None
+
+    def start(self):
+        self._start = self.sim.now
+        self.count = 0
+
+    def record(self, n=1):
+        if self._start is not None and self._stop is None:
+            self.count += n
+
+    def stop(self):
+        self._stop = self.sim.now
+
+    @property
+    def elapsed(self):
+        if self._start is None:
+            return 0.0
+        end = self._stop if self._stop is not None else self.sim.now
+        return end - self._start
+
+    @property
+    def rate(self):
+        """Operations per simulated second."""
+        elapsed = self.elapsed
+        if elapsed <= 0:
+            return float("nan")
+        return self.count / elapsed
+
+
+class LatencyProbe:
+    """Accumulates per-operation latency samples."""
+
+    def __init__(self):
+        self.samples = []
+        self._open = {}
+
+    def begin(self, key, now):
+        self._open[key] = now
+
+    def end(self, key, now):
+        start = self._open.pop(key, None)
+        if start is not None:
+            self.samples.append(now - start)
+
+    def add(self, value):
+        self.samples.append(value)
+
+    @property
+    def mean(self):
+        return mean(self.samples)
+
+    @property
+    def p99(self):
+        return percentile(self.samples, 99)
+
+    @property
+    def maximum(self):
+        return max(self.samples) if self.samples else float("nan")

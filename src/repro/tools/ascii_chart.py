@@ -1,0 +1,85 @@
+"""ASCII line charts for EXPERIMENTS.md.
+
+The paper's evaluation is figures; a text repository renders them as
+monospace charts so the curve *shapes* -- who is above whom, where the
+knees are -- survive without an image pipeline.
+"""
+
+from __future__ import annotations
+
+MARKERS = "ox+*#@%&"
+
+
+def render_chart(series, width=64, height=16, title="", x_label="",
+                 y_label="", y_format="{:.0f}"):
+    """Render ``{label: [(x, y), ...]}`` as an ASCII chart.
+
+    Returns a list of text lines.  Points are plotted with one marker per
+    series; collisions show the later series' marker.
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts
+              if y == y]  # drop NaNs
+    if not points:
+        return [title, "(no data)"]
+    xs = [x for x, _y in points]
+    ys = [y for _x, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1
+    if y_hi == y_lo:
+        y_hi = y_lo + 1
+    y_lo = min(y_lo, 0.0) if y_lo > 0 else y_lo
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def plot(x, y, marker):
+        col = int(round((x - x_lo) / (x_hi - x_lo) * (width - 1)))
+        row = int(round((y - y_lo) / (y_hi - y_lo) * (height - 1)))
+        grid[height - 1 - row][col] = marker
+
+    legend = []
+    for index, (label, pts) in enumerate(series.items()):
+        marker = MARKERS[index % len(MARKERS)]
+        legend.append("%s %s" % (marker, label))
+        ordered = sorted((p for p in pts if p[1] == p[1]))
+        # connect consecutive points with interpolated dots
+        for (x1, y1), (x2, y2) in zip(ordered, ordered[1:]):
+            steps = max(2, int((x2 - x1) / (x_hi - x_lo) * width))
+            for s in range(1, steps):
+                t = s / float(steps)
+                plot(x1 + (x2 - x1) * t, y1 + (y2 - y1) * t, ".")
+        for x, y in ordered:
+            plot(x, y, marker)
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = y_format.format(y_hi)
+    bottom_label = y_format.format(y_lo)
+    pad = max(len(top_label), len(bottom_label))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_label.rjust(pad)
+        elif row_index == height - 1:
+            prefix = bottom_label.rjust(pad)
+        else:
+            prefix = " " * pad
+        lines.append("%s |%s" % (prefix, "".join(row)))
+    axis = "%s +%s" % (" " * pad, "-" * width)
+    lines.append(axis)
+    x_lo_label = "{:g}".format(x_lo)
+    x_hi_label = "{:g}".format(x_hi)
+    x_line = (" " * (pad + 2) + x_lo_label
+              + " " * max(1, width - len(x_lo_label) - len(x_hi_label))
+              + x_hi_label)
+    lines.append(x_line)
+    if x_label:
+        lines.append(" " * (pad + 2) + x_label.center(width))
+    lines.append("  ".join(legend))
+    return lines
+
+
+def chart_block(series, **kw):
+    """The chart wrapped in a Markdown code fence."""
+    return "\n".join(["```"] + render_chart(series, **kw) + ["```"])

@@ -1,0 +1,149 @@
+"""Scenario fuzzing: random fault schedules, checked against the model.
+
+The unit tests pin known scenarios; the fuzzer hunts for unknown ones.
+Each run draws a random script of operations -- traffic, crashes, leaves,
+joins, partitions, heals, Byzantine activations -- executes it against a
+fresh cluster, and verifies the safety clauses of Definitions 2.1/2.2 on
+the recorded execution.  Seeds make every found counterexample replayable.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import Group, StackConfig
+from repro.byzantine.behaviors import (MuteNode, TwoFacedCaster, VerboseNode)
+from repro.core.properties import check_virtual_synchrony
+
+OPS = ("cast_burst", "run", "crash", "leave", "partition", "heal", "join")
+
+
+class ScenarioFuzzer:
+    """Generates and executes one random scenario per seed."""
+
+    def __init__(self, seed, n=None, config=None, ops=12,
+                 byzantine_fraction=0.3, allow=OPS):
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.n = n or self.rng.randint(6, 10)
+        self.ops = ops
+        self.allow = allow
+        self.config = config or StackConfig.byz()
+        self.byzantine_fraction = byzantine_fraction
+        self.script = []
+        self.group = None
+        self.crashed = set()
+        self.left = set()
+        self.next_join_id = 1000
+
+    # ------------------------------------------------------------------
+    def build(self):
+        behaviors = {}
+        if self.rng.random() < self.byzantine_fraction:
+            villain = self.rng.randrange(self.n)
+            behavior = self.rng.choice([
+                MuteNode(mute_at=self.rng.uniform(0.05, 0.3)),
+                VerboseNode(start_at=self.rng.uniform(0.05, 0.3)),
+                TwoFacedCaster(),
+            ])
+            behaviors[villain] = behavior
+            self.script.append(("byzantine", villain,
+                                type(behavior).__name__))
+        self.group = Group.bootstrap(self.n, config=self.config,
+                                     seed=self.seed, behaviors=behaviors)
+        return self
+
+    # ------------------------------------------------------------------
+    def _live_correct(self):
+        return [node for node, p in self.group.processes.items()
+                if not p.stopped and node not in self.group.byzantine_nodes
+                and node not in self.left]
+
+    def _op_cast_burst(self):
+        live = self._live_correct()
+        if not live:
+            return
+        sender = self.rng.choice(live)
+        count = self.rng.randint(1, 12)
+        self.script.append(("cast_burst", sender, count))
+        for k in range(count):
+            self.group.endpoints[sender].cast((sender, "fz", k))
+
+    def _op_run(self):
+        duration = self.rng.choice((0.05, 0.1, 0.3, 0.6))
+        self.script.append(("run", duration))
+        self.group.run(duration)
+
+    def _op_crash(self):
+        live = self._live_correct()
+        # keep a solid majority alive so scenarios stay convergent
+        if len(live) <= max(3, (2 * self.n) // 3):
+            return
+        victim = self.rng.choice(live)
+        self.script.append(("crash", victim))
+        self.group.crash(victim)
+        self.crashed.add(victim)
+
+    def _op_leave(self):
+        live = self._live_correct()
+        if len(live) <= max(3, (2 * self.n) // 3):
+            return
+        leaver = self.rng.choice(live)
+        self.script.append(("leave", leaver))
+        self.group.endpoints[leaver].leave()
+        self.left.add(leaver)
+
+    def _op_partition(self):
+        live = self._live_correct()
+        if len(live) < 4:
+            return
+        self.rng.shuffle(live)
+        split = self.rng.randint(1, len(live) - 1)
+        side_a = set(live[:split]) | self.crashed
+        side_b = set(live[split:])
+        self.script.append(("partition", sorted(side_b, key=repr)))
+        self.group.partition(side_a, side_b)
+
+    def _op_heal(self):
+        self.script.append(("heal",))
+        self.group.heal()
+
+    def _op_join(self):
+        node_id = self.next_join_id
+        self.next_join_id += 1
+        self.script.append(("join", node_id))
+        self.group.add_node(node_id)
+
+    # ------------------------------------------------------------------
+    def execute(self):
+        self.build()
+        for _step in range(self.ops):
+            op = self.rng.choice(self.allow)
+            getattr(self, "_op_" + op)()
+        # settle: heal and give the membership protocols room to converge
+        self.group.heal()
+        self.group.run(2.0)
+        return self
+
+    def check(self):
+        """Safety-check the recorded execution; returns violations."""
+        execution = self.group.execution()
+        # crash/leave mid-run ends a node's obligation to keep delivering
+        for node in self.crashed | self.left:
+            execution.correct.discard(node)
+        return check_virtual_synchrony(
+            execution,
+            content_agreement=self.config.total_order,
+            total_order=self.config.total_order)
+
+
+def fuzz(seeds, **kw):
+    """Run many seeds; returns {seed: violations} for failing seeds only."""
+    failures = {}
+    for seed in seeds:
+        fuzzer = ScenarioFuzzer(seed, **kw).execute()
+        violations = fuzzer.check()
+        if violations:
+            failures[seed] = (violations, fuzzer.script)
+        fuzzer.group.stop()
+    return failures

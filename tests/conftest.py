@@ -1,0 +1,15 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Group, StackConfig
+
+
+@pytest.fixture
+def small_group():
+    """An established 6-node Byzantine-hardened group."""
+    group = Group.bootstrap(6, config=StackConfig.byz(), seed=42)
+    yield group
+    group.stop()

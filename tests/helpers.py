@@ -1,0 +1,26 @@
+"""Shared helpers for the test suite."""
+
+from __future__ import annotations
+
+from repro import Group, StackConfig
+
+
+def cast_payloads(endpoint):
+    """Payloads of all CastDeliver events at an endpoint, in order."""
+    return [e.payload for e in endpoint.events
+            if type(e).__name__ == "CastDeliver"]
+
+
+def cast_ids(endpoint):
+    return [e.msg_id for e in endpoint.events
+            if type(e).__name__ == "CastDeliver"]
+
+
+def view_events(endpoint):
+    return [e for e in endpoint.events if type(e).__name__ == "ViewEvent"]
+
+
+def make_group(n, seed=0, established=True, behaviors=None, **config_kw):
+    config = StackConfig.byz(**config_kw)
+    return Group.bootstrap(n, config=config, seed=seed,
+                           established=established, behaviors=behaviors)

@@ -1,0 +1,338 @@
+"""Tests for the MANET extension: geometry, routing, radio network,
+gossip stability, and the full stack over multi-hop radio."""
+
+import random
+
+import pytest
+
+from repro import Group, StackConfig
+from repro.adhoc.geometry import Field
+from repro.adhoc.gossip_stability import GossipStability, simulate_convergence
+from repro.adhoc.network import AdHocNetwork, AdHocNetworkConfig
+from repro.adhoc.routing import RouteTable
+from repro.sim.scheduler import Simulator
+
+
+def line_field(n, spacing=0.1, radio_range=0.12):
+    """Nodes on a line, each only hearing its direct neighbours."""
+    field = Field(radio_range=radio_range)
+    for i in range(n):
+        field.place(i, min(1.0, i * spacing), 0.5)
+    return field
+
+
+# ----------------------------------------------------------------------
+# geometry
+# ----------------------------------------------------------------------
+def test_field_in_range_symmetric():
+    field = Field(radio_range=0.3)
+    field.place("a", 0.1, 0.1)
+    field.place("b", 0.3, 0.1)
+    field.place("c", 0.9, 0.9)
+    assert field.in_range("a", "b") and field.in_range("b", "a")
+    assert not field.in_range("a", "c")
+    assert not field.in_range("a", "a")
+
+
+def test_field_rejects_out_of_square():
+    field = Field()
+    with pytest.raises(ValueError):
+        field.place("x", 1.5, 0.2)
+
+
+def test_grid_placement_connected_at_generous_range():
+    field = Field(radio_range=0.45)
+    field.place_grid(range(9))
+    assert field.is_connected()
+
+
+def test_line_components_split_when_a_link_breaks():
+    field = line_field(5)
+    assert field.is_connected()
+    field.move(4, 0.5, 0.0)  # walk out of range
+    comps = field.components()
+    assert len(comps) == 2
+    assert {4} in comps
+
+
+def test_shortest_hops_on_a_line():
+    field = line_field(6)
+    assert field.shortest_hops(0, 0) == 0
+    assert field.shortest_hops(0, 1) == 1
+    assert field.shortest_hops(0, 5) == 5
+    field.move(5, 0.8, 0.0)
+    assert field.shortest_hops(0, 5) is None
+
+
+def test_drift_keeps_positions_in_square():
+    field = Field(radio_range=0.2)
+    rng = random.Random(1)
+    field.place_random(range(20), rng)
+    for _step in range(50):
+        field.drift_random(rng, step=0.1)
+    for x, y in field.positions.values():
+        assert 0.0 <= x <= 1.0 and 0.0 <= y <= 1.0
+
+
+# ----------------------------------------------------------------------
+# routing
+# ----------------------------------------------------------------------
+def test_route_found_along_line():
+    routes = RouteTable(line_field(5))
+    paths = routes.paths(0, 4)
+    assert paths and paths[0] == [0, 1, 2, 3, 4]
+    assert routes.hops(0, 4) == 4
+
+
+def test_node_disjoint_paths_on_grid():
+    field = Field(radio_range=0.4)
+    field.place_grid(range(9), cols=3)
+    routes = RouteTable(field, max_paths=3)
+    paths = routes.paths(0, 8)
+    assert len(paths) >= 2
+    interiors = [set(p[1:-1]) for p in paths]
+    for i, a in enumerate(interiors):
+        for b in interiors[i + 1:]:
+            assert not (a & b), "paths share a relay"
+
+
+def test_route_cache_and_invalidation():
+    field = line_field(4)
+    routes = RouteTable(field)
+    routes.paths(0, 3)
+    routes.paths(0, 3)
+    assert routes.discoveries == 1  # cached
+    routes.invalidate()
+    routes.paths(0, 3)
+    assert routes.discoveries == 2
+
+
+def test_demote_removes_a_path():
+    field = Field(radio_range=0.4)
+    field.place_grid(range(9), cols=3)
+    routes = RouteTable(field, max_paths=3)
+    paths = routes.paths(0, 8)
+    routes.demote(0, 8, paths[0])
+    assert tuple(paths[0]) not in {tuple(p) for p in routes.paths(0, 8)}
+
+
+def test_unreachable_destination_has_no_path():
+    field = line_field(3)
+    field.place(9, 0.9, 0.9)  # isolated
+    routes = RouteTable(field)
+    assert routes.paths(0, 9) == []
+    assert not routes.reachable(0, 9)
+
+
+# ----------------------------------------------------------------------
+# radio network
+# ----------------------------------------------------------------------
+def make_adhoc_net(field, seed=0, **cfg):
+    sim = Simulator(seed=seed)
+    net = AdHocNetwork(sim, field, AdHocNetworkConfig(**cfg))
+    inboxes = {}
+    for node in field.positions:
+        inboxes[node] = []
+        net.attach(node, lambda src, p, node=node: inboxes[node].append((src, p)))
+    net.refresh_components()
+    return sim, net, inboxes
+
+
+def test_multihop_unicast_delivered_with_hop_latency():
+    field = line_field(4)
+    sim, net, inboxes = make_adhoc_net(field, jitter=0.0)
+    net.send(0, 3, 50, "far")
+    sim.run()
+    assert inboxes[3] == [(0, "far")]
+    assert sim.now >= 3 * net.config.hop_latency
+
+
+def test_multipath_copies_are_deduplicated():
+    field = Field(radio_range=0.4)
+    field.place_grid(range(9), cols=3)
+    sim, net, inboxes = make_adhoc_net(field)
+    net.send(0, 8, 50, "once")
+    sim.run()
+    assert inboxes[8] == [(0, "once")]
+    assert net.routes.disjoint_count(0, 8) >= 2
+
+
+def test_dropping_relay_masked_by_disjoint_path():
+    field = Field(radio_range=0.4)
+    field.place_grid(range(9), cols=3)
+    sim, net, inboxes = make_adhoc_net(field)
+    paths = net.routes.paths(0, 8)
+    assert len(paths) >= 2
+    victim_relay = paths[0][1]
+    net.set_dropping_relays({victim_relay})
+    net.send(0, 8, 50, "survives")
+    sim.run()
+    assert inboxes[8] == [(0, "survives")]
+    assert net.dropped_by_relay >= 1
+
+
+def test_droppers_on_all_paths_block_delivery():
+    field = line_field(4)  # a line has exactly one path
+    sim, net, inboxes = make_adhoc_net(field)
+    net.set_dropping_relays({1})
+    net.send(0, 3, 50, "doomed")
+    sim.run()
+    assert inboxes[3] == []
+
+
+def test_no_route_drops_datagram():
+    field = line_field(3)
+    field.place(9, 0.95, 0.95)
+    sim, net, inboxes = make_adhoc_net(field)
+    net.send(0, 9, 50, "void")
+    sim.run()
+    assert inboxes[9] == []
+    assert net.no_route == 1
+
+
+def test_movement_invalidates_routes_and_components():
+    field = line_field(4)
+    sim, net, _ = make_adhoc_net(field)
+    assert net.connected(0, 3)
+    field.move(3, 0.7, 0.0)
+    net.on_movement()
+    assert not net.connected(0, 3)
+
+
+def test_radio_gossip_floods_component_only():
+    field = line_field(4)
+    field.place(9, 0.95, 0.95)
+    sim = Simulator()
+    net = AdHocNetwork(sim, field, AdHocNetworkConfig())
+    heard = {}
+    for node in field.positions:
+        heard[node] = []
+        net.attach(node, lambda s, p: None,
+                   lambda s, p, node=node: heard[node].append(p))
+    net.refresh_components()
+    net.gossip_cast(0, 32, "beacon")
+    sim.run()
+    assert heard[3] == ["beacon"]
+    assert heard[9] == []
+
+
+# ----------------------------------------------------------------------
+# gossip stability
+# ----------------------------------------------------------------------
+def test_gossip_stability_converges():
+    result = simulate_convergence(16, seed=1, fanout=2)
+    assert result["converged"]
+    assert result["rounds"] <= 20
+
+
+def test_gossip_rounds_scale_sublinearly():
+    small = simulate_convergence(8, seed=2)
+    large = simulate_convergence(64, seed=2)
+    assert small["converged"] and large["converged"]
+    # O(log n): 8x the nodes must take far less than 8x the rounds
+    assert large["rounds"] <= 4 * max(1, small["rounds"])
+
+
+def test_gossip_messages_per_node_bounded_by_fanout_times_rounds():
+    result = simulate_convergence(32, seed=3, fanout=2)
+    assert result["messages_per_node"] <= 2 * (result["rounds"] + 1)
+
+
+def test_gossip_survives_transport_loss():
+    result = simulate_convergence(16, seed=4, transport_loss=0.2)
+    assert result["converged"]
+
+
+def test_gossip_merge_takes_maxima_and_ignores_garbage():
+    node = GossipStability("a", ["a", "b"], lambda p, m: None,
+                           random.Random(0))
+    node.update_local({("s", "a"): 5})
+    assert node.on_gossip(("gstab", ((("b"), ((("s", "a"), 7),)),)))
+    assert node.matrix["b"][("s", "a")] == 7
+    assert node.stable_watermark(("s", "a")) == 5
+    assert not node.on_gossip("garbage")
+    assert not node.on_gossip(("gstab", "not-a-matrix"))
+    # unknown members are ignored
+    assert node.on_gossip(("gstab", (("z", ((("s", "a"), 9),)),)))
+    assert "z" not in node.matrix
+
+
+def test_gossip_knowledge_fraction():
+    node = GossipStability("a", ["a", "b", "c", "d"], lambda p, m: None,
+                           random.Random(0))
+    node.update_local({("s", "a"): 1})
+    assert node.knowledge_fraction(("s", "a"), 1) == 0.25
+    assert not node.is_stable(("s", "a"), 1)
+
+
+# ----------------------------------------------------------------------
+# the full stack over the MANET
+# ----------------------------------------------------------------------
+def test_full_stack_broadcast_over_multihop_radio():
+    group = Group.bootstrap_adhoc(9, config=StackConfig.byz(), seed=2)
+    group.endpoints[0].cast(("manet", 1))
+    group.run(2.0)
+    for node in range(9):
+        payloads = [e.payload for e in group.endpoints[node].events
+                    if type(e).__name__ == "CastDeliver"]
+        assert ("manet", 1) in payloads
+    assert group.network.relayed_hops > 0  # multi-hop actually used
+
+
+def test_full_stack_crash_exclusion_over_radio():
+    group = Group.bootstrap_adhoc(9, config=StackConfig.byz(), seed=3)
+    group.run(0.5)
+    group.crash(8)
+    ok = group.run_until(
+        lambda: all(8 not in p.view.mbrs and p.view.n == 8
+                    for n, p in group.processes.items()
+                    if n != 8 and not p.stopped), timeout=25.0)
+    assert ok
+    vids = {p.view.vid for n, p in group.processes.items() if not p.stopped}
+    assert len(vids) == 1
+
+
+def test_full_stack_partition_by_movement():
+    field = line_field(6, spacing=0.1, radio_range=0.12)
+    group = Group.bootstrap_adhoc(6, config=StackConfig.byz(), seed=4,
+                                  field=field)
+    group.run(0.5)
+    # nodes 4,5 walk away together
+    field.move(4, 0.0, 0.4)
+    field.move(5, -0.1, 0.4)
+    group.network.on_movement()
+    ok = group.run_until(
+        lambda: all(p.view.n == 4 for n, p in group.processes.items() if n < 4)
+        and all(p.view.n == 2 for n, p in group.processes.items() if n >= 4),
+        timeout=30.0)
+    assert ok, {n: p.view.mbrs for n, p in group.processes.items()}
+
+
+def test_manet_uses_gossip_stability_by_default():
+    group = Group.bootstrap_adhoc(9, config=StackConfig.byz(), seed=5)
+    assert group.config.ack_mode == "gossip"
+    for k in range(10):
+        group.endpoints[0].cast(("gs", k))
+    group.run(3.0)
+    for node in range(9):
+        payloads = [e.payload for e in group.endpoints[node].events
+                    if type(e).__name__ == "CastDeliver"
+                    and isinstance(e.payload, tuple) and e.payload[0] == "gs"]
+        assert payloads == [("gs", k) for k in range(10)], "node %d" % node
+    # stability knowledge reached everyone through gossip alone
+    tracker = group.processes[8].stability
+    assert tracker.min_ack(0, "a", group.processes[8].view.mbrs) == 10
+
+
+def test_manet_mute_byzantine_member_excluded():
+    from repro.byzantine.behaviors import MuteNode
+    group = Group.bootstrap_adhoc(9, config=StackConfig.byz(), seed=6,
+                                  behaviors={4: MuteNode(mute_at=1.0)})
+    group.run(0.5)
+    ok = group.run_until(
+        lambda: all(4 not in p.view.mbrs for n, p in group.processes.items()
+                    if n != 4 and not p.stopped), timeout=40.0)
+    assert ok
+    vids = {p.view.vid for n, p in group.processes.items()
+            if n != 4 and not p.stopped}
+    assert len(vids) == 1

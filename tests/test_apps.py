@@ -1,0 +1,166 @@
+"""Tests for the bundled applications: Ring demo, RSM, replicated counter."""
+
+import pytest
+
+from tests.helpers import make_group
+
+from repro import Group, StackConfig
+from repro.apps.counter import ReplicatedCounter
+from repro.apps.ring import RingDemo
+from repro.apps.rsm import KVStore, Replica
+
+
+# ----------------------------------------------------------------------
+# Ring demo
+# ----------------------------------------------------------------------
+def test_ring_advances_rounds_and_measures_throughput():
+    group = make_group(6, seed=1)
+    ring = RingDemo(group, burst=4)
+    ring.start()
+    group.run(0.05)
+    ring.start_measurement()
+    group.run(0.1)
+    ring.stop_measurement()
+    assert ring.min_rounds_completed() > 5
+    assert ring.throughput > 1000
+
+
+def test_ring_latency_with_single_message_bursts():
+    group = make_group(6, seed=2)
+    ring = RingDemo(group, burst=1)
+    ring.start()
+    group.run(0.3)
+    assert ring.latency.samples
+    # LAN scale: sub-10ms as in the paper's Figure 6
+    assert 0 < ring.latency.mean < 0.01
+
+
+def test_ring_throughput_counts_broadcasts_not_deliveries():
+    group = make_group(4, seed=3)
+    ring = RingDemo(group, burst=2)
+    ring.start()
+    ring.start_measurement()
+    group.run(0.1)
+    ring.stop_measurement()
+    # each broadcast delivered to n-1 remote nodes counts once
+    assert ring.throughput == pytest.approx(
+        ring._measured_deliveries / 3 / 0.1, rel=0.01)
+
+
+# ----------------------------------------------------------------------
+# replicated state machine
+# ----------------------------------------------------------------------
+def test_rsm_replicas_converge_to_same_state():
+    group = make_group(7, seed=4, total_order=True)
+    replicas = {n: Replica(group.endpoints[n]) for n in group.endpoints}
+    replicas[0].submit(("set", "x", 1))
+    replicas[1].submit(("incr", "y", 5))
+    replicas[2].submit(("incr", "y", 7))
+    replicas[3].submit(("append", "log", "a"))
+    replicas[4].submit(("append", "log", "b"))
+    group.run(1.0)
+    digests = {r.state_digest() for r in replicas.values()}
+    assert len(digests) == 1
+    machine = replicas[0].machine
+    assert machine.data["x"] == 1
+    assert machine.data["y"] == 12
+    assert set(machine.data["log"]) == {"a", "b"}
+
+
+def test_rsm_logs_identical_across_replicas():
+    group = make_group(7, seed=5, total_order=True)
+    replicas = {n: Replica(group.endpoints[n]) for n in group.endpoints}
+    for n in range(7):
+        replicas[n].submit(("incr", "c", 1))
+    group.run(1.0)
+    logs = {tuple(r.log) for r in replicas.values()}
+    assert len(logs) == 1
+    assert replicas[0].machine.data["c"] == 7
+
+
+def test_rsm_requires_total_order():
+    group = make_group(4, seed=6)  # no total ordering
+    with pytest.raises(ValueError):
+        Replica(group.endpoints[0])
+
+
+def test_kvstore_ignores_malformed_commands_deterministically():
+    store = KVStore()
+    store.apply(0, "not-a-tuple")
+    store.apply(0, ())
+    store.apply(0, ("set", "k"))      # wrong arity
+    store.apply(0, ("incr", "k", "not-int"))
+    assert store.data == {}
+
+
+def test_kvstore_digest_reflects_state():
+    a, b = KVStore(), KVStore()
+    a.apply(0, ("set", "x", 1))
+    b.apply(0, ("set", "x", 1))
+    assert a.digest() == b.digest()
+    b.apply(0, ("set", "x", 2))
+    assert a.digest() != b.digest()
+
+
+# ----------------------------------------------------------------------
+# replicated counter
+# ----------------------------------------------------------------------
+def test_counters_converge_in_failure_free_run():
+    group = make_group(5, seed=7)
+    counters = {n: ReplicatedCounter(group.endpoints[n])
+                for n in group.endpoints}
+    for n in range(5):
+        counters[n].increment(n + 1)
+    group.run(0.5)
+    assert {c.value for c in counters.values()} == {15}
+    assert counters[0].per_origin == {n: n + 1 for n in range(5)}
+
+
+def test_counters_agree_at_view_boundaries():
+    group = make_group(6, seed=8)
+    counters = {n: ReplicatedCounter(group.endpoints[n])
+                for n in group.endpoints}
+    for n in range(6):
+        counters[n].increment(1)
+    group.run(0.1)
+    group.crash(5)
+    group.run_until(lambda: all(p.view.n == 5 for p in group.processes.values()
+                                if not p.stopped), timeout=5.0)
+    group.run(0.2)
+    # the snapshots taken when the post-crash view was installed must agree
+    installs = {}
+    for n in range(5):
+        for vid, value in counters[n].view_snapshots:
+            if vid.counter >= 2:
+                installs.setdefault(vid, set()).add(value)
+    assert installs
+    for vid, values in installs.items():
+        assert len(values) == 1, "divergent counters at %r" % vid
+
+
+def test_counter_rejects_garbage_increments():
+    group = make_group(4, seed=9)
+    counters = {n: ReplicatedCounter(group.endpoints[n])
+                for n in group.endpoints}
+    group.endpoints[0].cast(("incr", "NaN"))
+    group.endpoints[0].cast("garbage")
+    counters[1].increment(2)
+    group.run(0.3)
+    assert all(c.value == 2 for c in counters.values())
+
+
+def test_calibration_envelope_matches_paper_band():
+    """Regression pin for the calibration: the benign stack's throughput
+    at n=8 must stay inside the paper's 40-50k envelope (+/- slack)."""
+    group = make_group(8, seed=30, **{})
+    from repro import StackConfig
+    from repro.apps.ring import RingDemo
+    from repro import Group
+    benign = Group.bootstrap(8, config=StackConfig.benign(), seed=30)
+    ring = RingDemo(benign, burst=16)
+    ring.start()
+    benign.run(0.05)
+    ring.start_measurement()
+    benign.run(0.1)
+    ring.stop_measurement()
+    assert 35_000 < ring.throughput < 60_000, ring.throughput

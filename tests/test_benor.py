@@ -1,0 +1,128 @@
+"""Tests for the randomized Ben-Or-family binary consensus."""
+
+import random
+
+import pytest
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.consensus.benor import BenOrConsensus, max_f_benor
+from repro.sim.scheduler import Simulator
+
+
+def run_benor(n, f, proposals, seed=0, crashed=frozenset()):
+    sim = Simulator(seed=seed)
+    members = list(range(n))
+    instances = {}
+    decisions = {}
+
+    def bcast_from(sender):
+        def bcast(payload):
+            if sender in crashed:
+                return
+            for receiver in members:
+                if receiver != sender and receiver not in crashed:
+                    sim.schedule(0.001 + sim.rng.random() * 0.002,
+                                 lambda r=receiver, s=sender, p=payload:
+                                 instances[r].on_message(s, p))
+        return bcast
+
+    for i in members:
+        coin_rng = random.Random(seed * 1000 + i)
+        instances[i] = BenOrConsensus(
+            "b", members, i, f, proposals[i], bcast_from(i),
+            coin=lambda rng=coin_rng: rng.randint(0, 1),
+            on_decide=lambda v, i=i: decisions.__setitem__(i, v))
+    for i in members:
+        if i not in crashed:
+            instances[i].start()
+    sim.run(max_events=3_000_000)
+    return decisions, instances
+
+
+def test_unanimous_proposals_decide_fast():
+    decisions, instances = run_benor(6, 1, {i: 1 for i in range(6)})
+    assert len(decisions) == 6
+    assert set(decisions.values()) == {1}
+    assert max(inst.rounds_executed for inst in instances.values()) <= 2
+
+
+def test_validity_zero_unanimous():
+    decisions, _ = run_benor(6, 1, {i: 0 for i in range(6)})
+    assert set(decisions.values()) == {0}
+
+
+def test_agreement_with_split_proposals():
+    for seed in range(5):
+        decisions, _ = run_benor(6, 1, {i: i % 2 for i in range(6)},
+                                 seed=seed)
+        assert len(decisions) == 6, "seed %d" % seed
+        assert len(set(decisions.values())) == 1, "seed %d" % seed
+
+
+def test_terminates_with_crashed_members():
+    n, f = 11, 2
+    crashed = frozenset({9, 10})
+    decisions, _ = run_benor(n, f, {i: i % 2 for i in range(n)},
+                             crashed=crashed, seed=3)
+    live = [i for i in range(n) if i not in crashed]
+    assert all(i in decisions for i in live)
+    assert len({decisions[i] for i in live}) == 1
+
+
+def test_no_failure_detector_needed():
+    # unlike the vector consensus, nothing here consults suspicion state:
+    # termination under crashes needs no oracle at all
+    decisions, instances = run_benor(11, 2, {i: 1 for i in range(11)},
+                                     crashed=frozenset({10}), seed=4)
+    assert len(decisions) == 10
+
+
+def test_resilience_bound():
+    with pytest.raises(ValueError):
+        BenOrConsensus("x", list(range(5)), 0, 1, 1, lambda p: None,
+                       coin=lambda: 0)
+    assert max_f_benor(5) == 0
+    assert max_f_benor(6) == 1
+    assert max_f_benor(11) == 2
+
+
+def test_non_binary_proposal_rejected():
+    with pytest.raises(ValueError):
+        BenOrConsensus("x", list(range(6)), 0, 1, "maybe", lambda p: None,
+                       coin=lambda: 0)
+
+
+def test_equivocation_and_garbage_reported():
+    reports = []
+    inst = BenOrConsensus("x", list(range(6)), 0, 1, 1, lambda p: None,
+                          coin=lambda: 0,
+                          on_misbehavior=lambda m, r: reports.append(r))
+    inst.start()
+    inst.on_message(2, ("R", 1, 0))
+    inst.on_message(2, ("R", 1, 1))       # equivocation
+    inst.on_message(3, ("R", 1, "_bot_"))  # bottom in a report
+    inst.on_message(4, "garbage")
+    assert "benor:equivocated" in reports
+    assert "benor:bottom-report" in reports
+    assert "benor:malformed" in reports
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=6, max_value=12),
+       st.integers(min_value=0, max_value=2**31),
+       st.data())
+def test_benor_agreement_validity_random(n, seed, data):
+    f = max_f_benor(n)
+    proposals = {i: data.draw(st.integers(0, 1), label="p%d" % i)
+                 for i in range(n)}
+    decisions, _ = run_benor(n, f, proposals, seed=seed)
+    assert len(decisions) == n
+    decided = set(decisions.values())
+    assert len(decided) == 1
+    inputs = set(proposals.values())
+    if len(inputs) == 1:
+        assert decided == inputs
+    else:
+        assert decided.pop() in (0, 1)

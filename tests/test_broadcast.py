@@ -1,0 +1,196 @@
+"""Unit tests for the two Byzantine broadcast protocols."""
+
+import pytest
+
+from repro.broadcast.bracha import BrachaBroadcast
+from repro.broadcast.uniform import UniformBroadcast
+from repro.consensus.interface import max_f_bracha, max_f_uniform
+from repro.sim.scheduler import Simulator
+
+
+class Bus:
+    """Direct bus with per-destination alteration (for two-faced tests)."""
+
+    def __init__(self, n, seed=0):
+        self.sim = Simulator(seed=seed)
+        self.members = list(range(n))
+        self.instances = {}
+        self.delivered = {}
+        self.crashed = set()
+        self.twist = {}  # sender -> callable(dst, payload) -> payload
+
+    def broadcast_from(self, sender):
+        def bcast(payload):
+            if sender in self.crashed:
+                return
+            for receiver in self.members:
+                if receiver == sender or receiver in self.crashed:
+                    continue
+                out = payload
+                twist = self.twist.get(sender)
+                if twist is not None:
+                    out = twist(receiver, payload)
+                self.sim.schedule(0.001 + self.sim.rng.random() * 0.001,
+                                  self._deliver, receiver, sender, out)
+        return bcast
+
+    def _deliver(self, receiver, sender, payload):
+        if receiver not in self.crashed:
+            self.instances[receiver].on_message(sender, payload)
+
+    def build(self, protocol, f, origin):
+        for i in self.members:
+            self.instances[i] = protocol(
+                ("t", 0), self.members, i, f, origin,
+                self.broadcast_from(i),
+                on_deliver=lambda v, i=i: self.delivered.__setitem__(i, v))
+        return self
+
+    def run(self):
+        self.sim.run(max_events=500_000)
+
+
+# ----------------------------------------------------------------------
+# the paper's 2-step protocol
+# ----------------------------------------------------------------------
+def test_uniform_broadcast_delivers_everywhere():
+    bus = Bus(12).build(UniformBroadcast, 1, origin=3)
+    bus.instances[3].originate("value")
+    bus.run()
+    assert len(bus.delivered) == 12
+    assert set(bus.delivered.values()) == {"value"}
+
+
+def test_uniform_two_faced_origin_never_splits_delivery():
+    # the origin equivocates: half the group sees "A", half sees "B"
+    n, f = 12, 1
+    bus = Bus(n)
+    bus.twist[3] = (lambda dst, payload:
+                    ("ub-initial", "A" if dst % 2 == 0 else "B")
+                    if payload[0] == "ub-initial" else payload)
+    bus.build(UniformBroadcast, f, origin=3)
+    bus.instances[3].originate("A")
+    bus.run()
+    values = set(bus.delivered.values())
+    assert len(values) <= 1   # uniformity: never two different deliveries
+
+
+def test_uniform_broadcast_with_crashed_members():
+    n, f = 14, 2
+    bus = Bus(n)
+    bus.crashed = {12, 13}
+    bus.build(UniformBroadcast, f, origin=0)
+    bus.instances[0].originate("v")
+    bus.run()
+    live = set(range(12))
+    assert live.issubset(bus.delivered.keys())
+    assert set(bus.delivered.values()) == {"v"}
+
+
+def test_uniform_echo_equivocation_first_kept():
+    bus = Bus(12).build(UniformBroadcast, 1, origin=0)
+    reports = []
+    inst = bus.instances[5]
+    inst.on_misbehavior = lambda m, r: reports.append((m, r))
+    inst.on_message(7, ("ub-echo", "x"))
+    inst.on_message(7, ("ub-echo", "y"))
+    assert inst._echoes[7] == "x"
+    assert (7, "ub:echo-equivocated") in reports
+
+
+def test_uniform_initial_forgery_detected():
+    bus = Bus(12).build(UniformBroadcast, 1, origin=0)
+    reports = []
+    inst = bus.instances[5]
+    inst.on_misbehavior = lambda m, r: reports.append(r)
+    inst.on_message(4, ("ub-initial", "fake"))  # 4 is not the origin
+    assert "ub:initial-forged" in reports
+    assert inst._initial_value is None
+
+
+def test_uniform_only_origin_can_originate():
+    bus = Bus(12).build(UniformBroadcast, 1, origin=0)
+    with pytest.raises(RuntimeError):
+        bus.instances[5].originate("v")
+
+
+def test_uniform_liveness_bound_rejects_too_small_views():
+    with pytest.raises(ValueError):
+        UniformBroadcast(("t", 0), list(range(6)), 0, 1, 0, lambda p: None)
+
+
+def test_max_f_uniform_is_the_safe_liveness_bound():
+    # the paper says f < n/5, but its own Lemma 3.9 needs n >= 6f + 2
+    # (DESIGN.md deviation 1); the helper returns the safe bound
+    for n in range(2, 60):
+        f = max_f_uniform(n)
+        assert n - f >= n / 2.0 + 2 * f + 1
+        assert n - (f + 1) < n / 2.0 + 2 * (f + 1) + 1
+    assert max_f_uniform(8) == 1
+    assert max_f_uniform(14) == 2
+    assert max_f_uniform(50) == 8
+
+
+def test_uniform_f0_still_agrees():
+    bus = Bus(4).build(UniformBroadcast, 0, origin=1)
+    bus.instances[1].originate("v")
+    bus.run()
+    assert set(bus.delivered.values()) == {"v"}
+    assert len(bus.delivered) == 4
+
+
+# ----------------------------------------------------------------------
+# Bracha's 3-phase protocol
+# ----------------------------------------------------------------------
+def test_bracha_delivers_everywhere():
+    bus = Bus(7).build(BrachaBroadcast, 2, origin=1)
+    bus.instances[1].originate("w")
+    bus.run()
+    assert len(bus.delivered) == 7
+    assert set(bus.delivered.values()) == {"w"}
+
+
+def test_bracha_higher_resilience_than_twostep():
+    # n = 7 tolerates f = 2 for Bracha but not for the 2-step protocol
+    assert max_f_bracha(7) == 2
+    assert max_f_uniform(7) < 2
+    BrachaBroadcast(("t", 0), list(range(7)), 0, 2, 0, lambda p: None)
+    with pytest.raises(ValueError):
+        UniformBroadcast(("t", 0), list(range(7)), 0, 2, 0, lambda p: None)
+
+
+def test_bracha_two_faced_origin_no_split():
+    n, f = 10, 3
+    bus = Bus(n)
+    bus.twist[0] = (lambda dst, payload:
+                    ("br-initial", "A" if dst < 5 else "B")
+                    if payload[0] == "br-initial" else payload)
+    bus.build(BrachaBroadcast, f, origin=0)
+    bus.instances[0].originate("A")
+    bus.run()
+    assert len(set(bus.delivered.values())) <= 1
+
+
+def test_bracha_ready_amplification():
+    # f+1 readys for a value trigger our own ready even without echoes
+    bus = Bus(7).build(BrachaBroadcast, 2, origin=0)
+    inst = bus.instances[3]
+    inst.on_message(1, ("br-ready", "v"))
+    inst.on_message(2, ("br-ready", "v"))
+    inst.on_message(4, ("br-ready", "v"))  # f+1 = 3 readys
+    assert inst._readied == "v"
+
+
+def test_bracha_needs_n_gt_3f():
+    with pytest.raises(ValueError):
+        BrachaBroadcast(("t", 0), list(range(6)), 0, 2, 0, lambda p: None)
+
+
+def test_bracha_echo_equivocation_detected():
+    bus = Bus(7).build(BrachaBroadcast, 2, origin=0)
+    reports = []
+    inst = bus.instances[3]
+    inst.on_misbehavior = lambda m, r: reports.append(r)
+    inst.on_message(1, ("br-echo", "x"))
+    inst.on_message(1, ("br-echo", "y"))
+    assert "bracha:echo-equivocated" in reports

@@ -1,0 +1,139 @@
+"""Tests for the public API surface: Group, GroupEndpoint, History."""
+
+import pytest
+
+from tests.helpers import make_group
+
+from repro import Group, StackConfig
+from repro.core.history import content_digest
+
+
+def test_bootstrap_installs_common_initial_view():
+    group = make_group(5, seed=1)
+    views = {p.view for p in group.processes.values()}
+    assert len(views) == 1
+    view = views.pop()
+    assert view.mbrs == (0, 1, 2, 3, 4)
+    assert view.vid.counter == 1
+
+
+def test_bootstrap_custom_node_ids():
+    config = StackConfig.byz()
+    group = Group.bootstrap(3, config=config, seed=2,
+                            node_ids=["alpha", "beta", "gamma"])
+    assert set(group.endpoints) == {"alpha", "beta", "gamma"}
+    group.endpoints["alpha"].cast("hi")
+    group.run(0.2)
+    payloads = [e.payload for e in group.endpoints["gamma"].events
+                if type(e).__name__ == "CastDeliver"]
+    assert payloads == ["hi"]
+
+
+def test_endpoint_view_property_tracks_installs():
+    group = make_group(4, seed=3)
+    assert group.endpoints[0].view.n == 4
+    group.crash(3)
+    group.run_until(lambda: group.endpoints[0].view.n == 3, timeout=4.0)
+    assert 3 not in group.endpoints[0].view.mbrs
+
+
+def test_send_to_self_rejected():
+    group = make_group(3, seed=4)
+    with pytest.raises(ValueError):
+        group.endpoints[0].send(0, "loop")
+
+
+def test_stopped_endpoint_rejects_traffic():
+    group = make_group(3, seed=5)
+    group.crash(1)
+    with pytest.raises(RuntimeError):
+        group.endpoints[1].cast("zombie")
+
+
+def test_endpoint_records_events_in_order():
+    group = make_group(3, seed=6)
+    group.endpoints[0].cast("a")
+    group.endpoints[0].cast("b")
+    group.run(0.2)
+    events = group.endpoints[1].events
+    names = [type(e).__name__ for e in events]
+    assert names[0] == "ViewEvent"
+    deliveries = [e.payload for e in events
+                  if type(e).__name__ == "CastDeliver"]
+    assert deliveries == ["a", "b"]
+
+
+def test_event_recording_can_be_disabled():
+    group = make_group(3, seed=7)
+    group.endpoints[1].record_events = False
+    seen = []
+    group.endpoints[1].on_cast = lambda ev: seen.append(ev.payload)
+    group.endpoints[0].cast("x")
+    group.run(0.2)
+    assert seen == ["x"]
+    assert not [e for e in group.endpoints[1].events
+                if type(e).__name__ == "CastDeliver"]
+
+
+def test_history_views_and_deliveries():
+    group = make_group(3, seed=8)
+    msg_id = group.endpoints[0].cast("payload")
+    group.run(0.2)
+    history = group.processes[2].history
+    assert len(history.views()) == 1
+    assert msg_id in history.deliveries_in_view(group.processes[2].view.vid)
+    assert history.delivery_digests()[msg_id] == content_digest("payload")
+
+
+def test_execution_snapshot_marks_byzantine():
+    from repro.byzantine.behaviors import MuteNode
+    config = StackConfig.byz()
+    group = Group.bootstrap(4, config=config, seed=9,
+                            behaviors={2: MuteNode(mute_at=99.0)})
+    execution = group.execution()
+    assert execution.correct == {0, 1, 3}
+
+
+def test_common_view_none_when_divergent():
+    group = make_group(6, seed=10)
+    group.run(0.05)
+    group.partition({0, 1, 2}, {3, 4, 5})
+    group.run_until(lambda: all(p.view.n == 3 for p in group.processes.values()),
+                    timeout=6.0)
+    assert group.common_view() is None
+
+
+def test_group_stop_halts_everything():
+    group = make_group(3, seed=11)
+    group.stop()
+    before = group.sim.events_processed
+    group.run(0.5)
+    # only already-queued-and-cancelled timers; no protocol activity
+    assert all(p.stopped for p in group.processes.values())
+
+
+def test_message_ids_unique_per_sender():
+    group = make_group(3, seed=12)
+    ids = {group.endpoints[0].cast(("m", k)) for k in range(10)}
+    assert len(ids) == 10
+    assert all(origin == 0 for origin, _counter in ids)
+
+
+def test_f_exposed_on_process_matches_config():
+    group = make_group(13, seed=13)
+    # the stack f is bounded by BOTH protocols: consensus allows 2 at n=13
+    # but the 2-step uniform broadcast's liveness bound allows only 1
+    assert group.processes[0].f == StackConfig.byz().resilience(13) == 1
+
+
+def test_process_stop_is_idempotent_and_quiesces():
+    group = make_group(3, seed=20)
+    group.run(0.1)
+    process = group.processes[0]
+    process.stop()
+    process.stop()  # no error
+    assert process.stopped
+    # a stopped process generates no further history
+    before = len(process.history.events)
+    group.run(0.5)
+    assert len(process.history.events) == before

@@ -1,0 +1,199 @@
+"""Whole-run property checks: Definitions 2.1/2.2 over simulated executions.
+
+Each test runs a full cluster scenario (traffic, faults, view changes) and
+asserts the recorded execution satisfies every safety clause.
+"""
+
+import pytest
+
+from tests.helpers import make_group
+
+from repro import Group, StackConfig
+from repro.byzantine.behaviors import MuteNode, VerboseNode
+from repro.core.properties import (check_view_synchrony,
+                                   check_virtual_synchrony)
+from repro.sim.network import NetworkConfig
+
+
+def drive_traffic(group, casts_per_node=8, nodes=None):
+    for node in (nodes if nodes is not None else group.endpoints):
+        for k in range(casts_per_node):
+            group.endpoints[node].cast((node, k))
+
+
+def assert_clean(group, **kw):
+    violations = check_virtual_synchrony(group.execution(), **kw)
+    assert not violations, "\n".join(violations[:10])
+
+
+def test_failure_free_run_is_virtually_synchronous():
+    group = make_group(8, seed=1)
+    drive_traffic(group)
+    group.run(0.6)
+    assert_clean(group)
+
+
+def test_lossy_network_run_is_virtually_synchronous():
+    config = StackConfig.byz()
+    group = Group.bootstrap(6, config=config, seed=2,
+                            net_config=NetworkConfig(drop_prob=0.1))
+    drive_traffic(group, 6)
+    group.run(2.0)
+    assert_clean(group)
+
+
+def test_crash_with_traffic_is_virtually_synchronous():
+    group = make_group(8, seed=3)
+    drive_traffic(group, 5)
+    group.run(0.1)
+    group.crash(6)
+    group.run_until(lambda: all(p.view.n == 7 for p in group.processes.values()
+                                if not p.stopped), timeout=5.0)
+    drive_traffic(group, 3, nodes=[0, 1, 2])
+    group.run(0.5)
+    execution = group.execution()
+    execution.correct.discard(6)  # crashed mid-run; only restrict survivors
+    violations = check_virtual_synchrony(execution)
+    assert not violations, "\n".join(violations[:10])
+
+
+def test_leave_with_traffic_is_virtually_synchronous():
+    group = make_group(7, seed=4)
+    drive_traffic(group, 4)
+    group.run(0.1)
+    group.endpoints[2].leave()
+    group.run_until(lambda: all(2 not in p.view.mbrs
+                                for n, p in group.processes.items() if n != 2),
+                    timeout=5.0)
+    group.run(0.3)
+    execution = group.execution()
+    execution.correct.discard(2)
+    violations = check_virtual_synchrony(execution)
+    assert not violations, "\n".join(violations[:10])
+
+
+def test_mute_byzantine_run_is_virtually_synchronous():
+    group = make_group(8, seed=5, behaviors={5: MuteNode(mute_at=0.15)})
+    drive_traffic(group, 4)
+    group.run_until(lambda: all(5 not in p.view.mbrs
+                                for n, p in group.processes.items()
+                                if n != 5 and not p.stopped), timeout=6.0)
+    drive_traffic(group, 2, nodes=[0, 1])
+    group.run(0.5)
+    assert_clean(group)
+
+
+def test_verbose_byzantine_run_is_virtually_synchronous():
+    group = make_group(8, seed=6,
+                       behaviors={4: VerboseNode(start_at=0.05)})
+    drive_traffic(group, 4)
+    group.run(2.0)
+    assert_clean(group)
+
+
+def test_total_order_run_with_crash():
+    group = make_group(8, seed=7, total_order=True)
+    drive_traffic(group, 4)
+    group.run(0.3)
+    group.crash(3)
+    group.run_until(lambda: all(p.view.n == 7 for p in group.processes.values()
+                                if not p.stopped), timeout=6.0)
+    drive_traffic(group, 2, nodes=[0, 1])
+    group.run(1.0)
+    execution = group.execution()
+    execution.correct.discard(3)
+    violations = check_virtual_synchrony(execution, content_agreement=True,
+                                         total_order=True)
+    assert not violations, "\n".join(violations[:10])
+
+
+def test_uniform_delivery_run_properties():
+    group = make_group(8, seed=8, uniform_delivery=True)
+    drive_traffic(group, 4)
+    group.run(1.5)
+    assert_clean(group, content_agreement=True)
+
+
+def test_partition_and_heal_views_are_synchronous():
+    group = make_group(6, seed=9)
+    drive_traffic(group, 3)
+    group.run(0.1)
+    group.partition({0, 1, 2}, {3, 4, 5})
+    group.run_until(lambda: all(p.view.n == 3 for p in group.processes.values()),
+                    timeout=6.0)
+    group.heal()
+    group.run_until(lambda: all(p.view.n == 6 for p in group.processes.values()),
+                    timeout=10.0)
+    group.run(0.3)
+    violations = check_view_synchrony(group.execution())
+    assert not violations, "\n".join(violations[:10])
+
+
+def test_sym_crypto_run_is_virtually_synchronous():
+    group = make_group(6, seed=10, crypto="sym")
+    drive_traffic(group, 5)
+    group.run(0.8)
+    assert_clean(group)
+
+
+def test_view_change_with_flow_backlog_loses_nothing():
+    # small window so the flow queue is full when the view change hits;
+    # queued casts must be re-stamped into the next view, not dropped
+    group = make_group(6, seed=11, flow_window=8)
+    for k in range(60):
+        group.endpoints[0].cast(("bk", k))
+    group.run(0.02)
+    group.crash(5)
+    group.run_until(lambda: all(p.view.n == 5 for p in group.processes.values()
+                                if not p.stopped), timeout=5.0)
+    group.run(1.5)
+    for node in range(5):
+        payloads = [e.payload for e in group.endpoints[node].events
+                    if type(e).__name__ == "CastDeliver"
+                    and isinstance(e.payload, tuple) and e.payload[0] == "bk"]
+        assert payloads == [("bk", k) for k in range(60)], "node %d" % node
+    assert_clean(group)
+
+
+def test_def21_item4_connected_pair_eventually_share_views():
+    # Def 2.1 item 4 (liveness): two correct nodes continuously connected
+    # from some point on eventually appear in each other's views forever
+    group = make_group(6, seed=12)
+    group.run(0.05)
+    group.partition({0, 1, 2}, {3, 4, 5})
+    group.run_until(lambda: all(p.view.n == 3 for p in group.processes.values()),
+                    timeout=6.0)
+    group.heal()  # 0 and 5 are now continuously connected
+    ok = group.run_until(
+        lambda: 5 in group.processes[0].view.mbrs
+        and 0 in group.processes[5].view.mbrs, timeout=10.0)
+    assert ok
+    # and it stays that way
+    group.run(0.5)
+    assert 5 in group.processes[0].view.mbrs
+    assert 0 in group.processes[5].view.mbrs
+
+
+def test_def21_item5_disconnected_node_eventually_excluded():
+    # Def 2.1 item 5 (liveness): a permanently disconnected/crashed node
+    # eventually vanishes from every correct node's views
+    group = make_group(6, seed=13)
+    group.run(0.05)
+    group.partition(set(range(5)), {5})
+    ok = group.run_until(
+        lambda: all(5 not in p.view.mbrs
+                    for n, p in group.processes.items() if n != 5),
+        timeout=6.0)
+    assert ok
+
+
+def test_run_until_stable_views_helper():
+    group = make_group(5, seed=14)
+    group.crash(4)
+    # let the churn run its course, then the helper reports stability
+    group.run_until(lambda: all(p.view.n == 4
+                                for p in group.processes.values()
+                                if not p.stopped), timeout=6.0)
+    assert group.run_until_stable_views(timeout=2.0)
+    view = group.common_view()
+    assert view is not None and view.n == 4

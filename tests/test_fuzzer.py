@@ -1,0 +1,46 @@
+"""Scenario-fuzzing tests: random fault schedules must stay safe."""
+
+import pytest
+
+from repro import StackConfig
+from repro.tools.fuzzer import ScenarioFuzzer, fuzz
+
+
+def test_fuzz_traffic_and_crashes():
+    failures = fuzz(range(4), ops=8,
+                    allow=("cast_burst", "run", "crash", "leave"))
+    assert not failures, failures
+
+
+def test_fuzz_partitions_and_heals():
+    failures = fuzz(range(4, 7), ops=8,
+                    allow=("cast_burst", "run", "partition", "heal"))
+    assert not failures, failures
+
+
+def test_fuzz_with_joins():
+    failures = fuzz(range(7, 9), ops=6,
+                    allow=("cast_burst", "run", "join"))
+    assert not failures, failures
+
+
+def test_fuzz_everything_mixed():
+    failures = fuzz(range(9, 13), ops=10)
+    assert not failures, failures
+
+
+@pytest.mark.parametrize("seed", [21, 22])
+def test_fuzz_total_order_scenarios(seed):
+    config = StackConfig.byz(total_order=True)
+    fuzzer = ScenarioFuzzer(seed, config=config, ops=7,
+                            allow=("cast_burst", "run", "crash"))
+    fuzzer.execute()
+    violations = fuzzer.check()
+    assert not violations, (violations[:5], fuzzer.script)
+
+
+def test_fuzzer_script_is_replayable():
+    a = ScenarioFuzzer(99, ops=6).execute()
+    b = ScenarioFuzzer(99, ops=6).execute()
+    assert a.script == b.script
+    assert a.check() == b.check()

@@ -1,0 +1,98 @@
+"""Property-based tests for the MANET substrate."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adhoc.geometry import Field
+from repro.adhoc.gossip_stability import simulate_convergence
+from repro.adhoc.routing import RouteTable
+
+coords = st.floats(min_value=0.0, max_value=1.0, allow_nan=False,
+                   allow_infinity=False)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(coords, coords), min_size=2, max_size=15,
+                unique=True),
+       st.floats(min_value=0.05, max_value=1.5))
+def test_radio_graph_symmetric_and_selfless(points, radio_range):
+    field = Field(radio_range=radio_range)
+    for index, (x, y) in enumerate(points):
+        field.place(index, x, y)
+    adjacency = field.adjacency()
+    for node, neighbors in adjacency.items():
+        assert node not in neighbors
+        for neighbor in neighbors:
+            assert node in adjacency[neighbor]
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(coords, coords), min_size=2, max_size=12,
+                unique=True),
+       st.floats(min_value=0.1, max_value=1.5))
+def test_components_partition_the_nodes(points, radio_range):
+    field = Field(radio_range=radio_range)
+    for index, (x, y) in enumerate(points):
+        field.place(index, x, y)
+    components = field.components()
+    union = set()
+    for component in components:
+        assert not (union & component), "components overlap"
+        union |= component
+    assert union == set(field.positions)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=2**31),
+       st.integers(min_value=4, max_value=12),
+       st.integers(min_value=1, max_value=3))
+def test_discovered_paths_are_valid_and_disjoint(seed, n, max_paths):
+    rng = random.Random(seed)
+    field = Field(radio_range=0.5)
+    field.place_random(range(n), rng)
+    routes = RouteTable(field, max_paths=max_paths)
+    for src in range(n):
+        for dst in range(n):
+            if src == dst:
+                continue
+            paths = routes.paths(src, dst)
+            hops_bfs = field.shortest_hops(src, dst)
+            if hops_bfs is None:
+                assert paths == []
+                continue
+            assert paths, "BFS reaches but discovery found nothing"
+            interiors = []
+            for path in paths:
+                assert path[0] == src and path[-1] == dst
+                assert len(set(path)) == len(path), "path has a loop"
+                for a, b in zip(path, path[1:]):
+                    assert field.in_range(a, b), "non-edge in path"
+                interiors.append(set(path[1:-1]))
+            # the first path is shortest
+            assert len(paths[0]) - 1 == hops_bfs
+            for i, a in enumerate(interiors):
+                for b in interiors[i + 1:]:
+                    assert not (a & b), "relays shared between paths"
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=4, max_value=40),
+       st.integers(min_value=0, max_value=2**31),
+       st.integers(min_value=1, max_value=4))
+def test_gossip_stability_always_converges(n, seed, fanout):
+    result = simulate_convergence(n, seed=seed, fanout=fanout)
+    assert result["converged"]
+    assert result["rounds"] >= 1
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=2**31))
+def test_drift_preserves_node_count(seed):
+    rng = random.Random(seed)
+    field = Field(radio_range=0.2)
+    field.place_random(range(10), rng)
+    before = set(field.positions)
+    field.drift_random(rng, step=0.3)
+    assert set(field.positions) == before

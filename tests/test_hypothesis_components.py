@@ -1,0 +1,110 @@
+"""Property-based tests for core data structures and stack components."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.history import content_digest
+from repro.core.view import View, ViewId, choose_coordinator
+from repro.crypto.auth import PairwiseSymmetricAuth, stable_bytes
+from repro.crypto.cost import CryptoCostModel
+from repro.crypto.keys import KeyManager
+from repro.detectors.fuzzy import FuzzyLevels
+from repro.sim.scheduler import Simulator
+
+node_ids = st.one_of(st.integers(min_value=0, max_value=99),
+                     st.text(min_size=1, max_size=5))
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(0, 1000), node_ids, st.integers(0, 1000), node_ids)
+def test_view_id_ordering_is_total_and_antisymmetric(c1, n1, c2, n2):
+    a, b = ViewId(c1, n1), ViewId(c2, n2)
+    assert (a < b) or (b < a) or (a == b)
+    assert not (a < b and b < a)
+    if a == b:
+        assert hash(a) == hash(b)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(0, 10**6), node_ids)
+def test_view_id_wire_round_trip(counter, creator):
+    vid = ViewId(counter, creator)
+    assert ViewId.from_wire(vid.to_wire()) == vid
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(0, 500), min_size=1, max_size=20, unique=True),
+       st.integers(0, 100))
+def test_view_wire_round_trip_and_coordinator_membership(members, counter):
+    coord = choose_coordinator(counter, members)
+    assert coord in members
+    view = View(ViewId(counter + 1, coord), members, coordinator=coord, f=0)
+    again = View.from_wire(view.to_wire())
+    assert again == view and again.coordinator == coord
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(0, 1000), st.lists(st.integers(), min_size=1, max_size=10,
+                                      unique=True))
+def test_coordinator_choice_is_deterministic_and_fair(counter, members):
+    a = choose_coordinator(counter, members)
+    b = choose_coordinator(counter, tuple(members))
+    assert a == b
+    # full rotation touches every member exactly once
+    coords = [choose_coordinator(c, members)
+              for c in range(counter, counter + len(members))]
+    assert sorted(coords, key=repr) == sorted(members, key=repr)
+
+
+@settings(max_examples=30, deadline=None)
+@given(node_ids, node_ids, st.binary(min_size=0, max_size=64))
+def test_pairwise_macs_verify_iff_untampered(a, b, blob):
+    keys = KeyManager()
+    auth = PairwiseSymmetricAuth(keys, CryptoCostModel())
+    if a == b:
+        return
+    sig, _cost, _size = auth.sign(a, [b], blob)
+    assert auth.verify(b, a, blob, sig)[0]
+    assert not auth.verify(b, a, blob + b"x", sig)[0]
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.tuples(st.integers(), st.text(max_size=10)),
+       st.tuples(st.integers(), st.text(max_size=10)))
+def test_stable_bytes_and_digest_injective_on_simple_payloads(p1, p2):
+    if p1 == p2:
+        assert stable_bytes(p1) == stable_bytes(p2)
+        assert content_digest(p1) == content_digest(p2)
+    else:
+        assert stable_bytes(p1) != stable_bytes(p2)
+        assert content_digest(p1) != content_digest(p2)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(node_ids, st.floats(min_value=0.1, max_value=5.0)),
+                min_size=1, max_size=30))
+def test_fuzzy_levels_nonnegative_and_bounded_by_total_raise(raises):
+    sim = Simulator()
+    levels = FuzzyLevels(sim, "mute", decay_interval=0.1, decay_amount=1.0)
+    totals = {}
+    for member, amount in raises:
+        levels.raise_level(member, amount)
+        totals[member] = totals.get(member, 0.0) + amount
+    for member, total in totals.items():
+        assert 0.0 <= levels.level(member) <= total + 1e-9
+    # aging strictly reduces every level
+    before = levels.snapshot()
+    sim.run(until=0.15)
+    for member, level in levels.snapshot().items():
+        assert level < before[member]
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=2, max_value=1000),
+       st.integers(min_value=0, max_value=2**31))
+def test_fragmentation_arithmetic_covers_payload(total, mtu_seed):
+    mtu = 1 + mtu_seed % 1400
+    count = -(-total // mtu)
+    sizes = [mtu] * (count - 1) + [total - mtu * (count - 1)]
+    assert sum(sizes) == total
+    assert all(0 < s <= mtu for s in sizes)

@@ -1,0 +1,79 @@
+"""Model-based stateful testing (hypothesis RuleBasedStateMachine).
+
+The reliable layer's contract -- per-origin FIFO, no holes, no
+duplicates, eventual delivery -- is checked against a trivial oracle
+(per-origin lists) while hypothesis drives arbitrary interleavings of
+casts, clock advances, and adversarial network weather.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (RuleBasedStateMachine, initialize,
+                                 invariant, rule)
+
+from repro import Group, StackConfig
+from repro.sim.network import NetworkConfig
+
+
+class ReliableDeliveryMachine(RuleBasedStateMachine):
+    """Random op-sequences against a 4-node group with a lossy network."""
+
+    @initialize(seed=st.integers(min_value=0, max_value=2**31),
+                drop=st.sampled_from([0.0, 0.05, 0.15]),
+                reorder=st.sampled_from([0.0, 0.1]))
+    def boot(self, seed, drop, reorder):
+        self.group = Group.bootstrap(
+            4, config=StackConfig.byz(), seed=seed,
+            net_config=NetworkConfig(drop_prob=drop, reorder_prob=reorder))
+        self.sent = {node: [] for node in self.group.endpoints}
+
+    @rule(sender=st.integers(min_value=0, max_value=3),
+          count=st.integers(min_value=1, max_value=5))
+    def cast(self, sender, count):
+        for _ in range(count):
+            index = len(self.sent[sender])
+            self.sent[sender].append(("m", sender, index))
+            self.group.endpoints[sender].cast(("m", sender, index))
+
+    @rule(duration=st.sampled_from([0.01, 0.05, 0.2]))
+    def advance(self, duration):
+        self.group.run(duration)
+
+    @invariant()
+    def deliveries_are_fifo_prefixes(self):
+        if not hasattr(self, "group"):
+            return
+        for node, endpoint in self.group.endpoints.items():
+            per_origin = {}
+            for event in endpoint.events:
+                if type(event).__name__ != "CastDeliver":
+                    continue
+                payload = event.payload
+                if not (isinstance(payload, tuple) and payload[0] == "m"):
+                    continue
+                per_origin.setdefault(payload[1], []).append(payload)
+            for origin, delivered in per_origin.items():
+                expected_prefix = self.sent[origin][: len(delivered)]
+                assert delivered == expected_prefix, (
+                    "node %r: %r != prefix %r"
+                    % (node, delivered[-3:], expected_prefix[-3:]))
+
+    def teardown(self):
+        if hasattr(self, "group"):
+            # quiescence: everything sent must eventually arrive everywhere
+            self.group.run(3.0)
+            self.deliveries_are_fifo_prefixes()
+            for node, endpoint in self.group.endpoints.items():
+                got = sum(1 for e in endpoint.events
+                          if type(e).__name__ == "CastDeliver"
+                          and isinstance(e.payload, tuple)
+                          and e.payload[0] == "m")
+                total = sum(len(v) for v in self.sent.values())
+                assert got == total, (node, got, total)
+            self.group.stop()
+
+
+ReliableDeliveryMachine.TestCase.settings = settings(
+    max_examples=12, stateful_step_count=12, deadline=None)
+
+TestReliableDelivery = ReliableDeliveryMachine.TestCase

@@ -1,0 +1,159 @@
+"""Tests for reliable FIFO delivery, loss recovery, and retransmission."""
+
+from tests.helpers import cast_ids, cast_payloads, make_group
+
+from repro import Group, StackConfig
+from repro.sim.network import NetworkConfig
+
+
+def lossy_group(n, drop_prob, seed=0, **config_kw):
+    config = StackConfig.byz(**config_kw)
+    return Group.bootstrap(n, config=config, seed=seed,
+                           net_config=NetworkConfig(drop_prob=drop_prob))
+
+
+def test_fifo_order_preserved_per_sender():
+    group = make_group(5, seed=1)
+    for k in range(20):
+        group.endpoints[0].cast(("m", k))
+    group.run(0.5)
+    for node in range(1, 5):
+        payloads = [p for p in cast_payloads(group.endpoints[node])
+                    if p[0] == "m"]
+        assert payloads == [("m", k) for k in range(20)]
+
+
+def test_sender_delivers_its_own_casts():
+    group = make_group(4, seed=2)
+    group.endpoints[1].cast("own")
+    group.run(0.2)
+    assert "own" in cast_payloads(group.endpoints[1])
+
+
+def test_loss_recovered_by_retransmission():
+    group = lossy_group(5, drop_prob=0.15, seed=3)
+    for k in range(30):
+        group.endpoints[0].cast(("m", k))
+    group.run(1.5)
+    for node in range(5):
+        payloads = [p for p in cast_payloads(group.endpoints[node])
+                    if isinstance(p, tuple) and p[0] == "m"]
+        assert payloads == [("m", k) for k in range(30)], "node %d" % node
+    naks = sum(p.reliable.naks_sent for p in group.processes.values())
+    assert naks > 0  # recovery actually exercised
+
+
+def test_heavy_loss_interleaved_senders():
+    group = lossy_group(4, drop_prob=0.25, seed=4)
+    for k in range(10):
+        for node in range(4):
+            group.endpoints[node].cast((node, k))
+    group.run(3.0)
+    for node in range(4):
+        payloads = cast_payloads(group.endpoints[node])
+        for sender in range(4):
+            from_sender = [p for p in payloads if p[0] == sender]
+            assert from_sender == [(sender, k) for k in range(10)]
+
+
+def test_reordering_does_not_break_fifo():
+    config = StackConfig.byz()
+    group = Group.bootstrap(4, config=config, seed=5,
+                            net_config=NetworkConfig(reorder_prob=0.3))
+    for k in range(25):
+        group.endpoints[2].cast(("r", k))
+    group.run(2.0)
+    for node in range(4):
+        payloads = [p for p in cast_payloads(group.endpoints[node])
+                    if p[0] == "r"]
+        assert payloads == [("r", k) for k in range(25)]
+
+
+def test_duplicates_are_suppressed():
+    config = StackConfig.byz()
+    group = Group.bootstrap(4, config=config, seed=6,
+                            net_config=NetworkConfig(duplicate_prob=0.5))
+    for k in range(15):
+        group.endpoints[0].cast(("d", k))
+    group.run(1.0)
+    for node in range(1, 4):
+        payloads = [p for p in cast_payloads(group.endpoints[node])
+                    if p[0] == "d"]
+        assert payloads == [("d", k) for k in range(15)]
+    assert any(p.reliable.duplicates > 0 for p in group.processes.values())
+
+
+def test_point_to_point_send_fifo():
+    group = make_group(4, seed=7)
+    for k in range(12):
+        group.endpoints[0].send(3, ("p2p", k))
+    group.run(0.3)
+    deliveries = [e.payload for e in group.endpoints[3].events
+                  if type(e).__name__ == "SendDeliver"]
+    assert deliveries == [("p2p", k) for k in range(12)]
+    # nobody else saw them
+    for node in (1, 2):
+        assert not [e for e in group.endpoints[node].events
+                    if type(e).__name__ == "SendDeliver"]
+
+
+def test_point_to_point_loss_recovery():
+    group = lossy_group(3, drop_prob=0.3, seed=8)
+    for k in range(20):
+        group.endpoints[0].send(1, ("pp", k))
+    group.run(2.0)
+    deliveries = [e.payload for e in group.endpoints[1].events
+                  if type(e).__name__ == "SendDeliver"]
+    assert deliveries == [("pp", k) for k in range(20)]
+
+
+def test_acks_trim_nothing_but_track_progress():
+    group = make_group(4, seed=9)
+    group.endpoints[0].cast("x")
+    group.run(0.3)
+    tracker = group.processes[1].stability
+    # everyone acked message 1 of node 0's app stream
+    assert tracker.min_ack(0, "a", group.processes[1].view.mbrs) >= 1
+
+
+def test_third_party_retransmission_with_sym_crypto():
+    # drop enough traffic that repeat NAKs rotate to third parties; with
+    # sym crypto the inner signature must verify
+    config = StackConfig.byz(crypto="sym", retrans_timeout=0.02)
+    group = Group.bootstrap(5, config=config, seed=10,
+                            net_config=NetworkConfig(drop_prob=0.3))
+    for k in range(20):
+        group.endpoints[0].cast(("t", k))
+    group.run(3.0)
+    for node in range(5):
+        payloads = [p for p in cast_payloads(group.endpoints[node])
+                    if p[0] == "t"]
+        assert payloads == [("t", k) for k in range(20)], "node %d" % node
+
+
+def test_forged_retransmission_rejected():
+    from repro.byzantine.behaviors import ForgedRetransmitter
+    config = StackConfig.byz(crypto="sym", retrans_timeout=0.02)
+    behaviors = {2: ForgedRetransmitter()}
+    group = Group.bootstrap(5, config=config, seed=11, behaviors=behaviors,
+                            net_config=NetworkConfig(drop_prob=0.25))
+    for k in range(15):
+        group.endpoints[0].cast(("f", k))
+    group.run(3.0)
+    # despite the forger, every correct node gets the true contents in order
+    for node in (0, 1, 3, 4):
+        payloads = [p for p in cast_payloads(group.endpoints[node])
+                    if isinstance(p, tuple) and p[0] == "f"]
+        assert payloads == [("f", k) for k in range(15)], "node %d" % node
+
+
+def test_stream_state_reports_own_and_peer_progress():
+    group = make_group(3, seed=12)
+    group.endpoints[0].cast("a")
+    group.endpoints[0].cast("b")
+    group.endpoints[1].cast("c")
+    group.run(0.2)
+    state = group.processes[2].reliable.stream_state()
+    assert state[0] == 2
+    assert state[1] == 1
+    assert state[2] == 0  # node 2 sent nothing

@@ -1,0 +1,214 @@
+"""The paper's formal claims, as executable tests.
+
+Each test carries the statement of one lemma/theorem from sections 3.4.1
+and 3.4.3 and checks it on the implementation -- under randomized
+schedules here, and (for the small cases) exhaustively in test_tools.py.
+"""
+
+import random
+
+from repro.broadcast.uniform import UniformBroadcast
+from repro.consensus.interface import max_f_consensus
+from repro.consensus.vector import VectorConsensus
+from repro.sim.scheduler import Simulator
+
+
+class Net:
+    """Message bus with per-sender twisting (for Byzantine senders)."""
+
+    def __init__(self, n, seed=0):
+        self.sim = Simulator(seed=seed)
+        self.members = list(range(n))
+        self.instances = {}
+        self.twist = {}
+
+    def bcast_from(self, sender):
+        def bcast(payload):
+            for receiver in self.members:
+                if receiver == sender:
+                    continue
+                out = payload
+                twist = self.twist.get(sender)
+                if twist is not None:
+                    out = twist(receiver, payload)
+                    if out is None:
+                        continue
+                self.sim.schedule(0.001 + self.sim.rng.random() * 0.002,
+                                  lambda r=receiver, s=sender, p=out:
+                                  self.instances[r].on_message(s, p))
+        return bcast
+
+    def run(self):
+        self.sim.run(max_events=2_000_000)
+
+
+def build_consensus(net, f, proposals, suspected=frozenset()):
+    decisions = {}
+    for i in net.members:
+        net.instances[i] = VectorConsensus(
+            "L", net.members, i, f, proposals[i], net.bcast_from(i),
+            is_suspected=lambda m: m in suspected,
+            on_decide=lambda v, i=i: decisions.__setitem__(i, v))
+    for i in net.members:
+        if i not in suspected:
+            net.instances[i].start()
+    return decisions
+
+
+def test_lemma_3_1_unanimous_estimates_never_change():
+    """Lemma 3.1 (n > 4f): if at the beginning of a round all core
+    processes share the estimate v[k], they never change it."""
+    n, f = 13, 2
+    # entry 0 unanimous; entry 1 contested so the protocol runs >1 round
+    proposals = {i: (7, i % 2) for i in range(n)}
+    net = Net(n, seed=1)
+    decisions = build_consensus(net, f, proposals)
+    net.run()
+    assert len(decisions) == n
+    for vec in decisions.values():
+        assert vec[0] == 7  # the unanimous entry survived every round
+
+
+def test_lemma_3_2_validity():
+    """Lemma 3.2: if all core processes propose v[k], nothing else can be
+    decided for entry k."""
+    n, f = 13, 2
+    for seed in range(3):
+        proposals = {i: ("keep", random.Random(seed * 100 + i).randint(0, 1))
+                     for i in range(n)}
+        net = Net(n, seed=seed)
+        decisions = build_consensus(net, f, proposals)
+        net.run()
+        assert all(vec[0] == "keep" for vec in decisions.values())
+
+
+def test_lemma_3_3_agreement_with_byzantine_equivocator():
+    """Lemma 3.3 (n > 6f): no two core processes decide differently --
+    here with a Byzantine member sending different estimates to different
+    peers."""
+    n, f = 13, 2
+    villain = 12
+    proposals = {i: (i % 2,) for i in range(n)}
+    net = Net(n, seed=3)
+
+    def twist(receiver, payload):
+        if payload[0] == "val":
+            return ("val", payload[1], (receiver % 2,))  # two-faced
+        return payload
+    net.twist[villain] = twist
+    decisions = build_consensus(net, f, proposals)
+    net.run()
+    core = [i for i in range(n) if i != villain]
+    assert all(i in decisions for i in core)
+    assert len({decisions[i] for i in core}) == 1
+
+
+def test_lemma_3_4_no_core_process_blocks_forever():
+    """Lemma 3.4: with at most f non-core members (silent here) and a
+    complete failure detector, no core process blocks in a round."""
+    n, f = 13, 2
+    silent = frozenset({11, 12})
+    proposals = {i: (i % 3,) for i in range(n)}
+    net = Net(n, seed=4)
+    decisions = build_consensus(net, f, proposals, suspected=silent)
+    net.run()
+    core = [i for i in range(n) if i not in silent]
+    assert all(i in decisions for i in core)  # nobody blocked
+
+
+def test_theorem_3_6_full_vector_consensus():
+    """Theorem 3.6: validity + agreement + termination on whole vectors."""
+    n, f = 13, 2
+    proposals = {i: tuple((i + k) % 2 for k in range(n)) for i in range(n)}
+    net = Net(n, seed=5)
+    decisions = build_consensus(net, f, proposals)
+    net.run()
+    assert len(decisions) == n
+    vecs = set(decisions.values())
+    assert len(vecs) == 1
+    decided = vecs.pop()
+    for k in range(n):
+        assert decided[k] in {proposals[i][k] for i in range(n)}
+
+
+def build_ub(net, f, origin):
+    delivered = {}
+    for i in net.members:
+        net.instances[i] = UniformBroadcast(
+            ("L", 0), net.members, i, f, origin, net.bcast_from(i),
+            on_deliver=lambda v, i=i: delivered.__setitem__(i, v))
+    return delivered
+
+
+def test_lemma_3_7_no_two_core_processes_deliver_differently():
+    """Lemma 3.7: even a two-faced origin cannot split delivery."""
+    n, f = 14, 2
+    net = Net(n, seed=6)
+    origin = 0
+
+    def twist(receiver, payload):
+        if payload[0] == "ub-initial":
+            return ("ub-initial", "A" if receiver < n // 2 else "B")
+        return payload
+    net.twist[origin] = twist
+    delivered = build_ub(net, f, origin)
+    net.instances[origin].originate("A")
+    net.run()
+    core_values = {v for i, v in delivered.items() if i != origin}
+    assert len(core_values) <= 1
+
+
+def test_lemma_3_8_delivery_is_contagious():
+    """Lemma 3.8: if one core process delivers v, every core process
+    eventually delivers v -- even when the origin crashes right after a
+    bare quorum of initial sends."""
+    n, f = 14, 2
+    net = Net(n, seed=7)
+    origin = 0
+    # the origin's initial reaches only a quorum-sized subset, then silence
+    reach = set(range(1, int(n / 2.0 + f + 2)))
+
+    def twist(receiver, payload):
+        if payload[0] == "ub-initial" and receiver not in reach:
+            return None
+        return payload
+    net.twist[origin] = twist
+    delivered = build_ub(net, f, origin)
+    net.instances[origin].originate("v")
+    net.run()
+    delivered_nodes = {i for i in delivered if i != origin}
+    if delivered_nodes:  # if anyone delivered, everyone did
+        assert delivered_nodes == set(range(1, n))
+
+
+def test_lemma_3_9_core_sender_always_delivers():
+    """Lemma 3.9: a correct origin's broadcast is delivered by every core
+    process (liveness at the safe f bound, DESIGN.md deviation 1)."""
+    n, f = 14, 2
+    net = Net(n, seed=8)
+    delivered = build_ub(net, f, origin=3)
+    net.instances[3].originate("w")
+    net.run()
+    assert set(delivered) == set(range(n))
+    assert set(delivered.values()) == {"w"}
+
+
+def test_section_3_5_amortized_single_round_ordering():
+    """Section 3.5: with deterministic batch choice under continuous load,
+    consensus instances after the first decide in one round."""
+    from repro import Group, StackConfig
+    group = Group.bootstrap(7, config=StackConfig.byz(total_order=True),
+                            seed=9)
+    state = {"sent": 0}
+
+    def pump():
+        if state["sent"] < 120:
+            for node in range(7):
+                group.endpoints[node].cast((node, state["sent"]))
+            state["sent"] += 1
+            group.sim.schedule(0.002, pump)
+    pump()
+    group.run(1.2)
+    ordering = group.processes[0].ordering
+    assert ordering.batches_decided >= 3
+    assert ordering.messages_ordered >= 7 * 100

@@ -1,0 +1,153 @@
+"""Unit tests for the oblivious network model."""
+
+import pytest
+
+from repro.sim.network import Cpu, Network, NetworkConfig, Nic
+from repro.sim.scheduler import Simulator
+from repro.sim.topology import FlatGigE
+
+
+def make_net(n=4, seed=0, **config_kw):
+    sim = Simulator(seed=seed)
+    net = Network(sim, FlatGigE(n), NetworkConfig(**config_kw))
+    inboxes = {}
+    for node in range(n):
+        inboxes[node] = []
+        net.attach(node, lambda src, p, node=node: inboxes[node].append((src, p)))
+    return sim, net, inboxes
+
+
+def test_unicast_delivers_with_latency():
+    sim, net, inboxes = make_net(jitter=0.0)
+    net.send(0, 1, 100, "hello")
+    sim.run()
+    assert inboxes[1] == [(0, "hello")]
+    assert sim.now >= FlatGigE.base_latency
+
+
+def test_messages_do_not_echo_to_sender():
+    sim, net, inboxes = make_net()
+    net.send(0, 1, 10, "m")
+    sim.run()
+    assert inboxes[0] == []
+
+
+def test_nic_serializes_bandwidth():
+    sim = Simulator()
+    nic = Nic(sim, bandwidth_bps=8_000_000, overhead_bytes=0)  # 1 MB/s
+    first = nic.transmit(1000)   # 1ms
+    second = nic.transmit(1000)  # queued behind the first
+    assert abs(first - 0.001) < 1e-9
+    assert abs(second - 0.002) < 1e-9
+
+
+def test_cpu_charges_sequentially():
+    sim = Simulator()
+    cpu = Cpu(sim)
+    assert abs(cpu.charge(0.010) - 0.010) < 1e-12
+    assert abs(cpu.charge(0.005) - 0.015) < 1e-12
+    assert abs(cpu.busy_accum - 0.015) < 1e-12
+
+
+def test_drop_probability_drops_some():
+    sim, net, inboxes = make_net(drop_prob=0.5, seed=7)
+    for _ in range(200):
+        net.send(0, 1, 10, "m")
+    sim.run()
+    received = len(inboxes[1])
+    assert 40 < received < 160
+    assert net.datagrams_dropped > 0
+
+
+def test_partition_blocks_cross_component_traffic():
+    sim, net, inboxes = make_net()
+    net.set_components([{0, 1}, {2, 3}])
+    net.send(0, 2, 10, "blocked")
+    net.send(0, 1, 10, "ok")
+    sim.run()
+    assert inboxes[2] == []
+    assert inboxes[1] == [(0, "ok")]
+
+
+def test_connectivity_is_symmetric_and_transitive():
+    sim, net, _ = make_net()
+    net.set_components([{0, 1, 2}])
+    for a in (0, 1, 2):
+        for b in (0, 1, 2):
+            assert net.connected(a, b)
+            assert net.connected(b, a)
+    assert not net.connected(0, 3)
+    assert not net.connected(3, 0)
+
+
+def test_nodes_not_in_any_component_become_singletons():
+    sim, net, _ = make_net()
+    net.set_components([{0, 1}])
+    assert not net.connected(2, 3)
+    assert net.connected(2, 2)
+
+
+def test_two_components_cannot_overlap():
+    sim, net, _ = make_net()
+    with pytest.raises(ValueError):
+        net.set_components([{0, 1}, {1, 2}])
+
+
+def test_heal_reconnects_everything():
+    sim, net, inboxes = make_net()
+    net.set_components([{0}, {1}, {2}, {3}])
+    net.heal()
+    net.send(0, 3, 10, "m")
+    sim.run()
+    assert inboxes[3] == [(0, "m")]
+
+
+def test_crashed_node_neither_sends_nor_receives():
+    sim, net, inboxes = make_net()
+    net.crash(1)
+    net.send(0, 1, 10, "to-crashed")
+    net.send(1, 0, 10, "from-crashed")
+    sim.run()
+    assert inboxes[1] == []
+    assert inboxes[0] == []
+
+
+def test_gossip_reaches_all_connected_listeners():
+    sim = Simulator()
+    net = Network(sim, FlatGigE(4), NetworkConfig())
+    heard = {node: [] for node in range(4)}
+    for node in range(4):
+        net.attach(node, lambda src, p: None,
+                   lambda src, p, node=node: heard[node].append((src, p)))
+    net.set_components([{0, 1, 2}, {3}])
+    net.gossip_cast(0, 32, "announce")
+    sim.run()
+    assert heard[1] == [(0, "announce")]
+    assert heard[2] == [(0, "announce")]
+    assert heard[3] == []   # partitioned away
+    assert heard[0] == []   # no self-gossip
+
+
+def test_reorder_probability_can_invert_arrival():
+    sim, net, inboxes = make_net(reorder_prob=1.0, seed=3)
+    # with reorder_prob=1 every message gets an extra random delay, so FIFO
+    # order across sends is no longer guaranteed
+    for i in range(50):
+        net.send(0, 1, 10, i)
+    sim.run()
+    payloads = [p for _src, p in inboxes[1]]
+    assert payloads != sorted(payloads)
+    assert sorted(payloads) == list(range(50))
+
+
+def test_duplicate_probability_duplicates():
+    sim, net, inboxes = make_net(duplicate_prob=1.0)
+    net.send(0, 1, 10, "m")
+    sim.run()
+    assert len(inboxes[1]) == 2
+
+
+def test_attach_twice_rejected():
+    sim, net, _ = make_net()
+    with pytest.raises(ValueError):
+        net.attach(0, lambda s, p: None)

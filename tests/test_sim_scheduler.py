@@ -1,0 +1,140 @@
+"""Unit tests for the discrete-event simulator kernel."""
+
+import pytest
+
+from repro.sim.scheduler import SimulationError, Simulator
+
+
+def test_events_fire_in_deadline_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(0.3, fired.append, "c")
+    sim.schedule(0.1, fired.append, "a")
+    sim.schedule(0.2, fired.append, "b")
+    sim.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_ties_break_by_insertion_order():
+    sim = Simulator()
+    fired = []
+    for token in range(10):
+        sim.schedule(0.5, fired.append, token)
+    sim.run()
+    assert fired == list(range(10))
+
+
+def test_now_tracks_event_deadline():
+    sim = Simulator()
+    observed = []
+    sim.schedule(1.5, lambda: observed.append(sim.now))
+    sim.run()
+    assert observed == [1.5]
+    assert sim.now == 1.5
+
+
+def test_run_until_boundary_leaves_later_events_queued():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "early")
+    sim.schedule(2.0, fired.append, "late")
+    sim.run(until=1.5)
+    assert fired == ["early"]
+    assert sim.now == 1.5
+    assert sim.pending == 1
+    sim.run()
+    assert fired == ["early", "late"]
+
+
+def test_cancelled_timer_does_not_fire():
+    sim = Simulator()
+    fired = []
+    timer = sim.schedule(1.0, fired.append, "x")
+    timer.cancel()
+    sim.run()
+    assert fired == []
+    assert not timer.active
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    timer = sim.schedule(1.0, lambda: None)
+    timer.cancel()
+    timer.cancel()
+    assert sim.run() == 0
+
+
+def test_schedule_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_past_deadline_rejected():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_callbacks_can_schedule_more_events():
+    sim = Simulator()
+    fired = []
+
+    def chain(depth):
+        fired.append(depth)
+        if depth < 5:
+            sim.schedule(0.1, chain, depth + 1)
+
+    sim.schedule(0.0, chain, 0)
+    sim.run()
+    assert fired == [0, 1, 2, 3, 4, 5]
+    assert abs(sim.now - 0.5) < 1e-12
+
+
+def test_max_events_guard():
+    sim = Simulator()
+
+    def forever():
+        sim.schedule(0.001, forever)
+
+    sim.schedule(0.0, forever)
+    with pytest.raises(SimulationError):
+        sim.run(max_events=100)
+
+
+def test_run_until_predicate():
+    sim = Simulator()
+    state = {"count": 0}
+
+    def tick():
+        state["count"] += 1
+        sim.schedule(0.1, tick)
+
+    sim.schedule(0.1, tick)
+    assert sim.run_until(lambda: state["count"] >= 3, timeout=10.0)
+    assert state["count"] == 3
+
+
+def test_run_until_timeout_advances_clock():
+    sim = Simulator()
+    assert not sim.run_until(lambda: False, timeout=2.0)
+    assert sim.now == 2.0
+
+
+def test_determinism_same_seed_same_draws():
+    draws_a = Simulator(seed=123).rng.random()
+    draws_b = Simulator(seed=123).rng.random()
+    assert draws_a == draws_b
+
+
+def test_step_processes_single_event():
+    sim = Simulator()
+    fired = []
+    sim.schedule(0.1, fired.append, 1)
+    sim.schedule(0.2, fired.append, 2)
+    assert sim.step()
+    assert fired == [1]
+    assert sim.step()
+    assert not sim.step()

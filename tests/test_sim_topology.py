@@ -1,0 +1,54 @@
+"""Unit tests for the BladeCenter topology quirks."""
+
+from repro.sim.topology import BladeCenterTopology, FlatGigE, HostModel
+
+
+def test_flat_topology_uniform_latency_and_private_nics():
+    topo = FlatGigE(48)
+    assert topo.latency(0, 47) == topo.latency(3, 4) == FlatGigE.base_latency
+    assert len({topo.nic_id(i) for i in range(48)}) == 48
+
+
+def test_small_blade_cluster_one_switch_no_extra_hop():
+    topo = BladeCenterTopology(12)
+    assert topo.latency(0, 11) == BladeCenterTopology.base_latency
+
+
+def test_large_blade_cluster_crosses_two_switches():
+    # above 12 nodes part of the communication crosses two switches
+    topo = BladeCenterTopology(24)
+    same_switch = topo.latency(0, 1)
+    cross_switch = topo.latency(0, 23)
+    assert cross_switch == same_switch + BladeCenterTopology.extra_switch_hop
+
+
+def test_nic_private_up_to_24_nodes():
+    topo = BladeCenterTopology(24)
+    assert len({topo.nic_id(i) for i in range(24)}) == 24
+
+
+def test_nic_shared_pairwise_above_24_nodes():
+    # above 24 nodes two processes run per blade and share its NIC
+    topo = BladeCenterTopology(32)
+    assert topo.nic_id(0) == topo.nic_id(1)
+    assert topo.nic_id(0) != topo.nic_id(2)
+    assert len({topo.nic_id(i) for i in range(32)}) == 16
+
+
+def test_shared_nic_pairs_share_switch():
+    topo = BladeCenterTopology(48)
+    # blade id determines the switch; both co-located processes match
+    assert topo._switch(0) == topo._switch(1)
+
+
+def test_describe_mentions_quirks():
+    text = BladeCenterTopology(48).describe()
+    assert "shared_nic=True" in text
+    assert "two_switches=True" in text
+
+
+def test_host_model_defaults_positive():
+    host = HostModel()
+    assert host.send_cpu > 0
+    assert host.recv_cpu > 0
+    assert host.byz_check_cpu > 0

@@ -1,0 +1,100 @@
+"""Small views and underprovisioned operation (paper section 3.4.5).
+
+Below the resilience bounds the stack degrades to f = 0 agreement and
+marks views ``underprovisioned`` (DESIGN.md deviation 5); crash/leave
+handling must still work, just without Byzantine tolerance.
+"""
+
+from tests.helpers import cast_payloads, make_group
+
+from repro import Group, StackConfig
+from repro.core.view import singleton_view
+
+
+def test_resilience_zero_below_bounds():
+    config = StackConfig.byz()
+    for n in range(1, 7):
+        assert config.resilience(n) == 0
+
+
+def test_initial_small_view_flagged_underprovisioned():
+    group = make_group(4, seed=1)
+    assert group.processes[0].view.underprovisioned
+    large = make_group(8, seed=1)
+    assert not large.processes[0].view.underprovisioned
+
+
+def test_three_node_group_survives_crash():
+    group = make_group(3, seed=2)
+    group.endpoints[0].cast("pre")
+    group.run(0.1)
+    group.crash(2)
+    ok = group.run_until(
+        lambda: all(p.view.n == 2 for p in group.processes.values()
+                    if not p.stopped), timeout=4.0)
+    assert ok
+    group.endpoints[0].cast("post")
+    group.run(0.3)
+    assert "post" in cast_payloads(group.endpoints[1])
+
+
+def test_two_node_group_survives_leave():
+    group = make_group(2, seed=3)
+    group.run(0.05)
+    group.endpoints[1].leave()
+    ok = group.run_until(lambda: group.processes[0].view.n == 1, timeout=4.0)
+    assert ok
+    assert group.processes[0].view.mbrs == (0,)
+
+
+def test_pair_collapse_to_singletons_on_partition():
+    group = make_group(2, seed=4)
+    group.run(0.05)
+    group.partition({0}, {1})
+    ok = group.run_until(
+        lambda: all(p.view.n == 1 for p in group.processes.values()),
+        timeout=4.0)
+    assert ok
+
+
+def test_singleton_can_cast_to_itself():
+    config = StackConfig.byz()
+    group = Group.bootstrap(1, config=config, seed=5)
+    group.endpoints[0].cast("solo")
+    group.run(0.1)
+    assert "solo" in cast_payloads(group.endpoints[0])
+
+
+def test_singleton_view_helper():
+    view = singleton_view(42)
+    assert view.n == 1 and view.coordinator == 42
+
+
+def test_small_total_order_group():
+    group = make_group(4, seed=6, total_order=True)
+    for node in range(4):
+        group.endpoints[node].cast((node, "x"))
+    group.run(0.6)
+    sequences = {tuple(e.msg_id for e in group.endpoints[n].events
+                       if type(e).__name__ == "CastDeliver")
+                 for n in range(4)}
+    assert len(sequences) == 1
+    assert len(sequences.pop()) == 4
+
+
+def test_small_uniform_delivery_group():
+    # n=4 cannot run the 2-step UB at f>=1; casts still deliver (f=0 path)
+    group = make_group(4, seed=7, uniform_delivery=True)
+    group.endpoints[0].cast("u")
+    group.run(0.4)
+    for node in range(4):
+        assert "u" in cast_payloads(group.endpoints[node])
+
+
+def test_grow_from_two_to_five_by_merging():
+    group = make_group(5, seed=8, established=False)
+    ok = group.run_until(
+        lambda: all(p.view.n == 5 for p in group.processes.values())
+        and len({p.view.vid for p in group.processes.values()}) == 1,
+        timeout=12.0)
+    assert ok

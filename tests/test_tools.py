@@ -1,0 +1,196 @@
+"""Tests for the tooling: schedule explorer and ASCII charts."""
+
+from repro.tools.ascii_chart import chart_block, render_chart
+from repro.tools.explorer import (ScheduleExplorer,
+                                  explore_consensus_agreement,
+                                  explore_uniform_broadcast)
+
+
+# ----------------------------------------------------------------------
+# schedule explorer
+# ----------------------------------------------------------------------
+def test_explorer_finds_injected_violation():
+    """Sanity: a deliberately unsafe 'protocol' is caught."""
+
+    class Racy:
+        def __init__(self, me, bus):
+            self.me = me
+            self.bus = bus
+            self.decided = None
+
+        def on_message(self, sender, payload):
+            if self.decided is None:
+                self.decided = payload  # adopt first arrival: unsafe
+
+    def factory(bus):
+        instances = {0: Racy(0, bus), 1: Racy(1, bus), 2: Racy(2, bus)}
+        bus.send(0, 1, "a")
+        bus.send(2, 1, "b")
+        bus.send(0, 2, "a")
+        bus.send(2, 2, "b")
+        return instances
+
+    def check(instances):
+        decided = {i.decided for i in instances.values()
+                   if i.decided is not None}
+        if len(decided) > 1:
+            return "split"
+        return None
+
+    explorer = ScheduleExplorer(factory, check)
+    assert not explorer.run()
+    assert explorer.violations
+    assert explorer.terminal_states >= 1
+
+
+def test_uniform_broadcast_safe_under_all_schedules():
+    explorer = explore_uniform_broadcast(4, 0, max_states=60_000)
+    assert not explorer.violations
+    assert explorer.terminal_states > 0
+
+
+def test_uniform_broadcast_two_faced_safe_under_all_schedules():
+    # the origin shows half the group "A" and half "B"; no schedule may
+    # split the correct members' deliveries
+    explorer = explore_uniform_broadcast(
+        5, 0, two_faced={1: "A", 2: "A", 3: "B", 4: "B"},
+        max_states=60_000)
+    assert not explorer.violations
+    assert explorer.states_explored > 100
+
+
+def test_consensus_agreement_under_all_schedules():
+    proposals = {0: (1,), 1: (0,), 2: (1,), 3: (0,)}
+    explorer = explore_consensus_agreement(4, 0, proposals,
+                                           max_states=40_000)
+    assert not explorer.violations
+    assert explorer.states_explored > 100
+
+
+def test_consensus_validity_under_all_schedules():
+    proposals = {i: (1,) for i in range(3)}
+    explorer = explore_consensus_agreement(3, 0, proposals,
+                                           max_states=30_000)
+    assert not explorer.violations
+    assert explorer.terminal_states > 0
+
+
+# ----------------------------------------------------------------------
+# ascii charts
+# ----------------------------------------------------------------------
+def test_chart_renders_all_series_markers():
+    series = {
+        "up": [(0, 0.0), (10, 10.0)],
+        "down": [(0, 10.0), (10, 0.0)],
+    }
+    lines = render_chart(series, width=30, height=8, title="t")
+    text = "\n".join(lines)
+    assert "t" == lines[0]
+    assert "o up" in text and "x down" in text
+    assert "o" in text and "x" in text
+
+
+def test_chart_handles_nan_and_flat_series():
+    series = {"flat": [(0, 5.0), (5, 5.0), (10, float("nan"))]}
+    lines = render_chart(series, width=20, height=5)
+    assert any("o" in line for line in lines)
+
+
+def test_chart_empty_series():
+    assert render_chart({"e": []}, title="none")[1] == "(no data)"
+
+
+def test_chart_block_is_fenced():
+    block = chart_block({"s": [(0, 1.0), (1, 2.0)]})
+    assert block.startswith("```") and block.endswith("```")
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def test_cli_calibration_runs():
+    from repro.__main__ import main
+    assert main(["calibration", "--nodes", "16"]) == 0
+
+
+def test_cli_demo_runs():
+    from repro.__main__ import main
+    assert main(["demo", "--nodes", "5", "--crypto", "none",
+                 "--seed", "3"]) == 0
+
+
+def test_cli_attack_unknown_scenario():
+    from repro.__main__ import main
+    assert main(["attack", "NotAScenario"]) == 2
+
+
+# ----------------------------------------------------------------------
+# timeline rendering
+# ----------------------------------------------------------------------
+def _small_run():
+    from repro import Group, StackConfig
+    group = Group.bootstrap(3, config=StackConfig.byz(), seed=9)
+    group.endpoints[0].cast(("x", 1))
+    group.run(0.2)
+    return group
+
+
+def test_timeline_globally_ordered():
+    from repro.tools.timeline import merged_events
+    group = _small_run()
+    times = [t for t, _n, _k, _e in merged_events(group.execution())]
+    assert times == sorted(times)
+    assert times  # non-empty
+
+
+def test_timeline_render_and_filters():
+    from repro.tools.timeline import render_timeline
+    group = _small_run()
+    lines = render_timeline(group.execution(), kinds={"cast_deliver"})
+    assert lines and all("deliver" in line for line in lines)
+    limited = render_timeline(group.execution(), limit=2)
+    assert len(limited) == 3 and "truncated" in limited[-1]
+
+
+def test_view_summary_counts_match():
+    from repro.tools.timeline import render_view_summary, view_summary
+    group = _small_run()
+    summary = view_summary(group.execution())
+    vid = group.processes[0].view.vid
+    assert summary[vid]["deliveries"] == {0: 1, 1: 1, 2: 1}
+    assert sorted(summary[vid]["installed_by"]) == [0, 1, 2]
+    assert render_view_summary(group.execution())
+
+
+def test_explorer_benor_agreement_small():
+    """Exhaustive schedules for the randomized consensus, deterministic
+    coin: the protocol must agree under every delivery order."""
+    from repro.consensus.benor import BenOrConsensus
+    from repro.tools.explorer import ScheduleExplorer
+
+    proposals = {0: 1, 1: 0, 2: 1}
+
+    def factory(bus):
+        instances = {}
+        for i in range(3):
+            instances[i] = BenOrConsensus(
+                "b", list(range(3)), i, 0, proposals[i],
+                lambda payload, i=i: bus.broadcast(i, payload),
+                coin=lambda: 1)  # deterministic coin keeps the space finite
+
+        def kickoff():
+            for i in range(3):
+                instances[i].start()
+        return instances, kickoff
+
+    def check(instances):
+        decided = {i: inst.decision for i, inst in instances.items()
+                   if inst.decided}
+        if len(set(decided.values())) > 1:
+            return "benor agreement violated: %r" % (decided,)
+        return None
+
+    explorer = ScheduleExplorer(factory, check, max_states=40_000,
+                                max_inflight_choice=3)
+    assert explorer.run(), explorer.violations
+    assert explorer.states_explored > 50

@@ -1,0 +1,95 @@
+"""Tests for the per-cast uniform delivery layer."""
+
+from tests.helpers import cast_payloads, make_group
+
+from repro import Group, StackConfig
+from repro.byzantine.behaviors import TwoFacedCaster
+from repro.sim.network import NetworkConfig
+
+
+def test_uniform_delivery_happy_path():
+    group = make_group(8, seed=1, uniform_delivery=True)
+    for node in range(8):
+        group.endpoints[node].cast(("u", node))
+    group.run(0.6)
+    for node in range(8):
+        payloads = set(cast_payloads(group.endpoints[node]))
+        assert payloads == {("u", k) for k in range(8)}
+        assert group.processes[node].uniform.delivered_uniform == 8
+
+
+def test_uniform_preserves_per_origin_fifo():
+    group = make_group(8, seed=2, uniform_delivery=True)
+    for k in range(10):
+        group.endpoints[1].cast(("f", k))
+    group.run(1.0)
+    for node in range(8):
+        mine = [p for p in cast_payloads(group.endpoints[node])
+                if isinstance(p, tuple) and p[0] == "f"]
+        assert mine == [("f", k) for k in range(10)]
+
+
+def test_two_faced_cast_agreed_or_suppressed():
+    behaviors = {3: TwoFacedCaster()}
+    config = StackConfig.byz(uniform_delivery=True)
+    group = Group.bootstrap(8, config=config, seed=3, behaviors=behaviors)
+    group.byzantine_nodes = {3}
+    group.endpoints[3].cast(("attack", 1))
+    group.run(1.0)
+    versions = set()
+    for node in range(8):
+        if node == 3:
+            continue
+        for ev in group.processes[node].history.events:
+            if ev[0] == "cast_deliver" and ev[3] == 3:
+                versions.add(ev[4])
+    # uniformity: at most one version delivered anywhere
+    assert len(versions) <= 1
+
+
+def test_two_faced_minority_copy_recovered_by_fetch():
+    # alter the copy for exactly one receiver: the quorum agrees on the
+    # majority digest and the odd receiver fetches a matching copy
+    def alter(payload, dst):
+        if dst == 5:
+            return ("evil-version",)
+        return payload
+
+    behaviors = {2: TwoFacedCaster(alter=alter)}
+    config = StackConfig.byz(uniform_delivery=True)
+    group = Group.bootstrap(8, config=config, seed=4, behaviors=behaviors)
+    group.byzantine_nodes = {2}
+    group.endpoints[2].cast(("真", 1))
+    group.run(1.5)
+    delivered_at_5 = [ev for ev in group.processes[5].history.events
+                      if ev[0] == "cast_deliver" and ev[3] == 2]
+    if delivered_at_5:
+        # node 5 must have delivered the majority version, not its own copy
+        others = [ev for node in (0, 1, 4) for ev in
+                  group.processes[node].history.events
+                  if ev[0] == "cast_deliver" and ev[3] == 2]
+        assert others
+        assert delivered_at_5[0][4] == others[0][4]
+        assert group.processes[5].uniform.mismatches_recovered >= 1
+
+
+def test_uniform_delivery_under_message_loss():
+    config = StackConfig.byz(uniform_delivery=True)
+    group = Group.bootstrap(8, config=config, seed=5,
+                            net_config=NetworkConfig(drop_prob=0.1))
+    for k in range(5):
+        group.endpoints[0].cast(("l", k))
+    group.run(2.5)
+    for node in range(8):
+        mine = [p for p in cast_payloads(group.endpoints[node])
+                if isinstance(p, tuple) and p[0] == "l"]
+        assert mine == [("l", k) for k in range(5)], "node %d" % node
+
+
+def test_uniform_inactive_when_total_order_on():
+    # total ordering subsumes uniform agreement (paper section 3.5)
+    group = make_group(7, seed=6, total_order=True, uniform_delivery=True)
+    group.endpoints[0].cast("x")
+    group.run(0.5)
+    assert group.processes[1].uniform.delivered_uniform == 0
+    assert "x" in cast_payloads(group.endpoints[1])

@@ -1,0 +1,80 @@
+"""Unit tests for views and view identifiers."""
+
+import pytest
+
+from repro.core.view import (View, ViewId, choose_coordinator, singleton_view)
+
+
+def test_view_ids_totally_ordered():
+    assert ViewId(1, 0) < ViewId(2, 0)
+    assert ViewId(1, 0) < ViewId(1, 5)   # tie broken by creator
+    assert ViewId(3, 0) > ViewId(2, 99)
+    assert ViewId(2, 1) == ViewId(2, 1)
+    assert ViewId(2, 1) <= ViewId(2, 1)
+    assert ViewId(2, 1) >= ViewId(2, 1)
+
+
+def test_concurrent_views_have_distinct_ids():
+    # two partitions bumping the counter independently still differ
+    assert ViewId(5, 0) != ViewId(5, 3)
+
+
+def test_view_id_hashable_and_wire_round_trip():
+    vid = ViewId(7, "node-a")
+    assert hash(vid) == hash(ViewId(7, "node-a"))
+    assert ViewId.from_wire(vid.to_wire()) == vid
+
+
+def test_view_id_from_bad_wire():
+    with pytest.raises(ValueError):
+        ViewId.from_wire(("vid", "not-int", 0))
+    with pytest.raises(ValueError):
+        ViewId.from_wire("garbage")
+
+
+def test_view_basics():
+    view = View(ViewId(1, 0), (0, 1, 2, 3), f=1)
+    assert view.n == 4
+    assert view.rank(2) == 2
+    assert 3 in view
+    assert 9 not in view
+
+
+def test_view_rejects_duplicates_and_foreign_coordinator():
+    with pytest.raises(ValueError):
+        View(ViewId(1, 0), (0, 1, 1))
+    with pytest.raises(ValueError):
+        View(ViewId(1, 0), (0, 1), coordinator=5)
+
+
+def test_view_wire_round_trip():
+    view = View(ViewId(3, 1), (1, 2, 3), coordinator=2, f=0,
+                underprovisioned=True)
+    again = View.from_wire(view.to_wire())
+    assert again == view
+    assert again.coordinator == 2
+    assert again.underprovisioned
+
+
+def test_coordinator_rotates_with_counter():
+    members = (10, 11, 12, 13)
+    coords = [choose_coordinator(c, members) for c in range(8)]
+    assert coords == [10, 11, 12, 13, 10, 11, 12, 13]
+
+
+def test_coordinator_default_is_rotation():
+    view = View(ViewId(5, 0), (0, 1, 2))
+    assert view.coordinator == choose_coordinator(5, (0, 1, 2))
+
+
+def test_choose_coordinator_empty_rejected():
+    with pytest.raises(ValueError):
+        choose_coordinator(0, ())
+
+
+def test_singleton_view():
+    view = singleton_view("me")
+    assert view.mbrs == ("me",)
+    assert view.coordinator == "me"
+    assert view.underprovisioned
+    assert view.vid.creator == "me"
