@@ -1,0 +1,75 @@
+"""Micro-benchmark: wall-clock cost of the observability plane.
+
+The plane must be a no-op when disabled: every hook site is a single
+``obs is None`` branch, so the instrumented build may not tax the default
+(obs-off) run.  This script measures the same deterministic ring workload
+three ways -- obs off, metrics only, metrics+tracing -- and reports
+wall-clock seconds and the simulated-result parity (which must be exact:
+the plane never schedules events, draws randomness, or charges CPU).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py [--n 8] [--repeat 3]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from repro import Group, ObsConfig, StackConfig
+from repro.apps.ring import RingDemo
+
+
+def one_run(obs, n, seed=7, duration=0.3):
+    config = StackConfig.byz(obs=obs)
+    started = time.perf_counter()
+    group = Group.bootstrap(n, config=config, seed=seed)
+    ring = RingDemo(group, burst=16, msg_size=16)
+    ring.start()
+    group.run(duration)
+    wall = time.perf_counter() - started
+    result = (group.sim.events_processed, ring.deliveries,
+              ring.min_rounds_completed())
+    group.stop()
+    return wall, result
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=8)
+    parser.add_argument("--repeat", type=int, default=3)
+    args = parser.parse_args(argv)
+    variants = [
+        ("disabled", None),
+        ("metrics only", ObsConfig(metrics=True, tracing=False)),
+        ("metrics+tracing", ObsConfig(metrics=True, tracing=True)),
+    ]
+    results = {}
+    for label, obs in variants:
+        walls = []
+        sim_result = None
+        for _ in range(args.repeat):
+            wall, result = one_run(obs, args.n)
+            walls.append(wall)
+            sim_result = result
+        results[label] = (min(walls), sim_result)
+        print("%-16s best of %d: %7.3f s  (events=%d deliveries=%d rounds=%d)"
+              % (label, args.repeat, min(walls), *sim_result))
+    base_wall, base_sim = results["disabled"]
+    ok = all(sim == base_sim for _w, sim in results.values())
+    print("simulated-result parity across variants: %s"
+          % ("OK" if ok else "BROKEN"))
+    for label, (wall, _sim) in results.items():
+        if label != "disabled":
+            print("%-16s overhead vs disabled: %+.1f%%"
+                  % (label, 100.0 * (wall - base_wall) / base_wall))
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,7 +22,7 @@ DESIGN.md section 6 for the calibration story.
 
 from __future__ import annotations
 
-from repro import Group, StackConfig
+from repro import Group, ObsConfig, StackConfig
 from repro.apps.ring import RingDemo
 from repro.byzantine.behaviors import (BadViewCoordinator, MuteCoordinator,
                                        MuteNode, VerboseNode)
@@ -67,13 +67,20 @@ FIG7_CONFIGS = {
 # Figures 5 and 7: throughput
 # ----------------------------------------------------------------------
 def ring_throughput(config, n, seed=7, burst=None, warm=None, measure=None,
-                    msg_size=16):
+                    msg_size=16, obs_export=None):
     """Ring-demo throughput for one (config, n) point.
 
     Windows shrink with n so each point costs a roughly constant number of
     simulated datagrams; PubCrypto gets long windows (its event rate is
     tiny) and a small burst (a large one would never complete a round).
+
+    With ``obs_export`` set to a path, the run is executed with the
+    observability plane enabled and its metrics+traces artifact is written
+    there as JSON (the simulated results are identical either way: the
+    plane never schedules events, draws randomness, or charges CPU).
     """
+    if obs_export is not None and not config.obs:
+        config = config.clone(obs=ObsConfig())
     if config.crypto == "pub":
         burst = burst or 2
         warm = warm if warm is not None else 1.0
@@ -105,6 +112,16 @@ def ring_throughput(config, n, seed=7, burst=None, warm=None, measure=None,
         "view_changes": view_changes,
         "sim_seconds": measure,
     }
+    if obs_export is not None:
+        group.export_obs(obs_export)
+        metrics = group.metrics
+        result["obs"] = {
+            "artifact": obs_export,
+            "casts_sent": metrics.total("casts_sent", layer="top"),
+            "casts_delivered": metrics.total("casts_delivered", layer="top"),
+            "datagrams": metrics.total("datagrams_out", layer="net"),
+            "traces": len(group.obs.tracer.traces) if group.obs.tracer else 0,
+        }
     group.stop()
     return result
 

@@ -196,6 +196,9 @@ def main(argv=None):
     parser.add_argument("--quick", action="store_true",
                         help="use the small size grid")
     parser.add_argument("--out", default="EXPERIMENTS.md")
+    parser.add_argument("--obs-out", default=None, metavar="PATH",
+                        help="also run one observability-instrumented point "
+                             "and write its metrics+traces JSON artifact")
     args = parser.parse_args(argv)
     sizes = QUICK_SIZES if args.quick else FULL_SIZES
     lines = []
@@ -222,6 +225,12 @@ def main(argv=None):
     sweep_fig7(sizes, log)
     sweep_fig8(sizes, log)
     sweep_table1(log)
+    if args.obs_out:
+        result = ring_throughput(FIG5_CONFIGS["ByzEns+NoCrypto"](),
+                                 min(sizes), obs_export=args.obs_out)
+        print("obs artifact: %s (%d traces, %d casts delivered)"
+              % (args.obs_out, result["obs"]["traces"],
+                 result["obs"]["casts_delivered"]))
     text = "\n".join(lines) + "\n"
     with open(args.out, "w") as handle:
         handle.write(text)

@@ -16,33 +16,66 @@ Quickstart::
     for event in group.endpoints[3].events:
         print(event)
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-paper-vs-measured results of every table and figure.
+Everything in ``__all__`` is the supported public surface; see docs/API.md
+for the tour and docs/OBSERVABILITY.md for the metrics/tracing plane.
 """
 
+from repro.adhoc.geometry import Field
+from repro.byzantine.behaviors import (
+    BadViewCoordinator,
+    ByzantineBehavior,
+    ForgedRetransmitter,
+    MuteCoordinator,
+    MuteNode,
+    Replayer,
+    SlowNode,
+    TwoFacedCaster,
+    VerboseNode,
+)
 from repro.core.config import StackConfig
 from repro.core.endpoint import GroupEndpoint
 from repro.core.events import BlockEvent, CastDeliver, SendDeliver, ViewEvent
 from repro.core.group import Group
 from repro.core.history import Execution, History
 from repro.core.process import GroupProcess
+from repro.core.properties import check_virtual_synchrony
 from repro.core.view import View, ViewId, singleton_view
+from repro.obs import MetricsRegistry, ObsConfig, ObservabilityPlane, Trace
+from repro.sim.network import NetworkConfig
+from repro.sim.topology import HostModel
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "BadViewCoordinator",
     "BlockEvent",
+    "ByzantineBehavior",
     "CastDeliver",
     "Execution",
+    "Field",
+    "ForgedRetransmitter",
     "Group",
     "GroupEndpoint",
     "GroupProcess",
     "History",
+    "HostModel",
+    "MetricsRegistry",
+    "MuteCoordinator",
+    "MuteNode",
+    "NetworkConfig",
+    "ObsConfig",
+    "ObservabilityPlane",
+    "Replayer",
     "SendDeliver",
+    "SlowNode",
     "StackConfig",
+    "Trace",
+    "TwoFacedCaster",
+    "VerboseNode",
     "View",
     "ViewEvent",
     "ViewId",
+    "check_virtual_synchrony",
     "singleton_view",
     "__version__",
 ]

@@ -53,6 +53,39 @@ def cmd_attack(args):
     return 0 if result["recovered"] else 1
 
 
+def cmd_trace(args):
+    """Boot an instrumented group, cast once, print the message's span."""
+    import json
+
+    from repro import Group, StackConfig
+    from repro.tools.timeline import render_trace
+    config = StackConfig.byz(crypto=args.crypto, obs=True)
+    group = Group.bootstrap(args.nodes, config=config, seed=args.seed)
+    msg_id = group.endpoints[0].cast(("traced", "cast"), size=16)
+    ok = group.run_until(
+        lambda: all(p.top.delivered >= 1 for p in group.processes.values()),
+        timeout=5.0)
+    trace = group.trace(msg_id)
+    if args.json:
+        print(json.dumps({"delivered_everywhere": ok,
+                          "trace": trace.to_dict() if trace else None,
+                          "metrics": group.metrics.to_dict()}, indent=2))
+        group.stop()
+        return 0 if ok else 1
+    print("cast %r on a %d-node %s cluster (delivered everywhere: %s)"
+          % (msg_id, args.nodes, config.label(), ok))
+    for line in render_trace(trace):
+        print(line)
+    print("\nper-layer hop counters:")
+    for row in group.metrics.rows():
+        if row["name"] in ("casts_sent", "casts_delivered", "datagrams_out",
+                           "datagrams_in"):
+            print("  node %-6s %-14s %-16s %d"
+                  % (row["node"], row["layer"], row["name"], row["value"]))
+    group.stop()
+    return 0 if ok else 1
+
+
 def cmd_calibration(args):
     """Print the calibration tables the benchmarks run on."""
     from repro.crypto.cost import CryptoCostModel
@@ -86,6 +119,15 @@ def main(argv=None):
     attack.add_argument("--nodes", type=int, default=12)
     attack.add_argument("--seed", type=int, default=7)
     attack.set_defaults(func=cmd_attack)
+
+    trace = sub.add_parser("trace", help=cmd_trace.__doc__)
+    trace.add_argument("--nodes", type=int, default=4)
+    trace.add_argument("--seed", type=int, default=11)
+    trace.add_argument("--crypto", choices=("none", "sym", "pub"),
+                       default="none")
+    trace.add_argument("--json", action="store_true",
+                       help="emit the artifact as JSON instead of text")
+    trace.set_defaults(func=cmd_trace)
 
     calib = sub.add_parser("calibration", help=cmd_calibration.__doc__)
     calib.add_argument("--nodes", type=int, default=48)

@@ -78,6 +78,8 @@ class AdHocNetwork(Network):
             self.datagrams_dropped += 1
             return
         sent_at = src_port.nic.transmit(size_bytes)
+        if self.observer is not None:
+            self.observer.on_datagram_sent(src, dst, size_bytes, payload)
         if dst_port is None or dst_port.crashed:
             self.datagrams_dropped += 1
             return
@@ -143,6 +145,8 @@ class AdHocNetwork(Network):
             cutoff = self._copy_counter - 32768
             self._seen_copies[dst] = {m for m in seen if m > cutoff}
         self.datagrams_delivered += 1
+        if self.observer is not None:
+            self.observer.on_datagram_delivered(dst, src, payload)
         port.deliver(src, payload)
 
     # ------------------------------------------------------------------
@@ -153,6 +157,8 @@ class AdHocNetwork(Network):
         if src_port is None or src_port.crashed:
             return
         sent_at = src_port.nic.transmit(size_bytes)
+        if self.observer is not None:
+            self.observer.on_gossip_sent(src, size_bytes)
         component = None
         for comp in self.field.components():
             if src in comp:

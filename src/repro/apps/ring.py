@@ -8,11 +8,16 @@ rate measures throughput.
 
 Throughput accounting follows the paper: a broadcast delivered to n nodes
 counts as *one* message.
+
+Measurements land in a :class:`repro.obs.MetricsRegistry` under the
+``("app", "ring", ...)`` coordinates -- the group's shared registry when
+the cluster was bootstrapped with observability on, or a private one
+otherwise, so the demo works identically either way.
 """
 
 from __future__ import annotations
 
-from repro.sim.stats import LatencyProbe
+from repro.obs.metrics import MetricsRegistry
 
 
 class RingDemo:
@@ -26,9 +31,11 @@ class RingDemo:
         self._round = {}        # node -> current round number
         self._received = {}     # node -> {origin: count in current round}
         self._cast_times = {}   # msg_id -> cast time
-        self.latency = LatencyProbe()
+        self.metrics = (group.metrics if group.metrics is not None
+                        else MetricsRegistry())
+        self._deliveries = self.metrics.counter("app", "ring", "deliveries")
+        self.latency = self.metrics.histogram("app", "ring", "latency")
         self.rounds_completed = {}
-        self.deliveries = 0     # total cast-deliver events (all nodes)
         self.measuring = False
         self._measure_start = None
         self._measured_deliveries = 0
@@ -52,6 +59,11 @@ class RingDemo:
     def stop_measurement(self):
         self.measuring = False
         self._measure_stop = self.group.sim.now
+
+    @property
+    def deliveries(self):
+        """Total cast-deliver events across all nodes."""
+        return self._deliveries.value
 
     @property
     def throughput(self):
@@ -79,12 +91,12 @@ class RingDemo:
 
     def _make_on_cast(self, node):
         def on_cast(event):
-            self.deliveries += 1
+            self._deliveries.inc()
             if self.measuring:
                 self._measured_deliveries += 1
             cast_time = self._cast_times.get(event.msg_id)
             if cast_time is not None and self.rounds_completed[node] >= self.warmup_rounds:
-                self.latency.add(event.time - cast_time)
+                self.latency.observe(event.time - cast_time)
             if event.origin == node:
                 return  # own messages do not gate the round
             received = self._received[node]

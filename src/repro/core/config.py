@@ -23,6 +23,7 @@ from repro.consensus.interface import (
     max_f_uniform,
 )
 from repro.crypto.cost import CryptoCostModel
+from repro.obs import ObsConfig
 from repro.sim.topology import HostModel
 
 
@@ -69,6 +70,9 @@ class StackConfig:
                  # total ordering
                  order_batch_max=1024,
                  order_tick=0.002,
+                 # observability (repro.obs): None/False = fully disabled
+                 # (untaxed failure-free path); True = ObsConfig defaults
+                 obs=None,
                  # models
                  host=None,
                  crypto_costs=None):
@@ -102,6 +106,9 @@ class StackConfig:
         self.packing_delay = packing_delay
         self.order_batch_max = order_batch_max
         self.order_tick = order_tick
+        if obs is True:
+            obs = ObsConfig()
+        self.obs = obs or None
         self.host = host or HostModel()
         self.crypto_costs = crypto_costs or CryptoCostModel()
 

@@ -64,6 +64,33 @@ class GroupEndpoint:
         self.process.membership.announce_leave()
 
     # ------------------------------------------------------------------
+    # observability (repro.obs)
+    # ------------------------------------------------------------------
+    def trace(self, msg_id):
+        """The recorded span of one message across the whole cluster.
+
+        Returns the :class:`repro.obs.trace.Trace` for ``msg_id`` -- every
+        layer hop, wire transfer, timer hop, and application delivery the
+        message went through on every node -- or None if the id was never
+        seen.  Raises RuntimeError when observability is disabled (the
+        default): bootstrap with ``StackConfig(obs=True)``.
+        """
+        obs = self.process.obs
+        if obs is None or obs.tracer is None:
+            raise RuntimeError(
+                "message tracing is disabled; bootstrap with "
+                "StackConfig(obs=True) or obs=ObsConfig(tracing=True)")
+        return obs.tracer.get(msg_id)
+
+    @property
+    def metrics(self):
+        """This node's slice of the metrics registry, or None when off."""
+        obs = self.process.obs
+        if obs is None:
+            return None
+        return obs.metrics.select(node=self.node_id)
+
+    # ------------------------------------------------------------------
     # dispatch from the top layer
     # ------------------------------------------------------------------
     def dispatch_view(self, time, view):

@@ -20,6 +20,7 @@ from repro.core.history import Execution
 from repro.core.process import GroupProcess
 from repro.core.view import View, ViewId, singleton_view
 from repro.crypto.keys import KeyManager
+from repro.obs import ObservabilityPlane
 from repro.sim.network import Network, NetworkConfig
 from repro.sim.scheduler import Simulator
 from repro.sim.topology import BladeCenterTopology
@@ -29,14 +30,25 @@ class Group:
     """A simulated cluster of group-communication daemons."""
 
     def __init__(self, sim, network, processes, endpoints, config,
-                 keys=None):
+                 keys=None, obs=None):
         self.sim = sim
         self.network = network
         self.processes = processes    # {node_id: GroupProcess}
         self.endpoints = endpoints    # {node_id: GroupEndpoint}
         self.config = config
         self.keys = keys or KeyManager()
+        self.obs = obs                # ObservabilityPlane, or None
         self.byzantine_nodes = set()
+
+    @staticmethod
+    def _make_obs(sim, network, config):
+        """Build and install the observability plane when configured."""
+        if not config.obs:
+            return None
+        plane = ObservabilityPlane(sim, config.obs)
+        sim.observer = plane
+        network.observer = plane
+        return plane
 
     # ------------------------------------------------------------------
     @classmethod
@@ -57,6 +69,7 @@ class Group:
         sim = Simulator(seed=seed)
         topology = (topology_cls or BladeCenterTopology)(n)
         network = Network(sim, topology, net_config or NetworkConfig())
+        obs = cls._make_obs(sim, network, config)
         keys = KeyManager()
         if node_ids is None:
             node_ids = list(range(n))
@@ -70,10 +83,12 @@ class Group:
         for node_id in node_ids:
             initial = common if established else singleton_view(node_id)
             process = GroupProcess(sim, network, node_id, config, keys,
-                                   initial, behavior=behaviors.get(node_id))
+                                   initial, behavior=behaviors.get(node_id),
+                                   obs=obs)
             processes[node_id] = process
             endpoints[node_id] = GroupEndpoint(process)
-        group = cls(sim, network, processes, endpoints, config, keys=keys)
+        group = cls(sim, network, processes, endpoints, config, keys=keys,
+                    obs=obs)
         group.byzantine_nodes = set(behaviors)
         if start:
             group.start()
@@ -113,6 +128,7 @@ class Group:
             field = Field(radio_range=0.45)
             field.place_grid(node_ids)
         network = AdHocNetwork(sim, field, net_config, max_paths=max_paths)
+        obs = cls._make_obs(sim, network, config)
         keys = KeyManager()
         behaviors = behaviors or {}
         members = tuple(node_ids)
@@ -124,11 +140,13 @@ class Group:
         for node_id in node_ids:
             initial = common if established else singleton_view(node_id)
             process = GroupProcess(sim, network, node_id, config, keys,
-                                   initial, behavior=behaviors.get(node_id))
+                                   initial, behavior=behaviors.get(node_id),
+                                   obs=obs)
             processes[node_id] = process
             endpoints[node_id] = GroupEndpoint(process)
         network.refresh_components()
-        group = cls(sim, network, processes, endpoints, config, keys=keys)
+        group = cls(sim, network, processes, endpoints, config, keys=keys,
+                    obs=obs)
         group.byzantine_nodes = set(behaviors)
         if start:
             group.start()
@@ -166,6 +184,30 @@ class Group:
                 if not p.stopped and node not in self.byzantine_nodes]
 
     # ------------------------------------------------------------------
+    # observability (repro.obs)
+    # ------------------------------------------------------------------
+    @property
+    def metrics(self):
+        """The cluster-wide MetricsRegistry, or None when obs is off."""
+        return self.obs.metrics if self.obs is not None else None
+
+    def trace(self, msg_id):
+        """The recorded cross-node span of ``msg_id`` (see endpoint.trace)."""
+        if self.obs is None or self.obs.tracer is None:
+            raise RuntimeError(
+                "message tracing is disabled; bootstrap with "
+                "StackConfig(obs=True) or obs=ObsConfig(tracing=True)")
+        return self.obs.tracer.get(msg_id)
+
+    def export_obs(self, path):
+        """Write the metrics+traces artifact of this run as JSON."""
+        if self.obs is None:
+            raise RuntimeError(
+                "observability is disabled; bootstrap with "
+                "StackConfig(obs=True) to collect an artifact")
+        return self.obs.export_json(path)
+
+    # ------------------------------------------------------------------
     # observation helpers
     # ------------------------------------------------------------------
     def views(self):
@@ -198,7 +240,7 @@ class Group:
             raise ValueError("node %r already exists" % (node_id,))
         process = GroupProcess(self.sim, self.network, node_id, self.config,
                                self.keys, singleton_view(node_id),
-                               behavior=behavior)
+                               behavior=behavior, obs=self.obs)
         endpoint = GroupEndpoint(process)
         self.processes[node_id] = process
         self.endpoints[node_id] = endpoint

@@ -55,7 +55,7 @@ class GroupProcess:
     """A single group-communication daemon on the simulated network."""
 
     def __init__(self, sim, network, node_id, config, keys, initial_view,
-                 behavior=None):
+                 behavior=None, obs=None):
         self.sim = sim
         self.network = network
         self.node_id = node_id
@@ -64,6 +64,7 @@ class GroupProcess:
         self.view = initial_view
         self.f = config.resilience(initial_view.n)
         self.behavior = behavior
+        self.obs = obs    # shared ObservabilityPlane, or None (disabled)
         self.endpoint = None
         self.stopped = False
         self.cpu = Cpu(sim)

@@ -65,6 +65,35 @@ class Layer:
     def send_up(self, msg):
         self.stack.up_from(self, msg)
 
+    # observability -----------------------------------------------------
+    @property
+    def obs(self):
+        """The cluster's observability plane, or None when disabled."""
+        return self.stack.obs
+
+    def count(self, name, n=1):
+        """Bump the per-(node, layer) counter ``name``; no-op when off."""
+        obs = self.stack.obs
+        if obs is not None and obs.metrics_enabled:
+            obs.metrics.inc(self.me, self.name, name, n)
+
+    def observe(self, name, value):
+        """Record ``value`` into the per-(node, layer) histogram."""
+        obs = self.stack.obs
+        if obs is not None and obs.metrics_enabled:
+            obs.metrics.observe(self.me, self.name, name, value)
+
+    def set_gauge(self, name, value):
+        obs = self.stack.obs
+        if obs is not None and obs.metrics_enabled:
+            obs.metrics.set_gauge(self.me, self.name, name, value)
+
+    def trace_mark(self, msg, action, detail=None):
+        """Annotate the message's span without counting a layer hop."""
+        obs = self.stack.obs
+        if obs is not None:
+            obs.mark(self.me, self.name, action, msg, detail)
+
     # control path ------------------------------------------------------
     def on_view(self, view):
         """A new view was installed (called bottom-up on every layer)."""
@@ -84,6 +113,9 @@ class LayerStack:
 
     def __init__(self, process, layers):
         self.process = process
+        # the cluster's observability plane (None when disabled): every
+        # hook below is a single is-None branch in the disabled case
+        self.obs = getattr(process, "obs", None)
         self.layers = list(layers)  # bottom first
         for idx, layer in enumerate(self.layers):
             layer._idx = idx
@@ -104,21 +136,34 @@ class LayerStack:
         idx = layer._idx
         if idx == 0:
             raise RuntimeError("bottom layer cannot send further down")
-        self.layers[idx - 1].handle_down(msg)
+        below = self.layers[idx - 1]
+        if self.obs is not None:
+            self.obs.hop(self.process.node_id, below.name, "down", msg)
+        below.handle_down(msg)
 
     def up_from(self, layer, msg):
         idx = layer._idx
         if idx == len(self.layers) - 1:
             raise RuntimeError("top layer cannot send further up")
-        self.layers[idx + 1].handle_up(msg)
+        above = self.layers[idx + 1]
+        if self.obs is not None:
+            self.obs.hop(self.process.node_id, above.name, "up", msg)
+        above.handle_up(msg)
 
     def inject_down(self, msg):
         """Entry point for the endpoint: hand a message to the top layer."""
-        self.layers[-1].handle_down(msg)
+        top = self.layers[-1]
+        if self.obs is not None:
+            # this hop opens the message's span at its origin
+            self.obs.hop(self.process.node_id, top.name, "down", msg)
+        top.handle_down(msg)
 
     def inject_up(self, msg):
         """Entry point for the network: hand a datagram to the bottom."""
-        self.layers[0].handle_up(msg)
+        bottom = self.layers[0]
+        if self.obs is not None:
+            self.obs.hop(self.process.node_id, bottom.name, "up", msg)
+        bottom.handle_up(msg)
 
     # ------------------------------------------------------------------
     def control(self, event, **data):

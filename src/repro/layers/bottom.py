@@ -56,6 +56,8 @@ class BottomLayer(Layer):
             self.me, receivers, msg.auth_content())
         msg.signature = signature
         self.messages_signed += 1
+        self.count("messages_signed")
+        self.observe("sign_cpu", sign_cost)
         host = self.config.host
         if self.config.packing:
             # per-packet costs are charged at pack-flush time instead
@@ -114,6 +116,7 @@ class BottomLayer(Layer):
         total = sum(size for _msg, size in queue)
         container = ("pack", tuple(msg for msg, _size in queue))
         self.packets_packed += 1
+        self.count("packets_packed")
         self.sim.schedule_at(done, self.process.network.send,
                              self.me, dst, total, container)
 
@@ -157,6 +160,7 @@ class BottomLayer(Layer):
             # realized by cryptography / private lines -- section 2.2)
             if msg.sender != src:
                 self.dropped_impersonation += 1
+                self.count("drop_impersonation")
                 process.verbose_detector.illegal(src, "bottom:impersonation")
                 return
             ok, _cost = process.auth.verify(
@@ -166,11 +170,13 @@ class BottomLayer(Layer):
                 # a corrupt or forged message: its digest does not fit its
                 # content; drop it before it reaches any layer
                 self.dropped_bad_signature += 1
+                self.count("drop_bad_signature")
                 process.verbose_detector.illegal(src, "bottom:bad-signature")
                 return
         if (msg.view_id != process.view.vid
                 and msg.kind not in CROSS_VIEW_KINDS):
             self.dropped_wrong_view += 1
+            self.count("drop_wrong_view")
             return
         process.note_heard_from(src)
         self.send_up(msg)

@@ -63,6 +63,7 @@ class FlowLayer(Layer):
             self.send_down(msg)
         else:
             self.stalls += 1
+            self.count("stalls")
             self._queue.append(msg)
 
     def _window_open(self):

@@ -40,6 +40,7 @@ class FragmentLayer(Layer):
         total = msg.payload_size
         count = -(-total // mtu)  # ceil division
         self.fragmented += 1
+        self.count("casts_fragmented")
         for index in range(count):
             chunk_size = mtu if index < count - 1 else total - mtu * (count - 1)
             # only the last fragment carries the payload object; earlier
@@ -80,6 +81,7 @@ class FragmentLayer(Layer):
         if state[1] == count:
             del self._assembly[msg.origin]
             self.reassembled += 1
+            self.count("casts_reassembled")
             whole = Message(mk.KIND_CAST, msg.origin, msg.view_id,
                             msg.payload, total, msg_id=msg.msg_id)
             whole.sender = msg.sender

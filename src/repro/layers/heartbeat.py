@@ -62,6 +62,7 @@ class HeartbeatLayer(Layer):
         if self.view.n > 1:
             hb = Message(mk.KIND_HEARTBEAT, self.me, self.view.vid, (),
                          payload_size=4)
+            self.count("heartbeats_sent")
             self.send_down(hb)
             now = self.sim.now
             for member in self.view.mbrs:
@@ -88,6 +89,7 @@ class HeartbeatLayer(Layer):
             payload = ("gossip", view.to_wire(), stack_fingerprint(config))
             self.process.gossip(payload, size=32 + 8 * view.n)
             self.gossips_sent += 1
+            self.count("gossips_sent")
         else:
             # a coordinator that stops announcing its view is mute
             silent = self.sim.now - self._last_coord_gossip

@@ -179,6 +179,7 @@ class MembershipLayer(Layer):
         if self.view.n == 1 and self._pending_joiners is None:
             return  # nothing to decide in a singleton view
         self._state = CONSENSUS
+        self.count("view_changes_started")
         if self.change_started_at is None:
             self.change_started_at = self.sim.now
         self.stack.blocked = True
@@ -631,8 +632,10 @@ class MembershipLayer(Layer):
     def _install(self, new_view):
         started = self.change_started_at
         self.view_changes += 1
+        self.count("view_changes")
         if started is not None:
             self.last_change_duration = self.sim.now - started
+            self.observe("view_change_seconds", self.last_change_duration)
         self.change_started_at = None
         self.process.install_view(new_view)
 

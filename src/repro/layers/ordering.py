@@ -224,6 +224,8 @@ class OrderingLayer(Layer):
         batch = vector[0]
         if isinstance(batch, tuple):
             self.batches_decided += 1
+            self.count("batches_decided")
+            self.observe("batch_size", len(batch))
             entries = sorted(
                 (e for e in batch
                  if isinstance(e, tuple) and len(e) == 3
@@ -244,6 +246,7 @@ class OrderingLayer(Layer):
             return
         self._delivered.add(msg_id)
         self.messages_ordered += 1
+        self.count("messages_ordered")
         held = self._buffer.pop(msg_id, None)
         origin = msg_id[0]
         # always deliver the *decided* content: with a two-faced origin our
@@ -294,6 +297,7 @@ class OrderingLayer(Layer):
             msg = self._buffer[msg_id]
             self._delivered.add(msg_id)
             self.messages_ordered += 1
+            self.count("messages_ordered")
             self.send_up(msg)
         self._buffer.clear()
         done, self._flush_done_cb = self._flush_done_cb, None
@@ -322,6 +326,7 @@ class OrderingLayer(Layer):
             msg = self._buffer[msg_id]
             self._delivered.add(msg_id)
             self.messages_ordered += 1
+            self.count("messages_ordered")
             self.send_up(msg)
         self._buffer.clear()
         done, self._flush_done_cb = self._flush_done_cb, None

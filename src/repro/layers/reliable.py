@@ -253,8 +253,10 @@ class ReliableLayer(Layer):
         self._since_ack = 0
         vector = self._delivered_vector()
         if self.config.ack_mode == "gossip":
+            self.count("ack_gossips_sent")
             self._gossip_ack(vector)
             return
+        self.count("acks_sent")
         ack = Message(mk.KIND_ACK, self.me, self.view.vid, vector,
                       payload_size=6 * len(vector))
         self.send_down(ack)
@@ -422,6 +424,7 @@ class ReliableLayer(Layer):
         if target == self.me:
             return
         self.naks_sent += 1
+        self.count("naks_sent")
         payload = (origin, stream, tuple(missing[:64]))
         nak = Message(mk.KIND_NAK, self.me, self.view.vid, payload,
                       payload_size=8 + 4 * len(payload[2]), dest=target)
@@ -451,6 +454,7 @@ class ReliableLayer(Layer):
             if wire is None:
                 continue
             self.retransmissions_served += 1
+            self.count("retransmissions_served")
             retrans = Message(mk.KIND_RETRANS, self.me, self.view.vid, wire,
                               payload_size=wire[6] + 24, dest=msg.sender)
             self.send_down(retrans)

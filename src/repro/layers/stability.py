@@ -148,6 +148,9 @@ class StabilityTracker:
                 if behind > config.flow_window:
                     strikes = self._lag_strikes.get(member, 0) + 1
                     self._lag_strikes[member] = strikes
+                    obs = process.obs
+                    if obs is not None and obs.metrics_enabled:
+                        obs.metrics.inc(me, "stability", "laggard_strikes")
                     if strikes >= 2:
                         process.mute_levels.raise_level(member, 1.0)
                 else:

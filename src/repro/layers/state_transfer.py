@@ -103,6 +103,7 @@ class StateTransferLayer(Layer):
 
     def _send_snapshot(self, joiner, snapshot, digest):
         self.transfers_sent += 1
+        self.count("snapshots_sent")
         size = 24 + len(repr(snapshot))
         full = Message(KIND_STATE, self.me, self.view.vid,
                        ("snapshot", digest, snapshot), payload_size=size,
@@ -183,6 +184,7 @@ class StateTransferLayer(Layer):
                 self._retry_timer.cancel()
                 self._retry_timer = None
             self.installed += 1
+            self.count("snapshots_installed")
             if endpoint is not None and endpoint.state_installer is not None:
                 endpoint.state_installer(snapshot)
             return
@@ -192,6 +194,7 @@ class StateTransferLayer(Layer):
         if quorum_digests and self._snapshots and not (
                 quorum_digests & set(self._snapshots)):
             self.rejected_snapshots += 1
+            self.count("snapshots_rejected")
             self._ask_next_provider()
 
     def _ask_next_provider(self):

@@ -82,6 +82,7 @@ class SuspicionLayer(Layer):
         if member in self._local:
             return
         self._local.add(member)
+        self.count("local_suspicions")
         self._slanders.setdefault(member, set()).add(self.me)
         slander = Message(mk.KIND_SLANDER, self.me, self.view.vid,
                           (member, reason), payload_size=12)
@@ -104,6 +105,7 @@ class SuspicionLayer(Layer):
         if msg.kind != mk.KIND_SLANDER:
             self.send_up(msg)
             return
+        self.count("slanders_received")
         if self.config.byzantine:
             if self.process.verbose_detector.observe(
                     msg.origin, "suspicion:slander"):
@@ -124,6 +126,7 @@ class SuspicionLayer(Layer):
         if (len(slanderers) >= f + 1 and target not in self._adopted
                 and target not in self._local):
             self._adopted.add(target)
+            self.count("suspicions_adopted")
             self._after_new_suspicion()
 
     # ------------------------------------------------------------------
@@ -156,6 +159,7 @@ class SuspicionLayer(Layer):
         if self._change_requested:
             return
         self._change_requested = True
+        self.count("view_change_triggers")
         if self._settle_timer is not None:
             self._settle_timer.cancel()
             self._settle_timer = None

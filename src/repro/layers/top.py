@@ -36,6 +36,7 @@ class TopLayer(Layer):
         """Entry point used by the endpoint for ``cast``."""
         self._cast_counter += 1
         msg_id = (self.me, self._cast_counter)
+        self.count("casts_submitted")
         if self.stack.blocked:
             self._blocked_queue.append((msg_id, payload, size))
         else:
@@ -47,6 +48,7 @@ class TopLayer(Layer):
         from repro.core.message import Message
         msg = Message(mk.KIND_SEND, self.me, self.view.vid, payload, size,
                       dest=dest)
+        self.count("sends_submitted")
         self.process.history.record_send(self.sim.now, dest, self.view.vid)
         self.handle_down(msg)
 
@@ -55,6 +57,10 @@ class TopLayer(Layer):
         msg = Message(mk.KIND_CAST, self.me, self.view.vid, payload, size,
                       msg_id=msg_id)
         self.casts_sent += 1
+        self.count("casts_sent")
+        # opens the message's span: the first hop of its life is entering
+        # this layer on its origin node, headed down
+        self.trace_mark(msg, "down")
         self.process.history.record_cast(self.sim.now, msg_id, self.view.vid)
         self.handle_down(msg)
 
@@ -75,6 +81,14 @@ class TopLayer(Layer):
         now = self.sim.now
         if msg.kind == mk.KIND_CAST:
             self.delivered += 1
+            self.count("casts_delivered")
+            self.trace_mark(msg, "deliver")
+            obs = self.obs
+            if obs is not None and obs.metrics_enabled:
+                born = obs.origin_time(msg.msg_id)
+                if born is not None:
+                    obs.metrics.observe(self.me, self.name, "cast_latency",
+                                        now - born)
             process.history.record_cast_deliver(
                 now, msg.msg_id, msg.origin, msg.payload, self.view.vid)
             endpoint = process.endpoint
@@ -82,6 +96,7 @@ class TopLayer(Layer):
                 endpoint.dispatch_cast(now, msg.origin, msg.payload,
                                        self.view.vid, msg.msg_id)
         elif msg.kind == mk.KIND_SEND:
+            self.count("sends_delivered")
             process.history.record_send_deliver(
                 now, msg.origin, msg.payload, self.view.vid)
             endpoint = process.endpoint

@@ -202,6 +202,7 @@ class UniformDeliveryLayer(Layer):
             self._instances.pop(msg_id, None)
             self._done[msg_id] = entry.agreed
             self.delivered_uniform += 1
+            self.count("uniform_delivered")
             self.send_up(entry.msg)
         self._check_flush()
 
@@ -232,6 +233,7 @@ class UniformDeliveryLayer(Layer):
         if payload_digest(payload) != entry.agreed:
             return
         self.mismatches_recovered += 1
+        self.count("mismatches_recovered")
         fixed = Message(mk.KIND_CAST, msg_id[0], entry.msg.view_id, payload,
                         size if isinstance(size, int) else 0, msg_id=msg_id)
         entry.msg = fixed

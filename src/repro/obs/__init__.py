@@ -1,0 +1,33 @@
+"""repro.obs -- the stack-wide observability plane.
+
+Per-node metrics (counters, gauges, histograms keyed by ``(node, layer,
+name)``) plus message-lifecycle tracing with causal links across nodes
+through the wire format's message ids.  Enable it per cluster with
+``StackConfig(obs=True)`` (or an explicit :class:`ObsConfig`); read it
+back through ``group.metrics`` and ``endpoint.trace(msg_id)``; export
+with ``group.export_obs(path)``.  Disabled (the default), every hook in
+the stack is a single ``is None`` branch and the simulated execution is
+byte-identical to an uninstrumented run.
+
+See ``docs/OBSERVABILITY.md``.
+"""
+
+from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                               mean, percentile, stddev)
+from repro.obs.plane import ObsConfig, ObservabilityPlane
+from repro.obs.trace import Trace, TraceEvent, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ObsConfig",
+    "ObservabilityPlane",
+    "Trace",
+    "TraceEvent",
+    "Tracer",
+    "mean",
+    "percentile",
+    "stddev",
+]

@@ -104,6 +104,9 @@ class Network:
         self.datagrams_sent = 0
         self.datagrams_dropped = 0
         self.datagrams_delivered = 0
+        # optional observability hook (repro.obs): None (the default)
+        # costs one branch per datagram
+        self.observer = None
 
     # ------------------------------------------------------------------
     # membership of the physical network
@@ -174,18 +177,25 @@ class Network:
     def send(self, src, dst, size_bytes, payload):
         """Unreliable unicast datagram of ``size_bytes`` from src to dst."""
         self.datagrams_sent += 1
+        observer = self.observer
         src_port = self._ports.get(src)
         dst_port = self._ports.get(dst)
         if src_port is None or src_port.crashed:
             self.datagrams_dropped += 1
             return
         sent_at = src_port.nic.transmit(size_bytes)
+        if observer is not None:
+            observer.on_datagram_sent(src, dst, size_bytes, payload)
         if dst_port is None or dst_port.crashed or not self.connected(src, dst):
             self.datagrams_dropped += 1
+            if observer is not None:
+                observer.on_datagram_dropped(src, dst)
             return
         rng = self.sim.rng
         if self.config.drop_prob and rng.random() < self.config.drop_prob:
             self.datagrams_dropped += 1
+            if observer is not None:
+                observer.on_datagram_dropped(src, dst)
             return
         delay = self.topology.latency(src, dst)
         if self.config.jitter:
@@ -203,6 +213,8 @@ class Network:
         if src_port is None or src_port.crashed:
             return
         sent_at = src_port.nic.transmit(size_bytes)
+        if self.observer is not None:
+            self.observer.on_gossip_sent(src, size_bytes)
         rng = self.sim.rng
         for node_id, port in list(self._ports.items()):
             if node_id == src or port.crashed or port.gossip_deliver is None:
@@ -224,10 +236,14 @@ class Network:
             self.datagrams_dropped += 1
             return
         self.datagrams_delivered += 1
+        if self.observer is not None:
+            self.observer.on_datagram_delivered(dst, src, payload)
         port.deliver(src, payload)
 
     def _deliver_gossip(self, dst, src, payload):
         port = self._ports.get(dst)
         if port is None or port.crashed or port.gossip_deliver is None:
             return
+        if self.observer is not None:
+            self.observer.on_gossip_delivered(dst, src)
         port.gossip_deliver(src, payload)

@@ -36,6 +36,9 @@ class Simulator:
         self._seq = 0
         self._events_processed = 0
         self._running = False
+        # optional observability hook (repro.obs): notified before each
+        # fired timer; None (the default) costs one branch per event
+        self.observer = None
 
     # ------------------------------------------------------------------
     # scheduling
@@ -76,6 +79,8 @@ class Simulator:
             if timer.cancelled:
                 continue
             self.now = deadline
+            if self.observer is not None:
+                self.observer.on_timer(self.now, timer)
             timer.callback(*timer.args)
             self._events_processed += 1
             return True
@@ -107,6 +112,8 @@ class Simulator:
                     break
                 heapq.heappop(self._heap)
                 self.now = deadline
+                if self.observer is not None:
+                    self.observer.on_timer(self.now, timer)
                 timer.callback(*timer.args)
                 self._events_processed += 1
                 processed += 1
@@ -141,6 +148,8 @@ class Simulator:
                 break
             heapq.heappop(self._heap)
             self.now = event_deadline
+            if self.observer is not None:
+                self.observer.on_timer(self.now, timer)
             timer.callback(*timer.args)
             self._events_processed += 1
             processed += 1

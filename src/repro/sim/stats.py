@@ -1,4 +1,9 @@
-"""Measurement probes used by the benchmark harness.
+"""Measurement probes -- deprecated shims over :mod:`repro.obs.metrics`.
+
+The probes predate the observability plane; they are kept as thin
+wrappers so existing harness code and scripts keep working, but new code
+should use :class:`repro.obs.MetricsRegistry` (``group.metrics``) or the
+instruments in :mod:`repro.obs.metrics` directly.
 
 All times are simulated seconds; all probes are pure accumulators with no
 effect on the execution they observe.
@@ -6,47 +11,38 @@ effect on the execution they observe.
 
 from __future__ import annotations
 
-import math
+from repro.obs.metrics import Counter, Histogram, mean, percentile, stddev
 
-
-def mean(samples):
-    if not samples:
-        return float("nan")
-    return sum(samples) / len(samples)
-
-
-def percentile(samples, q):
-    """Nearest-rank percentile; ``q`` in [0, 100]."""
-    if not samples:
-        return float("nan")
-    ordered = sorted(samples)
-    rank = max(0, min(len(ordered) - 1, int(math.ceil(q / 100.0 * len(ordered))) - 1))
-    return ordered[rank]
-
-
-def stddev(samples):
-    if len(samples) < 2:
-        return 0.0
-    mu = mean(samples)
-    return math.sqrt(sum((s - mu) ** 2 for s in samples) / (len(samples) - 1))
+__all__ = ["LatencyProbe", "ThroughputProbe", "mean", "percentile", "stddev"]
 
 
 class ThroughputProbe:
-    """Counts completed operations between :meth:`start` and :meth:`stop`."""
+    """Counts completed operations between :meth:`start` and :meth:`stop`.
+
+    Deprecated: a :class:`repro.obs.metrics.Counter` plus two timestamps.
+    """
 
     def __init__(self, sim):
         self.sim = sim
-        self.count = 0
+        self._counter = Counter()
         self._start = None
         self._stop = None
 
+    @property
+    def count(self):
+        return self._counter.value
+
+    @count.setter
+    def count(self, value):
+        self._counter.value = value
+
     def start(self):
         self._start = self.sim.now
-        self.count = 0
+        self._counter.value = 0
 
     def record(self, n=1):
         if self._start is not None and self._stop is None:
-            self.count += n
+            self._counter.inc(n)
 
     def stop(self):
         self._stop = self.sim.now
@@ -64,14 +60,20 @@ class ThroughputProbe:
         elapsed = self.elapsed
         if elapsed <= 0:
             return float("nan")
-        return self.count / elapsed
+        return self._counter.value / elapsed
 
 
-class LatencyProbe:
-    """Accumulates per-operation latency samples."""
+class LatencyProbe(Histogram):
+    """Accumulates per-operation latency samples.
+
+    Deprecated: a :class:`repro.obs.metrics.Histogram` with a begin/end
+    pairing convenience.
+    """
+
+    __slots__ = ("_open",)
 
     def __init__(self):
-        self.samples = []
+        super().__init__()
         self._open = {}
 
     def begin(self, key, now):
@@ -84,15 +86,3 @@ class LatencyProbe:
 
     def add(self, value):
         self.samples.append(value)
-
-    @property
-    def mean(self):
-        return mean(self.samples)
-
-    @property
-    def p99(self):
-        return percentile(self.samples, 99)
-
-    @property
-    def maximum(self):
-        return max(self.samples) if self.samples else float("nan")

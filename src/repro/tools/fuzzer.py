@@ -22,13 +22,17 @@ class ScenarioFuzzer:
     """Generates and executes one random scenario per seed."""
 
     def __init__(self, seed, n=None, config=None, ops=12,
-                 byzantine_fraction=0.3, allow=OPS):
+                 byzantine_fraction=0.3, allow=OPS, obs=False):
         self.seed = seed
         self.rng = random.Random(seed)
         self.n = n or self.rng.randint(6, 10)
         self.ops = ops
         self.allow = allow
         self.config = config or StackConfig.byz()
+        if obs and not self.config.obs:
+            # observability never perturbs the run (pure accumulators), so
+            # turning it on does not change which seeds fail
+            self.config = self.config.clone(obs=True if obs is True else obs)
         self.byzantine_fraction = byzantine_fraction
         self.script = []
         self.group = None
@@ -135,6 +139,30 @@ class ScenarioFuzzer:
             execution,
             content_agreement=self.config.total_order,
             total_order=self.config.total_order)
+
+    def metrics_summary(self):
+        """Key counters of the finished run (requires ``obs=True``).
+
+        A failing seed's summary shows at a glance *where* the scenario
+        hurt: drops at the bottom layer, retransmission storms, view-change
+        churn.  Returns None when the fuzzer ran without observability.
+        """
+        metrics = self.group.metrics if self.group is not None else None
+        if metrics is None:
+            return None
+        return {
+            "casts_sent": metrics.total("casts_sent", layer="top"),
+            "casts_delivered": metrics.total("casts_delivered", layer="top"),
+            "datagrams_out": metrics.total("datagrams_out", layer="net"),
+            "datagrams_dropped": metrics.total("datagrams_dropped",
+                                               layer="net"),
+            "retransmissions": metrics.total("retransmissions_served",
+                                             layer="reliable"),
+            "suspicions": metrics.total("local_suspicions",
+                                        layer="suspicion"),
+            "view_changes": metrics.total("view_changes",
+                                          layer="membership"),
+        }
 
 
 def fuzz(seeds, **kw):

@@ -52,6 +52,28 @@ def render_timeline(execution, kinds=None, nodes=None, limit=None):
     return lines
 
 
+def render_trace(trace, node=None, limit=None):
+    """Text lines for a recorded :class:`repro.obs.trace.Trace` span.
+
+    The per-message analogue of :func:`render_timeline`: every layer hop,
+    wire transfer, and delivery of one message, across all nodes, in time
+    order.  With ``node``, only that node's hops.
+    """
+    if trace is None:
+        return ["(no trace recorded for that message id)"]
+    lines = []
+    events = (trace.events if node is None
+              else trace.events_for(node))
+    for ev in events:
+        detail = "" if ev.detail is None else " %r" % (ev.detail,)
+        lines.append("t=%10.6f  node %-6r %-14s %-7s%s"
+                     % (ev.time, ev.node, ev.layer, ev.action, detail))
+        if limit is not None and len(lines) >= limit:
+            lines.append("... (truncated at %d events)" % limit)
+            break
+    return lines
+
+
 def view_summary(execution):
     """Per-view digest: members, installers, and delivery counts.
 

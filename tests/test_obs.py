@@ -1,0 +1,257 @@
+"""The observability plane: metrics, tracing, and its no-op guarantee."""
+
+import json
+import os
+
+import pytest
+
+from repro import Group, ObsConfig, StackConfig
+from repro.apps.ring import RingDemo
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import Tracer
+from repro.tools.timeline import render_trace
+
+RECEIVE_PATH = ["reliable", "fragment", "flow", "heartbeat", "suspicion",
+                "membership", "state_transfer", "ordering", "uniform", "top"]
+
+
+# ----------------------------------------------------------------------
+# registry / tracer units
+# ----------------------------------------------------------------------
+def test_registry_instruments():
+    reg = MetricsRegistry()
+    reg.inc(0, "top", "casts", 2)
+    reg.inc(0, "top", "casts")
+    assert reg.get(0, "top", "casts").value == 3
+    reg.observe(1, "top", "latency", 0.5)
+    reg.observe(1, "top", "latency", 1.5)
+    hist = reg.get(1, "top", "latency")
+    assert hist.count == 2 and hist.mean == 1.0 and hist.maximum == 1.5
+    reg.set_gauge(0, "flow", "queue", 7)
+    assert reg.get(0, "flow", "queue").value == 7
+    assert reg.get(9, "nope", "never") is None
+    assert len(reg) == 3
+
+
+def test_registry_kind_mismatch_raises():
+    reg = MetricsRegistry()
+    reg.inc(0, "top", "x")
+    with pytest.raises(TypeError):
+        reg.histogram(0, "top", "x")
+
+
+def test_registry_queries_and_export():
+    reg = MetricsRegistry()
+    for node in (0, 1, 2):
+        reg.inc(node, "top", "casts", node + 1)
+        reg.observe(node, "top", "lat", float(node))
+    assert reg.total("casts", layer="top") == 6
+    assert set(reg.select(node=1)) == {(1, "top", "casts"), (1, "top", "lat")}
+    assert sorted(reg.merged_histogram("lat").samples) == [0.0, 1.0, 2.0]
+    rows = reg.to_dict()
+    assert len(rows) == 6
+    assert json.loads(reg.to_json())  # round-trips
+    csv = reg.to_csv()
+    assert csv.splitlines()[0].startswith("node,layer,name,kind")
+    assert len(csv.splitlines()) == 7
+
+
+def test_tracer_capacity_eviction():
+    tracer = Tracer(capacity=3)
+    for k in range(5):
+        tracer.hop((0, k), 0.0, 0, "top", "down")
+    assert len(tracer) == 3
+    assert tracer.evicted == 2
+    assert tracer.get((0, 0)) is None        # oldest went first
+    assert tracer.get((0, 4)) is not None
+
+
+# ----------------------------------------------------------------------
+# disabled by default: the plane does not exist anywhere
+# ----------------------------------------------------------------------
+def test_disabled_by_default():
+    group = Group.bootstrap(3, config=StackConfig.byz(), seed=1)
+    assert group.obs is None
+    assert group.metrics is None
+    assert group.sim.observer is None
+    assert group.network.observer is None
+    for process in group.processes.values():
+        assert process.obs is None
+        assert process.stack.obs is None
+    assert group.endpoints[0].metrics is None
+    with pytest.raises(RuntimeError):
+        group.trace((0, 1))
+    with pytest.raises(RuntimeError):
+        group.endpoints[0].trace((0, 1))
+    with pytest.raises(RuntimeError):
+        group.export_obs("never-written.json")
+    group.stop()
+
+
+# ----------------------------------------------------------------------
+# the no-op guarantee: simulated execution identical with and without
+# ----------------------------------------------------------------------
+def _instrumented_run(obs):
+    config = StackConfig.byz(obs=obs)
+    group = Group.bootstrap(4, config=config, seed=11)
+    ring = RingDemo(group, burst=8, msg_size=16)
+    ring.start()
+    group.run(0.1)
+    fingerprint = (group.sim.now, group.sim.events_processed,
+                   ring.deliveries, ring.min_rounds_completed(),
+                   tuple(sorted((n, p.view.vid) for n, p in
+                                group.processes.items())))
+    group.stop()
+    return fingerprint
+
+
+def test_obs_execution_parity():
+    base = _instrumented_run(None)
+    assert _instrumented_run(True) == base
+    assert _instrumented_run(ObsConfig(metrics=True, tracing=False)) == base
+    assert _instrumented_run(ObsConfig(metrics=False, tracing=True)) == base
+
+
+# ----------------------------------------------------------------------
+# span completeness on a 4-node cast
+# ----------------------------------------------------------------------
+@pytest.fixture
+def traced_cast():
+    group = Group.bootstrap(4, config=StackConfig.byz(obs=True), seed=11)
+    mid = group.endpoints[0].cast("traced", size=16)
+    ok = group.run_until(
+        lambda: all(p.top.delivered >= 1 for p in group.processes.values()),
+        timeout=2.0)
+    assert ok
+    yield group, mid
+    group.stop()
+
+
+def test_trace_span_completeness(traced_cast):
+    group, mid = traced_cast
+    trace = group.trace(mid)
+    assert trace is group.endpoints[2].trace(mid)
+    assert trace.nodes() == {0, 1, 2, 3}
+    # origin: span opens at the top layer heading down, through the stack
+    down = trace.path(node=0, actions=("down",))
+    assert down[0] == "top" and down[-1] == "bottom"
+    # every receiver: the full up-path through the stack, in order
+    for node in (1, 2, 3):
+        assert trace.path(node=node, actions=("up",)) == RECEIVE_PATH
+    # the wire: one tx per receiver at the origin, one rx per receiver
+    tx = [ev for ev in trace.events if ev.action == "tx"]
+    assert [ev.node for ev in tx] == [0, 0, 0]
+    assert sorted(ev.detail for ev in tx) == [1, 2, 3]
+    rx = [ev for ev in trace.events if ev.action == "rx"]
+    assert sorted(ev.node for ev in rx) == [1, 2, 3]
+    # application delivery on all four nodes (origin self-delivers)
+    assert set(trace.deliveries()) == {0, 1, 2, 3}
+    assert trace.opened == 0.0
+    assert trace.closed >= max(trace.deliveries().values())
+    # render paths
+    assert len(trace.render()) == len(trace)
+    assert len(render_trace(trace, node=1)) == len(trace.events_for(1))
+    assert render_trace(None) == ["(no trace recorded for that message id)"]
+
+
+def test_trace_latency_and_counters(traced_cast):
+    group, mid = traced_cast
+    metrics = group.metrics
+    assert metrics.total("casts_sent", layer="top") == 1
+    assert metrics.total("casts_delivered", layer="top") == 4
+    assert metrics.total("messages_signed", layer="bottom") > 0
+    assert metrics.total("timers_fired", layer="scheduler") > 0
+    assert metrics.total("datagrams_out", layer="net") > 0
+    latency = metrics.merged_histogram("cast_latency", layer="top")
+    assert latency.count == 4
+    assert latency.maximum < 0.05
+    # the endpoint's slice only sees its own node
+    slice0 = group.endpoints[0].metrics
+    assert slice0 and all(key[0] == 0 for key in slice0)
+
+
+def test_untraced_msg_id_returns_none(traced_cast):
+    group, _mid = traced_cast
+    assert group.trace((99, 12345)) is None
+
+
+def test_obs_export_artifact(tmp_path):
+    path = str(tmp_path / "obs.json")
+    group = Group.bootstrap(4, config=StackConfig.byz(obs=True), seed=11)
+    group.endpoints[0].cast("exported", size=16)
+    group.run(0.05)
+    assert group.export_obs(path) == path
+    with open(path) as handle:
+        artifact = json.load(handle)
+    assert set(artifact) == {"sim_now", "metrics", "traces"}
+    assert artifact["metrics"] and artifact["traces"]
+    assert "(0, 1)" in artifact["traces"]
+    group.stop()
+
+
+# ----------------------------------------------------------------------
+# harness / tools integration
+# ----------------------------------------------------------------------
+def test_ring_throughput_obs_export(tmp_path):
+    import sys
+    sys.path.insert(0, os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    from benchmarks.harness import ring_throughput
+    path = str(tmp_path / "point.json")
+    plain = ring_throughput(StackConfig.byz(), 8)
+    result = ring_throughput(StackConfig.byz(), 8, obs_export=path)
+    # enabling observability does not move the measured number at all
+    assert result["throughput"] == plain["throughput"]
+    assert result["obs"]["casts_delivered"] > 0
+    assert result["obs"]["traces"] > 0
+    with open(path) as handle:
+        assert json.load(handle)["metrics"]
+
+
+def test_fuzzer_metrics_summary():
+    from repro.tools.fuzzer import ScenarioFuzzer
+    fuzzer = ScenarioFuzzer(3, n=4, ops=3, byzantine_fraction=0.0,
+                            allow=("cast_burst", "run"), obs=True)
+    fuzzer.execute()
+    assert fuzzer.check() == []
+    summary = fuzzer.metrics_summary()
+    assert summary["casts_delivered"] > 0
+    assert summary["view_changes"] >= 0
+    fuzzer.group.stop()
+    # without obs the summary is None and fuzz() keeps its return shape
+    plain = ScenarioFuzzer(3, n=4, ops=2, byzantine_fraction=0.0,
+                           allow=("run",)).execute()
+    assert plain.metrics_summary() is None
+    plain.group.stop()
+
+
+def test_trace_cli(capsys):
+    from repro.__main__ import main
+    assert main(["trace", "--nodes", "4", "--seed", "11"]) == 0
+    out = capsys.readouterr().out
+    assert "delivered everywhere: True" in out
+    assert "deliver" in out
+    assert main(["trace", "--json"]) == 0
+    artifact = json.loads(capsys.readouterr().out)
+    assert artifact["delivered_everywhere"] is True
+    assert artifact["trace"]["events"]
+
+
+def test_stats_probes_are_obs_shims():
+    from repro.sim.stats import LatencyProbe
+    probe = LatencyProbe()
+    assert isinstance(probe, Histogram)
+    probe.begin("a", 1.0)
+    probe.end("a", 1.5)
+    probe.add(1.0)
+    assert probe.count == 2 and probe.p99 == 1.0
+
+
+def test_instruments_have_kinds():
+    assert Counter().kind == "counter"
+    assert Gauge().kind == "gauge"
+    assert Histogram().kind == "histogram"
+    gauge = Gauge()
+    gauge.add(2)
+    gauge.add(3)
+    assert gauge.value == 5
