@@ -1,0 +1,225 @@
+"""Wall-clock (host) performance of the simulator's hot paths.
+
+Every other benchmark in this directory reports *simulated* seconds; this
+one measures how fast the simulation itself runs on the host, so perf
+regressions in the Python hot paths (encoding, MACs, fan-out, the event
+loop) are caught even though they never change a simulated outcome.
+
+Workloads are the paper-shaped ones that stress the hot paths:
+
+* ``fig5``  -- ring throughput (16-byte casts) for the NoCrypto and
+  SymCrypto Byzantine stacks; sym crypto exercises the per-receiver MAC
+  vector, the dominant cost the paper optimizes for the common case;
+* ``fig8``  -- a view change (merge and leave), exercising the
+  membership/consensus layers rather than steady-state traffic.
+
+For each point the benchmark records wall seconds, simulated events
+processed, and **events per wall second** -- the machine-level figure of
+merit tracked across PRs in ``BENCH_wallclock.json``.
+
+Because absolute events/sec depends on the host, every run also times a
+fixed pure-Python calibration loop (``calib_s``).  Comparisons between
+runs (``--check-against``) use the *calibration-normalized* rate
+``events_per_s * calib_s``, which is stable across machines of different
+speeds but catches real slowdowns of the simulation code.
+
+Usage::
+
+    python benchmarks/bench_wallclock.py [--quick] [--out PATH]
+        [--check-against BASELINE.json [--tolerance 0.30]] [--tag NAME]
+
+``--check-against`` exits non-zero if any matching workload point's
+normalized events/sec regressed more than ``--tolerance`` (default 30%)
+versus the baseline file's ``runs["after"]`` entry (or its flat
+``workloads`` list).
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from benchmarks.harness import (FIG5_CONFIGS, ring_throughput,
+                                view_change_latency)
+
+FULL_NS = (8, 16, 32, 50)
+QUICK_NS = (8, 16)
+FIG5_LABELS = ("ByzEns+NoCrypto", "ByzEns+SymCrypto")
+FIG8_KINDS = ("merge", "leave")
+
+
+def calibrate(rounds=60000):
+    """Seconds for a fixed pure-Python+hashlib loop; measures host speed."""
+    start = time.perf_counter()
+    acc = b"calib"
+    total = 0
+    for k in range(rounds):
+        acc = hashlib.sha256(acc).digest()
+        total += acc[0] ^ (k & 0xFF)
+    if total < 0:  # keep the loop un-eliminable
+        raise AssertionError
+    return time.perf_counter() - start
+
+
+def run_fig5(sizes, seed=7):
+    points = []
+    for label in FIG5_LABELS:
+        for n in sizes:
+            start = time.perf_counter()
+            result = ring_throughput(FIG5_CONFIGS[label](), n, seed=seed)
+            wall = time.perf_counter() - start
+            events = result["events"]
+            point = {
+                "workload": "fig5",
+                "label": label,
+                "n": n,
+                "wall_s": round(wall, 4),
+                "events": events,
+                "events_per_s": round(events / wall, 1),
+                "sim_throughput": round(result["throughput"], 1),
+            }
+            points.append(point)
+            print("fig5 %-18s n=%-3d %7.2fs wall  %9d events  %9.0f ev/s"
+                  % (label, n, wall, events, point["events_per_s"]),
+                  flush=True)
+    return points
+
+
+def run_fig8(sizes, seed=7):
+    points = []
+    for kind in FIG8_KINDS:
+        for n in sizes:
+            start = time.perf_counter()
+            result = view_change_latency(n, kind, seed=seed)
+            wall = time.perf_counter() - start
+            events = result["events"]
+            point = {
+                "workload": "fig8",
+                "label": kind,
+                "n": n,
+                "wall_s": round(wall, 4),
+                "events": events,
+                "events_per_s": round(events / wall, 1),
+                "sim_seconds": (None if result["seconds"] != result["seconds"]
+                                else round(result["seconds"], 6)),
+            }
+            points.append(point)
+            print("fig8 %-18s n=%-3d %7.2fs wall  %9d events  %9.0f ev/s"
+                  % (kind, n, wall, events, point["events_per_s"]),
+                  flush=True)
+    return points
+
+
+def run_suite(quick=False, seed=7):
+    sizes = QUICK_NS if quick else FULL_NS
+    calib = calibrate()
+    print("calibration loop: %.3fs" % calib, flush=True)
+    points = run_fig5(sizes, seed=seed) + run_fig8(sizes, seed=seed)
+    return {
+        "quick": quick,
+        "seed": seed,
+        "calib_s": round(calib, 4),
+        "python": "%d.%d.%d" % sys.version_info[:3],
+        "workloads": points,
+    }
+
+
+# ----------------------------------------------------------------------
+# baseline comparison (CI perf-smoke gate)
+# ----------------------------------------------------------------------
+def _baseline_run(doc):
+    """The reference run inside a baseline JSON document."""
+    if "runs" in doc:
+        return doc["runs"].get("after") or next(iter(doc["runs"].values()))
+    return doc
+
+
+#: points faster than this (wall seconds, either side) are too noisy to
+#: gate on -- a 20 ms view change flaps 2-3x between runs on shared CI
+#: runners; the steady-state fig5 points carry the regression signal
+MIN_GATED_WALL_S = 0.1
+
+
+def check_against(current, baseline_doc, tolerance):
+    """Compare normalized events/sec; returns list of regression strings."""
+    baseline = _baseline_run(baseline_doc)
+    base_calib = baseline.get("calib_s") or 1.0
+    cur_calib = current.get("calib_s") or 1.0
+    base_points = {(p["workload"], p["label"], p["n"]): p
+                   for p in baseline["workloads"]}
+    regressions = []
+    for point in current["workloads"]:
+        key = (point["workload"], point["label"], point["n"])
+        ref = base_points.get(key)
+        if ref is None:
+            continue
+        if (point["wall_s"] < MIN_GATED_WALL_S
+                or ref["wall_s"] < MIN_GATED_WALL_S):
+            print("perf check: skipping %s/%s n=%d (sub-%.1fs point, too "
+                  "noisy to gate)" % (key[0], key[1], key[2],
+                                      MIN_GATED_WALL_S))
+            continue
+        # events per calibration unit: host-speed-independent
+        base_norm = ref["events_per_s"] * base_calib
+        cur_norm = point["events_per_s"] * cur_calib
+        if cur_norm < base_norm * (1.0 - tolerance):
+            regressions.append(
+                "%s/%s n=%d: %.0f ev/s (norm %.0f) vs baseline %.0f ev/s "
+                "(norm %.0f): regressed more than %.0f%%"
+                % (key[0], key[1], key[2], point["events_per_s"], cur_norm,
+                   ref["events_per_s"], base_norm, tolerance * 100))
+    return regressions
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small size grid (CI perf-smoke)")
+    parser.add_argument("--out", default="BENCH_wallclock.json")
+    parser.add_argument("--tag", default=None,
+                        help="store the run under runs[TAG], merging with "
+                             "an existing file instead of overwriting it")
+    parser.add_argument("--check-against", default=None, metavar="BASELINE",
+                        help="fail if normalized events/sec regressed vs "
+                             "this baseline JSON")
+    parser.add_argument("--tolerance", type=float, default=0.30)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+
+    current = run_suite(quick=args.quick, seed=args.seed)
+
+    if args.tag:
+        doc = {"schema": 1, "runs": {}}
+        if os.path.exists(args.out):
+            with open(args.out) as handle:
+                doc = json.load(handle)
+            doc.setdefault("runs", {})
+        doc["runs"][args.tag] = current
+    else:
+        doc = current
+    with open(args.out, "w") as handle:
+        json.dump(doc, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    print("wrote %s" % args.out)
+
+    if args.check_against:
+        with open(args.check_against) as handle:
+            baseline_doc = json.load(handle)
+        regressions = check_against(current, baseline_doc, args.tolerance)
+        if regressions:
+            for line in regressions:
+                print("PERF REGRESSION: %s" % line, file=sys.stderr)
+            return 1
+        print("perf check ok: no point regressed more than %.0f%% "
+              "(normalized)" % (args.tolerance * 100))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -111,6 +111,7 @@ def ring_throughput(config, n, seed=7, burst=None, warm=None, measure=None,
         "rounds": ring.min_rounds_completed(),
         "view_changes": view_changes,
         "sim_seconds": measure,
+        "events": group.sim.events_processed,
     }
     if obs_export is not None:
         group.export_obs(obs_export)
@@ -182,7 +183,8 @@ def view_change_latency(n, kind, seed=7, config=None):
                  for node in survivors
                  if group.processes[node].membership.last_change_duration]
     elapsed = mean(durations) if (ok and durations) else float("nan")
-    result = {"n": n, "kind": kind, "seconds": elapsed, "converged": ok}
+    result = {"n": n, "kind": kind, "seconds": elapsed, "converged": ok,
+              "events": group.sim.events_processed}
     group.stop()
     return result
 

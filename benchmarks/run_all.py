@@ -199,6 +199,10 @@ def main(argv=None):
     parser.add_argument("--obs-out", default=None, metavar="PATH",
                         help="also run one observability-instrumented point "
                              "and write its metrics+traces JSON artifact")
+    parser.add_argument("--wallclock", default=None, metavar="PATH",
+                        help="also run the wall-clock (host-speed) benchmark "
+                             "and store it under runs['after'] of this JSON "
+                             "(see benchmarks/bench_wallclock.py)")
     args = parser.parse_args(argv)
     sizes = QUICK_SIZES if args.quick else FULL_SIZES
     lines = []
@@ -231,6 +235,10 @@ def main(argv=None):
         print("obs artifact: %s (%d traces, %d casts delivered)"
               % (args.obs_out, result["obs"]["traces"],
                  result["obs"]["casts_delivered"]))
+    if args.wallclock:
+        from benchmarks import bench_wallclock
+        bench_wallclock.main((["--quick"] if args.quick else [])
+                             + ["--out", args.wallclock, "--tag", "after"])
     text = "\n".join(lines) + "\n"
     with open(args.out, "w") as handle:
         handle.write(text)

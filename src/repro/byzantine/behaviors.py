@@ -198,7 +198,7 @@ class TwoFacedCaster(ByzantineBehavior):
         process = self.process
         receivers = tuple(m for m in process.view.mbrs if m != self.me)
         signature, _cost, _bytes = process.auth.sign(
-            self.me, receivers, out.auth_content())
+            self.me, receivers, out.auth_token())
         out.signature = signature
         self.forged += 1
         return out
@@ -230,7 +230,7 @@ class ForgedRetransmitter(ByzantineBehavior):
         # re-sign the outer wrapper so only the inner check can catch it
         process = self.process
         new_sig, _cost, _bytes = process.auth.sign(
-            self.me, (dst,), out.auth_content())
+            self.me, (dst,), out.auth_token())
         out.signature = new_sig
         self.forged += 1
         return out

@@ -11,9 +11,21 @@ headers it is owed).
 Wire-size accounting: the application declares its payload size in bytes;
 each layer declares a fixed header overhead; the bottom layer adds the
 signature size.  The simulator charges NIC bandwidth for the total.
+
+Hot-path notes (see docs/PERFORMANCE.md): the canonical byte encoding a
+message is authenticated over -- and its SHA-256 digest, which is what the
+authenticators actually MAC -- is computed once and memoized.  Every write
+that can change the authenticated content (``push_header``/``pop_header``
+and ``payload`` assignment, which is why ``payload`` is a property) drops
+the cache, so a Byzantine mutation after signing is still caught on
+verification.  Per-destination fan-out (``clone_for``) is copy-on-write:
+the clone shares the header map and the digest cache until either side
+mutates, so an n-1-receiver broadcast no longer copies n-1 header dicts.
 """
 
 from __future__ import annotations
+
+import hashlib
 
 # application-data kinds
 KIND_CAST = "cast"
@@ -36,12 +48,24 @@ KIND_MERGE = "merge"
 KIND_MANNOUNCE = "mannounce"
 KIND_FRAG = "frag"
 
+_sha256 = hashlib.sha256
+
 
 class Message:
     """One protocol message travelling through a node's stack."""
 
-    __slots__ = ("kind", "origin", "sender", "view_id", "payload",
-                 "payload_size", "headers", "signature", "dest", "msg_id")
+    __slots__ = ("kind", "origin", "sender", "view_id", "_payload",
+                 "payload_size", "headers", "signature", "dest", "msg_id",
+                 "_auth_cache", "_hdrs_shared")
+
+    #: class-wide switches used by the perf-parity tests
+    #: (tests/test_perf_parity.py): with the cache off, every
+    #: ``auth_token()`` re-encodes from scratch (the unoptimized reference
+    #: path); in "content" mode the token is the full canonical byte string
+    #: instead of its digest (the pre-optimization MAC input).  Simulated
+    #: histories are byte-identical in all three combinations.
+    auth_cache_enabled = True
+    auth_token_mode = "digest"  # "digest" | "content"
 
     def __init__(self, kind, origin, view_id, payload, payload_size=0,
                  dest=None, msg_id=None):
@@ -49,22 +73,52 @@ class Message:
         self.origin = origin      # the node that created the message
         self.sender = origin      # the node that last transmitted it
         self.view_id = view_id
-        self.payload = payload
+        self._payload = payload
         self.payload_size = payload_size
         self.headers = {}
         self.signature = None
         self.dest = dest          # None for broadcast
         self.msg_id = msg_id
+        self._auth_cache = None
+        self._hdrs_shared = False
+
+    # ------------------------------------------------------------------
+    # the payload is a property so that Byzantine in-flight mutation
+    # (behaviors assign ``msg.payload = ...``) invalidates the memoized
+    # authentication digest -- a stale cache would let a tampered message
+    # slip past the bottom layer's signature check
+    @property
+    def payload(self):
+        return self._payload
+
+    @payload.setter
+    def payload(self, value):
+        self._payload = value
+        self._auth_cache = None
 
     # ------------------------------------------------------------------
     def push_header(self, layer_name, header):
-        self.headers[layer_name] = header
+        headers = self.headers
+        if self._hdrs_shared:
+            headers = dict(headers)
+            self.headers = headers
+            self._hdrs_shared = False
+        headers[layer_name] = header
+        self._auth_cache = None
 
     def header(self, layer_name, default=None):
         return self.headers.get(layer_name, default)
 
     def pop_header(self, layer_name, default=None):
-        return self.headers.pop(layer_name, default)
+        headers = self.headers
+        if layer_name not in headers:
+            return default
+        if self._hdrs_shared:
+            headers = dict(headers)
+            self.headers = headers
+            self._hdrs_shared = False
+        self._auth_cache = None
+        return headers.pop(layer_name)
 
     # ------------------------------------------------------------------
     def auth_content(self):
@@ -76,7 +130,31 @@ class Message:
         vid = self.view_id.to_wire() if self.view_id is not None else None
         return (self.kind, repr(self.origin), vid,
                 tuple(sorted((k, repr(v)) for k, v in self.headers.items())),
-                repr(self.payload))
+                repr(self._payload))
+
+    def canonical_bytes(self):
+        """Canonical byte encoding of :meth:`auth_content` (uncached)."""
+        return repr(self.auth_content()).encode("utf-8")
+
+    def auth_token(self):
+        """What the authenticators sign/verify: a 32-byte SHA-256 digest
+        of the canonical encoding, computed once per message and memoized.
+
+        Receivers share the sender's cache through the object reference --
+        in-model that is sound because every mutation path (headers,
+        payload) drops the cache, so the digest always matches the actual
+        content.  The parity-test switches above select the uncached and
+        the legacy full-content reference paths.
+        """
+        if Message.auth_token_mode != "digest":
+            return self.canonical_bytes()
+        if Message.auth_cache_enabled:
+            cached = self._auth_cache
+            if cached is None:
+                cached = _sha256(self.canonical_bytes()).digest()
+                self._auth_cache = cached
+            return cached
+        return _sha256(self.canonical_bytes()).digest()
 
     def wire_size(self, header_overhead, signature_bytes):
         base = 8  # kind + origin + view-id framing
@@ -84,12 +162,28 @@ class Message:
 
     def clone_for(self, dest):
         """Shallow copy addressed to one destination (used by two-faced
-        Byzantine behaviour and by per-destination retransmission)."""
-        copy = Message(self.kind, self.origin, self.view_id, self.payload,
-                       self.payload_size, dest=dest, msg_id=self.msg_id)
+        Byzantine behaviour, per-destination retransmission, and the
+        bottom layer's broadcast fan-out).
+
+        Copy-on-write: the clone shares the header map and the memoized
+        auth digest; the first ``push_header``/``pop_header`` on either
+        side copies the map, so unmutated fan-out copies cost no dict
+        allocation.
+        """
+        copy = Message.__new__(Message)
+        copy.kind = self.kind
+        copy.origin = self.origin
         copy.sender = self.sender
-        copy.headers = dict(self.headers)
+        copy.view_id = self.view_id
+        copy._payload = self._payload
+        copy.payload_size = self.payload_size
+        copy.headers = self.headers
         copy.signature = self.signature
+        copy.dest = dest
+        copy.msg_id = self.msg_id
+        copy._auth_cache = self._auth_cache
+        copy._hdrs_shared = True
+        self._hdrs_shared = True
         return copy
 
     def __repr__(self):

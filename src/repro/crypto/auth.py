@@ -17,6 +17,15 @@ schemes are measured:
 
 Every method returns the simulated CPU cost alongside its result so the
 bottom layer can charge the node's CPU.
+
+Hot-path design (docs/PERFORMANCE.md): callers pass
+:meth:`repro.core.message.Message.auth_token` -- the memoized 32-byte
+SHA-256 digest of the canonical encoding -- so signing a broadcast to n-1
+receivers MACs a constant 32 bytes per receiver instead of re-encoding the
+whole message, and each receiver verifies against the same digest without
+re-encoding either.  Pairwise keys and their half-initialized HMAC state
+are derived once per pair and reused (identical MAC values, no per-call
+key-schedule work).
 """
 
 from __future__ import annotations
@@ -34,7 +43,8 @@ def stable_bytes(obj):
 
     Message headers in this system are tuples/strings/ints, whose ``repr``
     is stable and injective enough for authentication purposes within the
-    simulation.
+    simulation.  ``bytes`` pass through untouched, which is how the
+    memoized message digests reach the MACs without a second encoding.
     """
     if isinstance(obj, bytes):
         return obj
@@ -83,14 +93,34 @@ class PairwiseSymmetricAuth(Authenticator):
 
     name = "sym"
 
+    def __init__(self, keys=None, costs=None):
+        super().__init__(keys, costs)
+        # (a, b) -> half-initialized HMAC state under pair_key(a, b);
+        # copy()+update() per MAC skips the per-call key schedule while
+        # producing byte-identical MAC values
+        self._mac_bases = {}
+
+    def _mac_base(self, a, b):
+        base = self._mac_bases.get((a, b))
+        if base is None:
+            base = hmac.new(self.keys.pair_key(a, b),
+                            digestmod=hashlib.sha256)
+            self._mac_bases[(a, b)] = base
+            self._mac_bases[(b, a)] = base  # pairwise keys are symmetric
+        return base
+
+    def _mac(self, a, b, payload):
+        state = self._mac_base(a, b).copy()
+        state.update(payload)
+        return state.digest()[:MAC_BYTES]
+
     def sign(self, sender, receivers, data):
         payload = stable_bytes(data)
         macs = {}
         for receiver in receivers:
             if receiver == sender:
                 continue
-            key = self.keys.pair_key(sender, receiver)
-            macs[receiver] = hmac.new(key, payload, hashlib.sha256).digest()[:MAC_BYTES]
+            macs[receiver] = self._mac(sender, receiver, payload)
         cost = self.costs.sym_sign * len(macs)
         return macs, cost, MAC_BYTES * len(macs)
 
@@ -101,8 +131,7 @@ class PairwiseSymmetricAuth(Authenticator):
         mac = signature.get(receiver)
         if mac is None:
             return False, cost
-        key = self.keys.pair_key(claimed_sender, receiver)
-        expected = hmac.new(key, stable_bytes(data), hashlib.sha256).digest()[:MAC_BYTES]
+        expected = self._mac(claimed_sender, receiver, stable_bytes(data))
         return hmac.compare_digest(mac, expected), cost
 
 
@@ -112,7 +141,8 @@ class PublicKeyAuth(Authenticator):
     Structurally simulated (DESIGN.md section 6): signing requires the
     sender's private key, which the :class:`~repro.crypto.keys.KeyManager`
     only releases to its owner, so in-model signatures are unforgeable;
-    verification recomputes the MAC through a verifier-only path.
+    verification recomputes the MAC through the verifier-only
+    :meth:`~repro.crypto.keys.KeyManager.verify_key_of` accessor.
     """
 
     name = "pub"
@@ -127,7 +157,7 @@ class PublicKeyAuth(Authenticator):
         cost = self.costs.pub_verify
         if not isinstance(signature, bytes):
             return False, cost
-        key = self.keys._private_key_unchecked(claimed_sender)
+        key = self.keys.verify_key_of(claimed_sender)
         expected = hmac.new(key, stable_bytes(data), hashlib.sha256).digest()
         return hmac.compare_digest(signature, expected), cost
 

@@ -14,7 +14,14 @@ same abstraction: a :class:`KeyManager` that hands out
 
 Impersonation is prevented structurally: private material is only released
 to its owner (``private_key_of`` checks the requester), which realizes the
-paper's "nodes cannot impersonate other nodes" assumption.
+paper's "nodes cannot impersonate other nodes" assumption.  Verifiers use
+the public :meth:`KeyManager.verify_key_of` accessor, which models the
+*public* half of the simulated keypair: it can check signatures but is
+never reachable from the signing path.
+
+Keys are derived deterministically from one master secret and cached --
+derivation is pure, so caching changes nothing but the wall-clock cost of
+the sign/verify hot path.
 """
 
 from __future__ import annotations
@@ -39,13 +46,21 @@ class KeyManager:
         if isinstance(master_secret, str):
             master_secret = master_secret.encode("utf-8")
         self._master = master_secret
+        self._pair_cache = {}   # (a, b) -> pairwise key (both orderings)
+        self._priv_cache = {}   # owner -> signing key
 
     # ------------------------------------------------------------------
     def pair_key(self, a, b):
         """Symmetric key shared by the unordered pair (a, b)."""
+        cached = self._pair_cache.get((a, b))
+        if cached is not None:
+            return cached
         lo, hi = sorted((repr(a), repr(b)))
         material = "pair:{}:{}".format(lo, hi).encode("utf-8")
-        return hmac.new(self._master, material, hashlib.sha256).digest()
+        key = hmac.new(self._master, material, hashlib.sha256).digest()
+        self._pair_cache[(a, b)] = key
+        self._pair_cache[(b, a)] = key
+        return key
 
     def private_key_of(self, owner, requester):
         """Signing key of ``owner``; only ``owner`` itself may fetch it."""
@@ -53,16 +68,30 @@ class KeyManager:
             raise KeyAccessError(
                 "node %r may not read the private key of %r" % (requester, owner)
             )
+        return self._signing_key(owner)
+
+    def verify_key_of(self, owner):
+        """Verification key for ``owner``'s signatures (public accessor).
+
+        The public-key scheme is modeled, not real asymmetric crypto:
+        verification recomputes the MAC under the owner's key.  In-model
+        unforgeability is preserved structurally because *signing* goes
+        through :meth:`private_key_of`, which enforces ownership, while
+        this accessor is only used by
+        :class:`repro.crypto.auth.PublicKeyAuth.verify`.
+        """
+        return self._signing_key(owner)
+
+    def _signing_key(self, owner):
+        cached = self._priv_cache.get(owner)
+        if cached is not None:
+            return cached
         material = "priv:{}".format(repr(owner)).encode("utf-8")
-        return hmac.new(self._master, material, hashlib.sha256).digest()
+        key = hmac.new(self._master, material, hashlib.sha256).digest()
+        self._priv_cache[owner] = key
+        return key
 
     def _private_key_unchecked(self, owner):
-        """Internal: used by verifiers in the simulated public-key scheme.
-
-        The scheme is modeled, not real asymmetric crypto: verification
-        recomputes the MAC under the owner's key, but this method is only
-        reachable through :class:`repro.crypto.auth.PublicKeyAuth.verify`,
-        never through the signing path, so in-model forgery is impossible.
-        """
-        material = "priv:{}".format(repr(owner)).encode("utf-8")
-        return hmac.new(self._master, material, hashlib.sha256).digest()
+        """Deprecated internal alias kept for compatibility; use
+        :meth:`verify_key_of`."""
+        return self._signing_key(owner)

@@ -25,30 +25,30 @@ class Layer:
 
     def __init__(self):
         self.stack = None
+        # bound at attach() time; None until the layer joins a stack
+        self.process = None
+        self.sim = None
+        self.config = None
+        self.me = None
 
     # wiring -----------------------------------------------------------
     def attach(self, stack):
+        # hot-path attribute caching (docs/PERFORMANCE.md): process, sim,
+        # config and node id never change for the lifetime of a stack, so
+        # they are plain attributes instead of chained property lookups --
+        # the layer dispatch path reads them on every message hop.  The
+        # view is NOT cached here: process.view is reassigned on every
+        # view installation, so it stays a property.
         self.stack = stack
-
-    @property
-    def process(self):
-        return self.stack.process
-
-    @property
-    def sim(self):
-        return self.stack.process.sim
-
-    @property
-    def config(self):
-        return self.stack.process.config
+        process = stack.process
+        self.process = process
+        self.sim = process.sim
+        self.config = process.config
+        self.me = process.node_id
 
     @property
     def view(self):
         return self.stack.process.view
-
-    @property
-    def me(self):
-        return self.stack.process.node_id
 
     # message path -----------------------------------------------------
     def handle_down(self, msg):
@@ -120,6 +120,23 @@ class LayerStack:
         for idx, layer in enumerate(self.layers):
             layer._idx = idx
             layer.attach(self)
+        # precomputed neighbours: up/down dispatch runs once per layer per
+        # message, so avoid the index arithmetic + list lookup on each hop
+        for idx, layer in enumerate(self.layers):
+            layer._below = self.layers[idx - 1] if idx > 0 else None
+            layer._above = (self.layers[idx + 1]
+                            if idx + 1 < len(self.layers) else None)
+        if self.obs is None:
+            # with observability off there is nothing to record per hop:
+            # bind each layer's send_up/send_down straight to its
+            # neighbour's handler, cutting two call frames per hop on the
+            # hottest path in the system.  (obs is fixed for the stack's
+            # lifetime -- it is read from the process at construction.)
+            for layer in self.layers:
+                if layer._above is not None:
+                    layer.send_up = layer._above.handle_up
+                if layer._below is not None:
+                    layer.send_down = layer._below.handle_down
         self._by_name = {layer.name: layer for layer in self.layers}
         if len(self._by_name) != len(self.layers):
             raise ValueError("duplicate layer names in stack")
@@ -133,19 +150,17 @@ class LayerStack:
 
     # ------------------------------------------------------------------
     def down_from(self, layer, msg):
-        idx = layer._idx
-        if idx == 0:
+        below = layer._below
+        if below is None:
             raise RuntimeError("bottom layer cannot send further down")
-        below = self.layers[idx - 1]
         if self.obs is not None:
             self.obs.hop(self.process.node_id, below.name, "down", msg)
         below.handle_down(msg)
 
     def up_from(self, layer, msg):
-        idx = layer._idx
-        if idx == len(self.layers) - 1:
+        above = layer._above
+        if above is None:
             raise RuntimeError("top layer cannot send further up")
-        above = self.layers[idx + 1]
         if self.obs is not None:
             self.obs.hop(self.process.node_id, above.name, "up", msg)
         above.handle_up(msg)

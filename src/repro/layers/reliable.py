@@ -25,6 +25,8 @@ stability tracker.
 
 from __future__ import annotations
 
+from bisect import bisect_left
+
 from repro.core import message as mk
 from repro.core.message import Message
 from repro.layers.base import Layer
@@ -64,6 +66,12 @@ class ReliableLayer(Layer):
 
     name = "reliable"
 
+    #: perf-parity switch (tests/test_perf_parity.py): with this off, the
+    #: ack vector is rebuilt and repr-sorted from scratch on every call --
+    #: the unoptimized reference path the incremental bookkeeping below
+    #: must stay byte-identical to
+    incremental_ack_vector = True
+
     def __init__(self):
         super().__init__()
         self._reset_state()
@@ -78,6 +86,15 @@ class ReliableLayer(Layer):
         self._in_streams = {}   # (origin, stream) -> _InStream
         self._archive = {}      # (origin, stream, seq) -> archived wire tuple
         self._since_ack = 0
+        # incremental delivered-vector bookkeeping (built lazily because
+        # self.me is unknown before the layer is attached): the entries of
+        # _delivered_vector() kept sorted by repr at all times, updated
+        # only for streams that actually changed
+        self._dv_map = None     # map key -> current entry, or None (unbuilt)
+        self._dv_keys = []      # sorted reprs of entries (parallel list)
+        self._dv_entries = []   # entries, sorted by repr
+        self._dv_tuple = None   # memoized tuple(self._dv_entries)
+        self._dv_changed = {}   # key -> latest changed entry since last flush
         self._wedged = False
         self._cut = None        # {origin: seq} ceiling on the app stream
         self._cut_callback = None
@@ -112,6 +129,7 @@ class ReliableLayer(Layer):
             stream = STREAM_APP if msg.kind in APP_STREAM_KINDS else STREAM_CTL
             self._out_seq[stream] += 1
             seq = self._out_seq[stream]
+            self._dv_refresh_out(stream)
             msg.push_header("rel", (stream, seq))
             self._archive_message(self.me, stream, seq, msg)
             self.send_down(msg)
@@ -165,6 +183,9 @@ class ReliableLayer(Layer):
         if state is None:
             state = _InStream()
             self._in_streams[key] = state
+            # a fresh stream contributes a 0-entry to the ack vector even
+            # before anything is delivered
+            self._dv_refresh_stream(origin, stream, state)
         if seq < state.next_seq or seq in state.buffer:
             self.duplicates += 1
             return
@@ -191,9 +212,25 @@ class ReliableLayer(Layer):
         if not state.buffer and state.gap_timer is not None:
             state.gap_timer.cancel()
             state.gap_timer = None
+        self._dv_refresh_stream(origin, stream, state)
         if self._since_ack >= self.config.ack_every:
             self._broadcast_ack()
-        self.process.stability.on_local_progress(self._delivered_vector())
+        stability = self.process.stability
+        if self.incremental_ack_vector:
+            # the ack table keeps per-(origin, stream) maxima and the vector
+            # entries are monotone, so feeding only the entries that changed
+            # since the last flush produces the identical table; on_ack still
+            # runs (and notifies listeners) once per drain, as before
+            if self._dv_map is None:
+                self._dv_build()
+            changed = self._dv_changed
+            if changed:
+                self._dv_changed = {}
+                stability.on_ack(self.me, tuple(changed.values()))
+            else:
+                stability.on_ack(self.me, ())
+        else:
+            stability.on_local_progress(self._delivered_vector())
         if self._cut is not None and self._cut_callback is not None:
             if self.cut_complete(self._cut):
                 callback, self._cut_callback = self._cut_callback, None
@@ -228,21 +265,90 @@ class ReliableLayer(Layer):
     # acknowledgements
     # ------------------------------------------------------------------
     def _delivered_vector(self):
-        vector = []
+        if not self.incremental_ack_vector:
+            # reference path: rebuild + repr-sort from scratch (kept for the
+            # perf-parity tests; the incremental path below must return
+            # byte-identical vectors)
+            vector = []
+            for (origin, stream), state in self._in_streams.items():
+                if stream in (STREAM_APP, STREAM_CTL):
+                    top = state.delivered
+                    if state.buffer:
+                        # also acknowledge buffered-but-undeliverable prefix
+                        # so the flush can account for wedged messages we hold
+                        held = state.delivered
+                        while held + 1 in state.buffer:
+                            held += 1
+                        top = held
+                    vector.append((origin, stream, top))
+            vector.append((self.me, STREAM_APP, self._out_seq[STREAM_APP]))
+            vector.append((self.me, STREAM_CTL, self._out_seq[STREAM_CTL]))
+            return tuple(sorted(vector, key=repr))
+        if self._dv_map is None:
+            self._dv_build()
+        vector = self._dv_tuple
+        if vector is None:
+            vector = self._dv_tuple = tuple(self._dv_entries)
+        return vector
+
+    # ------------------------------------------------------------------
+    # incremental delivered-vector maintenance: the reference path above
+    # rebuilds and repr-sorts the whole vector on every drain, which
+    # profiles as the single hottest non-crypto call in the fig5 workloads.
+    # Instead we keep the entries in a repr-sorted parallel list pair and
+    # touch only the one entry whose stream actually moved.  Entries with
+    # equal repr are equal tuples (origins are ints/strings here), so
+    # which duplicate gets removed is irrelevant -- matching the stable
+    # sort of the reference path.
+    # ------------------------------------------------------------------
+    def _dv_build(self):
+        self._dv_map = {}
+        self._dv_keys = []
+        self._dv_entries = []
+        self._dv_changed = {}
         for (origin, stream), state in self._in_streams.items():
-            if stream in (STREAM_APP, STREAM_CTL):
-                top = state.delivered
-                if state.buffer:
-                    # also acknowledge buffered-but-undeliverable prefix so
-                    # the flush can account for wedged messages we hold
-                    held = state.delivered
-                    while held + 1 in state.buffer:
-                        held += 1
-                    top = held
-                vector.append((origin, stream, top))
-        vector.append((self.me, STREAM_APP, self._out_seq[STREAM_APP]))
-        vector.append((self.me, STREAM_CTL, self._out_seq[STREAM_CTL]))
-        return tuple(sorted(vector, key=repr))
+            self._dv_refresh_stream(origin, stream, state)
+        self._dv_refresh_out(STREAM_APP)
+        self._dv_refresh_out(STREAM_CTL)
+
+    def _dv_set(self, key, entry):
+        old = self._dv_map.get(key)
+        if old == entry:
+            return
+        keys = self._dv_keys
+        entries = self._dv_entries
+        if old is not None:
+            # NB: repr-order is not stable under counter increments
+            # ("... 10)" sorts before "... 9)"), so entries must be
+            # re-inserted at their new position, never updated in place
+            pos = bisect_left(keys, repr(old))
+            del keys[pos]
+            del entries[pos]
+        text = repr(entry)
+        pos = bisect_left(keys, text)
+        keys.insert(pos, text)
+        entries.insert(pos, entry)
+        self._dv_map[key] = entry
+        self._dv_tuple = None
+        self._dv_changed[key] = entry
+
+    def _dv_refresh_stream(self, origin, stream, state):
+        if self._dv_map is None:
+            return  # unbuilt (or reference mode); built lazily on first use
+        if stream != STREAM_APP and stream != STREAM_CTL:
+            return  # p2p streams are not acknowledged
+        top = state.next_seq - 1
+        buffer = state.buffer
+        if buffer:
+            while top + 1 in buffer:
+                top += 1
+        self._dv_set(("in", origin, stream), (origin, stream, top))
+
+    def _dv_refresh_out(self, stream):
+        if self._dv_map is None:
+            return
+        self._dv_set(("out", stream),
+                     (self.me, stream, self._out_seq[stream]))
 
     def _ack_tick(self):
         self._broadcast_ack()
@@ -485,9 +591,11 @@ class ReliableLayer(Layer):
         if (msg.sender != origin and self.config.byzantine
                 and self.config.crypto != "none"):
             # third-party retransmission: verify the ORIGIN's signature over
-            # the reconstructed content -- p must prove it is q's message
+            # the reconstructed content -- p must prove it is q's message.
+            # auth_token() recomputes the digest over the reconstruction,
+            # which matches the origin's memoized digest iff the content does
             ok, cost = self.process.auth.verify(
-                self.me, origin, inner.auth_content(), signature)
+                self.me, origin, inner.auth_token(), signature)
             self.process.cpu.charge(cost)
             if not ok:
                 self.process.verbose_detector.illegal(

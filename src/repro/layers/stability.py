@@ -54,10 +54,15 @@ class StabilityTracker:
     # feeds
     # ------------------------------------------------------------------
     def on_ack(self, member, vector):
+        # hot path: called once per reliable-layer drain; entries are
+        # max-merged, so callers may pass deltas (only the entries that
+        # changed) and the table converges to the same state as if the
+        # full vector were passed every time
         table = self._acked.setdefault(member, {})
+        table_get = table.get
         for origin, stream, cum in vector:
             key = (origin, stream)
-            if cum > table.get(key, 0):
+            if cum > table_get(key, 0):
                 table[key] = cum
         self._notify()
 

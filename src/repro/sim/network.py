@@ -92,7 +92,22 @@ class _Port:
 
 
 class Network:
-    """The simulated network connecting all nodes of an experiment."""
+    """The simulated network connecting all nodes of an experiment.
+
+    Determinism contract (docs/PERFORMANCE.md): every random decision in
+    :meth:`send` and :meth:`gossip_cast` draws from the simulator-owned RNG
+    in a fixed order -- connectivity check first, then drop, jitter,
+    reorder, duplicate.  The *order and number of draws* is part of the
+    seed contract: reordering them (e.g. drawing drop before the
+    connectivity check) changes every subsequent draw and thus the whole
+    simulated history, even though each run would still be internally
+    deterministic.  Optimizations here must not add, remove, or reorder
+    draws.
+    """
+
+    __slots__ = ("sim", "topology", "config", "_ports", "_nics",
+                 "_component", "datagrams_sent", "datagrams_dropped",
+                 "datagrams_delivered", "observer")
 
     def __init__(self, sim, topology, config=None):
         self.sim = sim
@@ -191,21 +206,24 @@ class Network:
             if observer is not None:
                 observer.on_datagram_dropped(src, dst)
             return
-        rng = self.sim.rng
-        if self.config.drop_prob and rng.random() < self.config.drop_prob:
+        # see the class docstring: the RNG draw order below is frozen
+        config = self.config
+        rng_random = self.sim.rng.random
+        if config.drop_prob and rng_random() < config.drop_prob:
             self.datagrams_dropped += 1
             if observer is not None:
                 observer.on_datagram_dropped(src, dst)
             return
         delay = self.topology.latency(src, dst)
-        if self.config.jitter:
-            delay += rng.random() * self.config.jitter
-        if self.config.reorder_prob and rng.random() < self.config.reorder_prob:
-            delay += rng.random() * self.config.reorder_extra
+        if config.jitter:
+            delay += rng_random() * config.jitter
+        if config.reorder_prob and rng_random() < config.reorder_prob:
+            delay += rng_random() * config.reorder_extra
         arrival = sent_at + delay
-        self.sim.schedule_at(arrival, self._deliver, dst, src, payload)
-        if self.config.duplicate_prob and rng.random() < self.config.duplicate_prob:
-            self.sim.schedule_at(arrival + delay, self._deliver, dst, src, payload)
+        schedule_at = self.sim.schedule_at
+        schedule_at(arrival, self._deliver, dst, src, payload)
+        if config.duplicate_prob and rng_random() < config.duplicate_prob:
+            schedule_at(arrival + delay, self._deliver, dst, src, payload)
 
     def gossip_cast(self, src, size_bytes, payload):
         """IP-multicast announcement reaching every connected process."""
@@ -215,17 +233,24 @@ class Network:
         sent_at = src_port.nic.transmit(size_bytes)
         if self.observer is not None:
             self.observer.on_gossip_sent(src, size_bytes)
-        rng = self.sim.rng
-        for node_id, port in list(self._ports.items()):
+        # iterate the port table directly instead of materializing a list
+        # per cast: deliveries are deferred through schedule_at, so nothing
+        # in this loop can attach/detach a port mid-iteration.  The
+        # connectivity check stays BEFORE the drop draw -- disconnected
+        # receivers consume no RNG draw, and moving the check would shift
+        # every later draw in the run (see the class docstring)
+        config = self.config
+        rng_random = self.sim.rng.random
+        for node_id, port in self._ports.items():
             if node_id == src or port.crashed or port.gossip_deliver is None:
                 continue
             if not self.connected(src, node_id):
                 continue
-            if self.config.drop_prob and rng.random() < self.config.drop_prob:
+            if config.drop_prob and rng_random() < config.drop_prob:
                 continue
             delay = self.topology.latency(src, node_id)
-            if self.config.jitter:
-                delay += rng.random() * self.config.jitter
+            if config.jitter:
+                delay += rng_random() * config.jitter
             self.sim.schedule_at(sent_at + delay, self._deliver_gossip,
                                  node_id, src, payload)
 

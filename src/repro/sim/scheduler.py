@@ -29,6 +29,9 @@ class Simulator:
         arrivals) draws from this generator so executions are reproducible.
     """
 
+    __slots__ = ("now", "rng", "_heap", "_seq", "_events_processed",
+                 "_running", "observer")
+
     def __init__(self, seed=0):
         self.now = 0.0
         self.rng = random.Random(seed)
@@ -101,19 +104,25 @@ class Simulator:
         if self._running:
             raise SimulationError("run() is not re-entrant")
         self._running = True
+        # the event loop is the single hottest frame in every benchmark:
+        # hoist the heap and heappop lookups out of the loop (the observer
+        # is re-read each iteration on purpose -- it can be installed or
+        # removed by a fired event)
+        heap = self._heap
+        heappop = heapq.heappop
         try:
             processed = 0
-            while self._heap:
-                deadline, _seq, timer = self._heap[0]
+            while heap:
+                deadline, _seq, timer = heap[0]
                 if timer.cancelled:
-                    heapq.heappop(self._heap)
+                    heappop(heap)
                     continue
                 if until is not None and deadline > until:
                     break
-                heapq.heappop(self._heap)
+                heappop(heap)
                 self.now = deadline
                 if self.observer is not None:
-                    self.observer.on_timer(self.now, timer)
+                    self.observer.on_timer(deadline, timer)
                 timer.callback(*timer.args)
                 self._events_processed += 1
                 processed += 1
@@ -137,19 +146,21 @@ class Simulator:
         del poll
         deadline = self.now + timeout
         processed = 0
-        while self._heap:
+        heap = self._heap
+        heappop = heapq.heappop
+        while heap:
             if predicate():
                 return True
-            event_deadline, _seq, timer = self._heap[0]
+            event_deadline, _seq, timer = heap[0]
             if timer.cancelled:
-                heapq.heappop(self._heap)
+                heappop(heap)
                 continue
             if event_deadline > deadline:
                 break
-            heapq.heappop(self._heap)
+            heappop(heap)
             self.now = event_deadline
             if self.observer is not None:
-                self.observer.on_timer(self.now, timer)
+                self.observer.on_timer(event_deadline, timer)
             timer.callback(*timer.args)
             self._events_processed += 1
             processed += 1

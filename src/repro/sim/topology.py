@@ -89,10 +89,21 @@ class BladeCenterTopology(Topology):
     extra_switch_hop = 18e-6
     switch_capacity = 12  # blades per internal switch
 
+    def __init__(self, n):
+        super().__init__(n)
+        # latency is a pure function of the (fixed) placement, and the
+        # network asks for it once per datagram -- memoize per pair
+        self._latency_cache = {}
+
     def latency(self, src, dst):
-        lat = self.base_latency
-        if self.n > self.switch_capacity and self._switch(src) != self._switch(dst):
-            lat += self.extra_switch_hop
+        key = (src, dst)
+        lat = self._latency_cache.get(key)
+        if lat is None:
+            lat = self.base_latency
+            if (self.n > self.switch_capacity
+                    and self._switch(src) != self._switch(dst)):
+                lat += self.extra_switch_hop
+            self._latency_cache[key] = lat
         return lat
 
     def nic_id(self, node):

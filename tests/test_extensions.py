@@ -120,6 +120,46 @@ def test_packing_label():
     assert StackConfig.byz(packing=True).label() == "ByzEns+NoCrypto+Pack"
 
 
+def test_pack_queue_accounting_and_flush_threshold():
+    """The O(1) running byte total must track the queue exactly, and the
+    flush must trigger at the same point the original sum() check did:
+    the first enqueue that makes the queue total reach the MTU."""
+    group = make_group(3, seed=30, packing=True)
+    process = group.processes[0]
+    bottom = process.bottom
+    mtu = process.config.mtu
+    dst = 1
+
+    from repro.core import message as mk
+    from repro.core.message import Message
+
+    def enqueue(size):
+        msg = Message(mk.KIND_CAST, 0, process.view.vid, ("pk", size),
+                      payload_size=size)
+        bottom._enqueue_packed(dst, msg, size)
+
+    # stay strictly below the threshold: queue grows, total tracks sum()
+    step = mtu // 4
+    for expected_len in range(1, 4):
+        enqueue(step)
+        queue = bottom._pack_queues[dst]
+        assert len(queue) == expected_len
+        assert bottom._pack_bytes[dst] == sum(s for _m, s in queue)
+        assert bottom._pack_bytes[dst] < mtu
+    # the enqueue that reaches the MTU flushes immediately
+    before = bottom.packets_packed
+    enqueue(mtu - 3 * step)
+    assert bottom.packets_packed == before + 1
+    assert dst not in bottom._pack_queues
+    assert dst not in bottom._pack_bytes
+    # a single over-MTU message flushes on its own as well
+    enqueue(mtu + 1)
+    assert bottom.packets_packed == before + 2
+    assert dst not in bottom._pack_queues
+    assert dst not in bottom._pack_bytes
+    group.stop()
+
+
 # ----------------------------------------------------------------------
 # gossip ack dissemination ([29]; the paper's section-6 extension)
 # ----------------------------------------------------------------------

@@ -1,0 +1,116 @@
+"""Perf-optimization parity: the hot-path rewrites must be invisible.
+
+The PR that introduced memoized canonical encoding, digest-based MACs and
+the incremental ack vector (docs/PERFORMANCE.md) claims they are pure
+wall-clock optimizations: same seed, byte-identical simulated history,
+identical metric exports.  These tests prove it by running the fuzzer's
+scenario machinery with each optimization switched back to its reference
+implementation and comparing full per-node histories and the complete
+metrics export.
+
+Switches under test:
+
+* ``Message.auth_cache_enabled`` -- off = re-encode/re-hash per call;
+* ``Message.auth_token_mode`` -- ``"content"`` = MAC over the full
+  canonical byte string (the pre-optimization MAC input) instead of its
+  SHA-256 digest;
+* ``ReliableLayer.incremental_ack_vector`` -- off = rebuild + repr-sort
+  the delivered vector from scratch on every drain, and feed the full
+  vector (not the delta) to the stability tracker.
+"""
+
+from contextlib import contextmanager
+
+from repro import StackConfig
+from repro.core.message import Message
+from repro.layers.reliable import ReliableLayer
+from repro.tools.fuzzer import ScenarioFuzzer
+
+
+@contextmanager
+def switches(cache=True, token_mode="digest", incremental=True):
+    saved = (Message.auth_cache_enabled, Message.auth_token_mode,
+             ReliableLayer.incremental_ack_vector)
+    Message.auth_cache_enabled = cache
+    Message.auth_token_mode = token_mode
+    ReliableLayer.incremental_ack_vector = incremental
+    try:
+        yield
+    finally:
+        (Message.auth_cache_enabled, Message.auth_token_mode,
+         ReliableLayer.incremental_ack_vector) = saved
+
+
+def run_scenario(seed, config, **fuzz_kw):
+    """One fuzzer scenario; returns (history fingerprint, metrics export)."""
+    fuzz_kw.setdefault("ops", 8)
+    fuzzer = ScenarioFuzzer(seed, config=config, obs=True,
+                            **fuzz_kw).execute()
+    group = fuzzer.group
+    fingerprint = []
+    for node in sorted(group.processes, key=repr):
+        history = group.processes[node].history
+        fingerprint.append((node, tuple(map(repr, history.events))))
+    export = tuple(map(repr, group.metrics.rows()))
+    events = group.sim.events_processed
+    group.stop()
+    return tuple(fingerprint), export, events
+
+
+VARIANTS = {
+    "no-cache": dict(cache=False),
+    "content-macs": dict(token_mode="content"),
+    "full-ack-vector": dict(incremental=False),
+    "all-reference": dict(cache=False, token_mode="content",
+                          incremental=False),
+}
+
+
+def assert_parity(seed, config, **fuzz_kw):
+    with switches():
+        optimized = run_scenario(seed, config, **fuzz_kw)
+    for name, kw in VARIANTS.items():
+        with switches(**kw):
+            reference = run_scenario(seed, config, **fuzz_kw)
+        assert reference[0] == optimized[0], \
+            "histories diverge under %s (seed %d)" % (name, seed)
+        assert reference[1] == optimized[1], \
+            "metric exports diverge under %s (seed %d)" % (name, seed)
+        assert reference[2] == optimized[2], \
+            "event counts diverge under %s (seed %d)" % (name, seed)
+
+
+def test_parity_sym_crypto():
+    # the fig5 sym-crypto shape: the workload the digest-MAC optimization
+    # targets; TwoFacedCaster (drawn by some seeds) exercises the
+    # re-sign-after-mutation path against the memoized digest
+    assert_parity(101, StackConfig.byz(crypto="sym"))
+
+
+def test_parity_pub_crypto():
+    assert_parity(202, StackConfig.byz(crypto="pub"))
+
+
+def test_parity_packing():
+    # packing + sym crypto: the batched pack-flush path plus per-receiver
+    # MAC vectors
+    assert_parity(303, StackConfig.byz(crypto="sym", packing=True))
+
+
+def test_parity_gossip_acks():
+    # gossip acks route the *full* delivered vector through the stability
+    # matrix -- the path where incremental bookkeeping must agree with the
+    # reference rebuild exactly.  Traffic-only script: gossip fault
+    # schedules converge slowly regardless of these optimizations.
+    assert_parity(404, StackConfig.byz(crypto="sym", ack_mode="gossip"),
+                  n=6, ops=5, allow=("cast_burst", "run"))
+
+
+def test_switches_restore():
+    with switches(cache=False, token_mode="content", incremental=False):
+        assert Message.auth_cache_enabled is False
+        assert Message.auth_token_mode == "content"
+        assert ReliableLayer.incremental_ack_vector is False
+    assert Message.auth_cache_enabled is True
+    assert Message.auth_token_mode == "digest"
+    assert ReliableLayer.incremental_ack_vector is True
