@@ -86,6 +86,85 @@ def cmd_trace(args):
     return 0 if ok else 1
 
 
+def cmd_fuzz(args):
+    """Fuzz random fault scenarios; nonzero exit on any safety violation."""
+    from repro import StackConfig
+    from repro.tools.fuzzer import ScenarioFuzzer
+    config = StackConfig.byz(crypto=args.crypto,
+                             total_order=args.total_order)
+    failed = 0
+    for seed in range(args.start, args.start + args.seeds):
+        fuzzer = ScenarioFuzzer(seed, config=config, ops=args.ops).execute()
+        violations = fuzzer.check()
+        if violations:
+            failed += 1
+            print("seed %d: FAIL (%d violations)" % (seed, len(violations)))
+            for line in violations[:5]:
+                print("  " + line)
+            print("  script: %r" % (fuzzer.script,))
+            if args.out:
+                import os
+                os.makedirs(args.out, exist_ok=True)
+                path = fuzzer.as_plan().save(
+                    "%s/fuzz-counterexample-seed%d.json" % (args.out, seed))
+                print("  plan written to %s" % path)
+        else:
+            print("seed %d: ok (%d ops)" % (seed, len(fuzzer.script)))
+        fuzzer.group.stop()
+    print("%d/%d seeds failed" % (failed, args.seeds))
+    return 1 if failed else 0
+
+
+#: chaos presets: config/check/allow bundles for the common campaigns.
+#: ``corrupt`` only enters the op mix when a real crypto scheme can detect
+#: it (the byz-sym preset); with crypto="none" corruption is silent.
+CHAOS_PRESETS = {
+    "benign": {"config": {"byzantine": False}, "byzantine_fraction": 0.0},
+    "byz": {"config": None, "byzantine_fraction": 0.3},
+    "byz-sym": {"config": {"byzantine": True, "crypto": "sym"},
+                "byzantine_fraction": 0.3, "corrupt": True},
+}
+
+
+def cmd_chaos(args):
+    """Run a chaos campaign (or replay one plan); exit 1 on violations."""
+    import json
+
+    from repro.chaos import (DEFAULT_OPS, FaultPlan, run_grid_campaign,
+                             run_plan, run_random_campaign)
+
+    if args.replay:
+        plan = FaultPlan.load(args.replay)
+        violations, _engine = run_plan(plan)
+        print("replayed %s: %d violations" % (args.replay, len(violations)))
+        for line in violations:
+            print("  " + line)
+        return 1 if violations else 0
+
+    preset = CHAOS_PRESETS[args.preset]
+    if args.grid:
+        config = preset["config"]
+        if args.preset == "byz-sym":
+            corrupts = (0.0, 0.05, 0.1)
+        else:
+            corrupts = (0.0,)
+        summary = run_grid_campaign(
+            drops=(0.0, 0.1, 0.2, 0.3), corrupts=corrupts, n=args.nodes,
+            seed=args.start, config=config, shrink=not args.no_shrink,
+            out_dir=args.out, log=print)
+    else:
+        allow = DEFAULT_OPS if preset.get("corrupt") \
+            else tuple(op for op in DEFAULT_OPS if op != "corrupt")
+        summary = run_random_campaign(
+            range(args.start, args.start + args.seeds), ops=args.ops,
+            allow=allow, byzantine_fraction=preset["byzantine_fraction"],
+            config=preset["config"], shrink=not args.no_shrink,
+            out_dir=args.out, log=print)
+    print(json.dumps({key: summary[key]
+                      for key in ("seeds", "passed", "failed")}))
+    return 1 if summary["failed"] else 0
+
+
 def cmd_calibration(args):
     """Print the calibration tables the benchmarks run on."""
     from repro.crypto.cost import CryptoCostModel
@@ -128,6 +207,38 @@ def main(argv=None):
     trace.add_argument("--json", action="store_true",
                        help="emit the artifact as JSON instead of text")
     trace.set_defaults(func=cmd_trace)
+
+    fuzz = sub.add_parser("fuzz", help=cmd_fuzz.__doc__)
+    fuzz.add_argument("--seeds", type=int, default=10,
+                      help="number of seeds to run")
+    fuzz.add_argument("--start", type=int, default=0,
+                      help="first seed of the range")
+    fuzz.add_argument("--ops", type=int, default=12)
+    fuzz.add_argument("--crypto", choices=("none", "sym", "pub"),
+                      default="none")
+    fuzz.add_argument("--total-order", action="store_true")
+    fuzz.add_argument("--out", default=None,
+                      help="directory for failing-seed plan JSON")
+    fuzz.set_defaults(func=cmd_fuzz)
+
+    chaos = sub.add_parser("chaos", help=cmd_chaos.__doc__)
+    chaos.add_argument("--seeds", type=int, default=10)
+    chaos.add_argument("--start", type=int, default=0)
+    chaos.add_argument("--ops", type=int, default=12)
+    chaos.add_argument("--nodes", type=int, default=6,
+                       help="cluster size for --grid sweeps")
+    chaos.add_argument("--preset", choices=sorted(CHAOS_PRESETS),
+                       default="byz")
+    chaos.add_argument("--grid", action="store_true",
+                       help="sweep the drop/corrupt grid instead of "
+                            "random plans")
+    chaos.add_argument("--no-shrink", action="store_true",
+                       help="skip ddmin minimization of failing plans")
+    chaos.add_argument("--out", default=None,
+                       help="directory for counterexample + summary JSON")
+    chaos.add_argument("--replay", default=None, metavar="PLAN_JSON",
+                       help="replay one saved plan instead of sweeping")
+    chaos.set_defaults(func=cmd_chaos)
 
     calib = sub.add_parser("calibration", help=cmd_calibration.__doc__)
     calib.add_argument("--nodes", type=int, default=48)

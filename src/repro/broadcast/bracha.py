@@ -47,8 +47,12 @@ class BrachaBroadcast(AgreementInstance):
 
     # ------------------------------------------------------------------
     def originate(self, value):
+        # idempotent, like UniformBroadcast.originate: lost initials are
+        # recovered by the reliable layer, never by re-broadcasting here
         if self.me != self.origin:
             raise RuntimeError("only the origin may originate")
+        if self._initial_value is not None:
+            return
         self.broadcast(("br-initial", value))
         self._on_initial(self.me, value)
 

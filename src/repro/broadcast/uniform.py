@@ -59,9 +59,17 @@ class UniformBroadcast(AgreementInstance):
 
     # ------------------------------------------------------------------
     def originate(self, value):
-        """Step 0: only the origin broadcasts ``initial``."""
+        """Step 0: only the origin broadcasts ``initial``.
+
+        Idempotent: retransmission of a lost initial is the reliable
+        layer's job, so a second call must not re-broadcast (a caller
+        retrying on every ack-matrix update would otherwise feed its own
+        zero-delay self-delivery forever).
+        """
         if self.me != self.origin:
             raise RuntimeError("only the origin may originate")
+        if self._initial_value is not None:
+            return
         self.broadcast(("ub-initial", value))
         self._on_initial(self.me, value)
 

@@ -1,0 +1,29 @@
+"""Chaos plane: declarative fault campaigns against the protocol stack.
+
+Public surface:
+
+* :class:`~repro.chaos.plan.FaultPlan` / :func:`~repro.chaos.plan.random_plan`
+  -- the JSON-serializable fault-scenario language;
+* :class:`~repro.chaos.engine.ChaosEngine` / :func:`~repro.chaos.engine.run_plan`
+  -- build a cluster from a plan and execute it;
+* :class:`~repro.chaos.engine.LinkFaults` -- the per-link packet mangler
+  installed on ``Network.chaos``;
+* :func:`~repro.chaos.shrink.shrink_plan` -- ddmin counterexample
+  minimization;
+* :func:`~repro.chaos.campaign.run_random_campaign` /
+  :func:`~repro.chaos.campaign.run_grid_campaign` -- sweep runners.
+
+See ``docs/ROBUSTNESS.md`` for the fault taxonomy and workflow.
+"""
+
+from repro.chaos.campaign import (grid_plan, run_grid_campaign,
+                                  run_random_campaign)
+from repro.chaos.engine import ChaosEngine, LinkFaults, run_plan
+from repro.chaos.plan import DEFAULT_OPS, FaultPlan, random_plan
+from repro.chaos.shrink import shrink_plan
+
+__all__ = [
+    "ChaosEngine", "DEFAULT_OPS", "FaultPlan", "LinkFaults", "grid_plan",
+    "random_plan", "run_grid_campaign", "run_plan", "run_random_campaign",
+    "shrink_plan",
+]

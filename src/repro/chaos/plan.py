@@ -1,0 +1,209 @@
+"""Declarative fault plans: the chaos plane's input language.
+
+A :class:`FaultPlan` is a JSON-serializable recipe for one adversarial
+run: cluster size, configuration overrides, and an ordered op script --
+traffic, timed crash/restart, leaves and joins, partition churn, per-link
+packet corruption/duplication/loss, per-node clock skew and NIC
+degradation, and Byzantine activations.  Plans are what the campaign
+runner sweeps, what the shrinker minimizes, and what
+``python -m repro chaos --replay`` replays.
+
+Op vocabulary (each op is a JSON list, name first)::
+
+    ["cast", sender, count]            sender broadcasts count app casts
+    ["run", seconds]                   advance the simulation
+    ["crash", node]                    crash-stop a node
+    ["restart", node]                  reboot a crashed node (rejoins)
+    ["leave", node]                    graceful leave
+    ["join", node]                     spawn a fresh node that merges in
+    ["partition", [[...], [...]]]      connectivity components
+    ["heal"]                           reconnect everything
+    ["byzantine", node, name, params]  activate a behaviors.<name> villain
+    ["drop", src, dst, prob]           per-link loss (None = wildcard)
+    ["corrupt", src, dst, prob]        per-link payload corruption
+    ["duplicate", src, dst, prob]      per-link duplication
+    ["nic", node, factor]              scale a node's NIC bandwidth
+    ["skew", node, drift]              scale a node's timer delays
+    ["clear_faults"]                   lift all link faults
+
+Every op is *tolerant*: an op whose target does not exist (or is in the
+wrong state) is a no-op.  That property is what makes delta-debugging
+shrinking sound -- any subset of a plan's ops is itself a valid plan.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+#: ops the random generator draws from by default.  ``corrupt`` is NOT in
+#: the default mix: with ``crypto="none"`` corruption is undetectable (the
+#: paper's model assumes authenticated channels), so it belongs in
+#: campaigns that also set a real crypto scheme.
+DEFAULT_OPS = ("cast", "run", "crash", "restart", "leave", "partition",
+               "heal", "join", "drop", "duplicate", "nic", "skew",
+               "clear_faults")
+
+_PLAN_FIELDS = ("seed", "n", "ops", "config", "net", "check")
+
+
+class FaultPlan:
+    """One declarative, replayable chaos scenario."""
+
+    def __init__(self, seed=0, n=6, ops=(), config=None, net=None,
+                 check=None):
+        self.seed = seed
+        self.n = n
+        self.ops = [list(op) for op in ops]
+        #: StackConfig keyword overrides (e.g. {"crypto": "sym"})
+        self.config = dict(config or {})
+        #: NetworkConfig keyword overrides (e.g. {"drop_prob": 0.1})
+        self.net = dict(net or {})
+        #: property-checker options ({"content_agreement": ..,
+        #: "total_order": ..}); defaults follow the stack config
+        self.check = dict(check or {})
+
+    # ------------------------------------------------------------------
+    def replace_ops(self, ops):
+        """A copy of this plan with a different op script (shrinking)."""
+        return FaultPlan(seed=self.seed, n=self.n, ops=ops,
+                         config=self.config, net=self.net, check=self.check)
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_dict(self):
+        return {"seed": self.seed, "n": self.n, "ops": self.ops,
+                "config": self.config, "net": self.net, "check": self.check}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(**{key: data.get(key) for key in _PLAN_FIELDS
+                      if data.get(key) is not None})
+
+    def to_json(self, indent=2):
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text):
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path):
+        with open(path, "w") as fh:
+            fh.write(self.to_json() + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path):
+        with open(path) as fh:
+            return cls.from_json(fh.read())
+
+    # ------------------------------------------------------------------
+    def __len__(self):
+        return len(self.ops)
+
+    def __eq__(self, other):
+        return (isinstance(other, FaultPlan)
+                and self.to_dict() == other.to_dict())
+
+    def __repr__(self):
+        return "FaultPlan(seed={}, n={}, ops={})".format(
+            self.seed, self.n, len(self.ops))
+
+
+def random_plan(seed, n=None, ops=12, allow=DEFAULT_OPS,
+                byzantine_fraction=0.3, config=None, net=None, check=None):
+    """Draw one random fault plan (the campaign runner's generator).
+
+    The generator is *state-blind*: it tracks its own model of which
+    nodes it crashed or evicted, never the simulation (which it has not
+    run).  The engine's tolerant op semantics absorb any divergence.
+    """
+    rng = random.Random(seed)
+    n = n or rng.randint(6, 10)
+    plan_ops = []
+    crashed = set()
+    left = set()
+    villain = None
+    next_join = 1000
+    skewed_or_degraded = set()
+
+    if rng.random() < byzantine_fraction:
+        villain = rng.randrange(n)
+        kind = rng.choice(("MuteNode", "VerboseNode", "TwoFacedCaster"))
+        params = {}
+        if kind == "MuteNode":
+            params = {"mute_at": round(rng.uniform(0.05, 0.3), 4)}
+        elif kind == "VerboseNode":
+            params = {"start_at": round(rng.uniform(0.05, 0.3), 4)}
+        plan_ops.append(["byzantine", villain, kind, params])
+
+    def alive():
+        return [node for node in range(n)
+                if node not in crashed and node not in left
+                and node != villain]
+
+    quorum_floor = max(3, (2 * n) // 3)
+    for _step in range(ops):
+        op = rng.choice(allow)
+        live = alive()
+        if op == "cast":
+            if not live:
+                continue
+            plan_ops.append(["cast", rng.choice(live), rng.randint(1, 12)])
+        elif op == "run":
+            plan_ops.append(["run", rng.choice((0.05, 0.1, 0.3, 0.6))])
+        elif op == "crash":
+            if len(live) <= quorum_floor:
+                continue
+            victim = rng.choice(live)
+            crashed.add(victim)
+            plan_ops.append(["crash", victim])
+        elif op == "restart":
+            candidates = sorted(crashed - left)
+            if not candidates:
+                continue
+            node = rng.choice(candidates)
+            crashed.discard(node)
+            plan_ops.append(["restart", node])
+        elif op == "leave":
+            if len(live) <= quorum_floor:
+                continue
+            leaver = rng.choice(live)
+            left.add(leaver)
+            plan_ops.append(["leave", leaver])
+        elif op == "partition":
+            if len(live) < 4:
+                continue
+            rng.shuffle(live)
+            split = rng.randint(1, len(live) - 1)
+            side_a = sorted(set(live[:split]) | crashed, key=repr)
+            side_b = sorted(live[split:], key=repr)
+            plan_ops.append(["partition", [side_a, side_b]])
+        elif op == "heal":
+            plan_ops.append(["heal"])
+        elif op == "join":
+            plan_ops.append(["join", next_join])
+            next_join += 1
+        elif op in ("drop", "corrupt", "duplicate"):
+            src = rng.choice(live) if live and rng.random() < 0.5 else None
+            prob = rng.choice((0.05, 0.1, 0.2, 0.3))
+            plan_ops.append([op, src, None, prob])
+        elif op == "nic":
+            if not live:
+                continue
+            node = rng.choice(live)
+            skewed_or_degraded.add(node)
+            plan_ops.append(["nic", node, rng.choice((0.05, 0.2, 0.5))])
+        elif op == "skew":
+            if not live:
+                continue
+            node = rng.choice(live)
+            skewed_or_degraded.add(node)
+            plan_ops.append(["skew", node, round(rng.uniform(0.7, 1.4), 3)])
+        elif op == "clear_faults":
+            plan_ops.append(["clear_faults"])
+        else:
+            raise ValueError("unknown op in allow list: %r" % (op,))
+    return FaultPlan(seed=seed, n=n, ops=plan_ops, config=config, net=net,
+                     check=check)

@@ -1,0 +1,90 @@
+"""Counterexample shrinking: ddmin over a failing plan's op script.
+
+A random campaign's counterexamples are long and mostly noise -- a dozen
+ops of which two matter.  This module minimizes them with the classic
+delta-debugging algorithm (Zeller & Hildebrandt, *Simplifying and
+Isolating Failure-Inducing Input*, TSE 2002): repeatedly try subsets and
+complements of the op list at increasing granularity, keeping any smaller
+script that still fails the property checker.
+
+Soundness rests on two properties of the chaos engine:
+
+* ops are tolerant -- any subsequence of a valid script is a valid script;
+* runs are deterministic -- the same (seed, ops) pair always produces the
+  same violations, so one failing re-run is proof, and results can be
+  cached by op-list identity.
+
+The result is *1-minimal*: removing any single remaining op makes the
+failure disappear.  That is exactly the replayable artifact a human wants
+to debug from.
+"""
+
+from __future__ import annotations
+
+from repro.chaos.engine import run_plan
+
+
+def shrink_plan(plan, fails=None, max_runs=512):
+    """Minimize ``plan.ops`` while a failure predicate keeps holding.
+
+    Parameters
+    ----------
+    plan:
+        A :class:`~repro.chaos.plan.FaultPlan` that currently *fails*.
+    fails:
+        ``fails(candidate_plan) -> bool`` -- the test being minimized
+        against.  Defaults to "``run_plan`` reports any violation".
+    max_runs:
+        Hard budget on checker invocations (cache misses); the best plan
+        found so far is returned when it is exhausted.
+
+    Returns the minimized plan.  Raises ``ValueError`` if the input plan
+    does not fail -- shrinking a passing plan would "minimize" it to the
+    empty script and report nonsense.
+    """
+    if fails is None:
+        fails = lambda candidate: bool(run_plan(candidate)[0])
+
+    runs = [0]
+    cache = {}
+
+    def failing(ops):
+        key = repr(ops)
+        if key in cache:
+            return cache[key]
+        if runs[0] >= max_runs:
+            return False   # budget spent: treat untried candidates as passing
+        runs[0] += 1
+        result = bool(fails(plan.replace_ops(ops)))
+        cache[key] = result
+        return result
+
+    ops = [list(op) for op in plan.ops]
+    if not failing(ops):
+        raise ValueError(
+            "shrink_plan: the input plan does not fail its predicate")
+
+    # ddmin2: try removing chunks, then complements, then refine
+    granularity = 2
+    while len(ops) >= 2:
+        chunk = len(ops) // granularity
+        subsets = [ops[i:i + chunk] for i in range(0, len(ops), chunk)]
+        reduced = False
+        for index, subset in enumerate(subsets):
+            if failing(subset):
+                ops = subset
+                granularity = 2
+                reduced = True
+                break
+            complement = [op for j, s in enumerate(subsets) if j != index
+                          for op in s]
+            if complement != ops and failing(complement):
+                ops = complement
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(ops):
+                break
+            granularity = min(granularity * 2, len(ops))
+    return plan.replace_ops(ops)

@@ -62,6 +62,18 @@ class StackConfig:
                  ack_mode="broadcast",
                  ack_gossip_fanout=2,
                  retrans_timeout=0.04,
+                 # hardening against loss storms (chaos plane): repeated
+                 # retransmission retries back off exponentially up to this
+                 # ceiling, with +-retrans_jitter relative decorrelation
+                 retrans_backoff_max=0.32,
+                 retrans_jitter=0.25,
+                 # NAKs one node may emit per retrans_timeout window
+                 # (0 disables suppression)
+                 nak_window_budget=64,
+                 # signature rejections from one transmitter before the
+                 # bottom layer reports it to the suspicion layer
+                 # (0 disables corruption-triggered suspicion)
+                 corruption_suspect_threshold=4,
                  mtu=1400,
                  # packing/batching optimization [33] -- OFF in the paper's
                  # measurements; implemented here as the predicted extension
@@ -101,6 +113,10 @@ class StackConfig:
         self.ack_mode = ack_mode
         self.ack_gossip_fanout = ack_gossip_fanout
         self.retrans_timeout = retrans_timeout
+        self.retrans_backoff_max = retrans_backoff_max
+        self.retrans_jitter = retrans_jitter
+        self.nak_window_budget = nak_window_budget
+        self.corruption_suspect_threshold = corruption_suspect_threshold
         self.mtu = mtu
         self.packing = packing
         self.packing_delay = packing_delay
@@ -163,6 +179,13 @@ class StackConfig:
         return max(0, bound)
 
     def clone(self, **overrides):
+        # clone() bypasses __init__, so the constructor's obs normalization
+        # (True -> ObsConfig(), falsy -> None) must be applied here too --
+        # otherwise a literal True would be stored and the observability
+        # plane would be built against a bool instead of an ObsConfig
+        if "obs" in overrides:
+            obs = overrides["obs"]
+            overrides["obs"] = ObsConfig() if obs is True else (obs or None)
         fresh = StackConfig.__new__(StackConfig)
         fresh.__dict__.update(self.__dict__)
         fresh.__dict__.update(overrides)

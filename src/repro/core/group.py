@@ -21,6 +21,7 @@ from repro.core.process import GroupProcess
 from repro.core.view import View, ViewId, singleton_view
 from repro.crypto.keys import KeyManager
 from repro.obs import ObservabilityPlane
+from repro.sim.clock import NodeClock
 from repro.sim.network import Network, NetworkConfig
 from repro.sim.scheduler import Simulator
 from repro.sim.topology import BladeCenterTopology
@@ -39,6 +40,12 @@ class Group:
         self.keys = keys or KeyManager()
         self.obs = obs                # ObservabilityPlane, or None
         self.byzantine_nodes = set()
+        self.clocks = {}              # node_id -> NodeClock (skewed nodes)
+        # (node_id, incarnation, History) of pre-restart incarnations --
+        # kept for debugging; deliberately NOT part of execution(): the
+        # property checkers constrain correct processes, and a crashed
+        # incarnation's obligations ended at its crash
+        self.retired = []
 
     @staticmethod
     def _make_obs(sim, network, config):
@@ -54,7 +61,7 @@ class Group:
     @classmethod
     def bootstrap(cls, n, config=None, seed=0, topology_cls=None,
                   net_config=None, behaviors=None, established=True,
-                  start=True, node_ids=None):
+                  start=True, node_ids=None, clock_drift=None):
         """Create and (optionally) start a cluster of ``n`` nodes.
 
         Parameters
@@ -64,6 +71,10 @@ class Group:
         established:
             Start all nodes in one common view (True) or in singleton
             views that must merge (False).
+        clock_drift:
+            ``{node_id: drift}`` -- give these nodes a
+            :class:`~repro.sim.clock.NodeClock` whose relative timer
+            delays are scaled by ``drift`` (chaos clock-skew fault).
         """
         config = config or StackConfig.byz()
         sim = Simulator(seed=seed)
@@ -74,22 +85,29 @@ class Group:
         if node_ids is None:
             node_ids = list(range(n))
         behaviors = behaviors or {}
+        clock_drift = clock_drift or {}
         members = tuple(node_ids)
         f = config.resilience(n)
         common = View(ViewId(1, members[0]), members, f=f,
                       underprovisioned=(f == 0 and config.byzantine))
         processes = {}
         endpoints = {}
+        clocks = {}
         for node_id in node_ids:
             initial = common if established else singleton_view(node_id)
+            clock = None
+            if node_id in clock_drift:
+                clock = NodeClock(sim, clock_drift[node_id])
+                clocks[node_id] = clock
             process = GroupProcess(sim, network, node_id, config, keys,
                                    initial, behavior=behaviors.get(node_id),
-                                   obs=obs)
+                                   obs=obs, clock=clock)
             processes[node_id] = process
             endpoints[node_id] = GroupEndpoint(process)
         group = cls(sim, network, processes, endpoints, config, keys=keys,
                     obs=obs)
         group.byzantine_nodes = set(behaviors)
+        group.clocks = clocks
         if start:
             group.start()
         return group
@@ -253,6 +271,40 @@ class Group:
     def crash(self, node_id):
         """Crash-stop a node (the benign special case of Byzantine)."""
         self.processes[node_id].stop()
+
+    def restart(self, node_id, behavior=None, start=True):
+        """Reboot a crashed node as a fresh incarnation that rejoins.
+
+        The new process boots in a *singleton view with counter 0* (a
+        reboot is a cold start, exactly like ``add_node``): its view id is
+        smaller than the running group's, so gossip discovery makes it the
+        requesting side of the merge and state flows *to* it through the
+        state-transfer layer.  The incarnation number is bumped so the
+        bottom layer of every peer rejects stragglers sent by the dead
+        incarnation instead of replaying them into the fresh stack.
+        Rejoin only proceeds once the group has evicted the crashed member
+        (the merge guards refuse overlapping memberships), which the
+        failure detectors drive on their own.
+        """
+        old = self.processes[node_id]
+        if not old.stopped:
+            old.stop()
+        self.network.detach(node_id)   # free the port for the new process
+        self.retired.append((node_id, old.incarnation, old.history))
+        self.byzantine_nodes.discard(node_id)
+        process = GroupProcess(self.sim, self.network, node_id, self.config,
+                               self.keys, singleton_view(node_id),
+                               behavior=behavior, obs=self.obs,
+                               incarnation=old.incarnation + 1,
+                               clock=self.clocks.get(node_id))
+        endpoint = GroupEndpoint(process)
+        self.processes[node_id] = process
+        self.endpoints[node_id] = endpoint
+        if behavior is not None:
+            self.byzantine_nodes.add(node_id)
+        if start:
+            process.start()
+        return endpoint
 
     def partition(self, *component_groups):
         """Split the network into the given connectivity components."""

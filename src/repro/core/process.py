@@ -55,10 +55,15 @@ class GroupProcess:
     """A single group-communication daemon on the simulated network."""
 
     def __init__(self, sim, network, node_id, config, keys, initial_view,
-                 behavior=None, obs=None):
-        self.sim = sim
+                 behavior=None, obs=None, incarnation=0, clock=None):
+        # a NodeClock proxy (chaos clock-skew fault) must be installed
+        # here, before the stack attaches: layers cache process.sim
+        self.sim = sim if clock is None else clock
         self.network = network
         self.node_id = node_id
+        # reboot counter (crash-recovery): 0 for first boot; bumped by
+        # Group.restart so peers can reject the dead incarnation's stragglers
+        self.incarnation = incarnation
         self.config = config
         self.keys = keys
         self.view = initial_view
@@ -67,19 +72,20 @@ class GroupProcess:
         self.obs = obs    # shared ObservabilityPlane, or None (disabled)
         self.endpoint = None
         self.stopped = False
-        self.cpu = Cpu(sim)
+        self.cpu = Cpu(self.sim)
         self.auth = make_authenticator(config.crypto, keys,
                                        config.crypto_costs)
         self.history = History(node_id)
         self.mute_levels = FuzzyLevels(
-            sim, "mute", config.fuzzy_decay_interval,
+            self.sim, "mute", config.fuzzy_decay_interval,
             config.fuzzy_decay_amount)
         self.verbose_levels = FuzzyLevels(
-            sim, "verbose", config.fuzzy_decay_interval,
+            self.sim, "verbose", config.fuzzy_decay_interval,
             config.fuzzy_decay_amount)
-        self.mute_detector = FuzzyMuteDetector(sim, self.mute_levels,
+        self.mute_detector = FuzzyMuteDetector(self.sim, self.mute_levels,
                                                config.mute_timeout)
-        self.verbose_detector = FuzzyVerboseDetector(sim, self.verbose_levels)
+        self.verbose_detector = FuzzyVerboseDetector(self.sim,
+                                                     self.verbose_levels)
         self.stability = StabilityTracker(self)
         self._last_heard = {}
         self.stack = LayerStack(self, default_layers())

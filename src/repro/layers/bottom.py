@@ -36,10 +36,19 @@ class BottomLayer(Layer):
         self.dropped_bad_signature = 0
         self.dropped_wrong_view = 0
         self.dropped_impersonation = 0
+        self.dropped_stale_incarnation = 0
         self.packets_packed = 0
         self._pack_queues = {}   # dst -> [(msg, inner_size)]
         self._pack_bytes = {}    # dst -> running byte total of that queue
         self._pack_timers = {}   # dst -> Timer
+        # crash-recovery: highest incarnation seen per transmitter.  Kept
+        # across views on purpose -- a reincarnated peer's number must not
+        # reset when the membership changes, or the dead incarnation's
+        # stragglers would be accepted again.
+        self._peer_inc = {}
+        # corruption-triggered suspicion: consecutive signature rejections
+        # per transmitter since the last view change
+        self._sig_strikes = {}
 
     # ------------------------------------------------------------------
     # downward: sign once, charge CPU, transmit per destination
@@ -59,6 +68,16 @@ class BottomLayer(Layer):
         self.messages_signed += 1
         self.count("messages_signed")
         self.observe("sign_cpu", sign_cost)
+        if process.incarnation:
+            # transport metadata, pushed AFTER signing: the incarnation
+            # number stays outside the signed content so archived copies
+            # retransmitted by third parties (which reconstruct only the
+            # signed headers) still verify.  It defends against *stale*
+            # messages, not active forgery -- the impersonation check
+            # already makes the network source authoritative.  First-boot
+            # processes (incarnation 0) push nothing, so wire sizes and
+            # seed-pinned timings are unchanged unless a restart happened.
+            msg.push_header("inc", process.incarnation)
         host = self.config.host
         if self.config.packing:
             # per-packet costs are charged at pack-flush time instead
@@ -170,6 +189,9 @@ class BottomLayer(Layer):
         process = self.process
         if process.stopped:
             return
+        # popped before verification so the remaining headers match the
+        # signed content (the header is unsigned transport metadata)
+        inc = msg.pop_header("inc", 0)
         if self.config.byzantine:
             # impersonation check: the claimed transmitter must be the true
             # network source (the paper assumes nodes cannot impersonate,
@@ -188,7 +210,17 @@ class BottomLayer(Layer):
                 self.dropped_bad_signature += 1
                 self.count("drop_bad_signature")
                 process.verbose_detector.illegal(src, "bottom:bad-signature")
+                self._sig_strike(src)
                 return
+        known = self._peer_inc.get(src, 0)
+        if inc != known:
+            if inc < known:
+                # a straggler from a dead incarnation of a restarted peer:
+                # reject it here so it cannot replay into the fresh stack
+                self.dropped_stale_incarnation += 1
+                self.count("drop_stale_incarnation")
+                return
+            self._peer_inc[src] = inc
         if (msg.view_id != process.view.vid
                 and msg.kind not in CROSS_VIEW_KINDS):
             self.dropped_wrong_view += 1
@@ -196,3 +228,32 @@ class BottomLayer(Layer):
             return
         process.note_heard_from(src)
         self.send_up(msg)
+
+    def _sig_strike(self, src):
+        """Corruption-triggered suspicion: enough signature rejections from
+        one transmitter are evidence its link (or the node itself) is
+        feeding us garbage -- report it to the suspicion layer, which
+        slanders so the group can agree to route around it."""
+        threshold = self.config.corruption_suspect_threshold
+        if not threshold:
+            return
+        strikes = self._sig_strikes.get(src, 0) + 1
+        self._sig_strikes[src] = strikes
+        if strikes == threshold:
+            self.count("corruption_suspicions")
+            self.process.suspicion.suspect_locally(
+                src, reason="bottom:corruption")
+
+    def on_view(self, view):
+        # strikes are per-view evidence; the incarnation table is NOT
+        # reset (see __init__)
+        self._sig_strikes.clear()
+
+    def stop(self):
+        # crash semantics: a dead node's pack-flush timers must not fire
+        # callbacks into the stopped stack
+        for timer in self._pack_timers.values():
+            timer.cancel()
+        self._pack_timers.clear()
+        self._pack_queues.clear()
+        self._pack_bytes.clear()

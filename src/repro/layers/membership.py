@@ -93,6 +93,13 @@ class MembershipLayer(Layer):
         self._expectations = []
         self._waiting_stability = False
         self._flush_undecidable = False
+        # the highest view counter this node has ever attached to a view
+        # it proposed on the wire or installed; never reset.  Any view we
+        # CREATE later must use a strictly larger counter, or an aborted
+        # change attempt and a later singleton fallback could bind two
+        # different memberships to the same vid (view-agreement violation
+        # found by the chaos campaign: two concurrent leaves sufficed)
+        self._counter_floor = 0
         # measurement hooks used by the benchmarks
         self.view_changes = 0
         self.change_started_at = None
@@ -133,6 +140,15 @@ class MembershipLayer(Layer):
         for exp in self._expectations:
             exp.cancel()
         self._expectations = []
+
+    def stop(self):
+        # crash semantics: a dead node's pending regroup retry must not
+        # re-enter the view-change machinery (expectation timers live in
+        # the mute detector, which the process cancels wholesale)
+        if self._regroup_timer is not None:
+            self._regroup_timer.cancel()
+            self._regroup_timer = None
+        self._cancel_expectations()
 
     def _expect(self, member, tag, timeout):
         exp = self.process.mute_detector.expect(member, tag, timeout)
@@ -359,7 +375,8 @@ class MembershipLayer(Layer):
             # the group agreed to exclude us; fall back to a singleton view
             # (counter carried forward -- view ids must stay monotonic in
             # our own history, Def 2.1 item 2) and try to merge back in
-            fallback = View(ViewId(view.vid.counter + 1, self.me),
+            fallback = View(ViewId(max(view.vid.counter,
+                                       self._counter_floor) + 1, self.me),
                             (self.me,), coordinator=self.me, f=0,
                             underprovisioned=True)
             self._install(fallback)
@@ -476,6 +493,9 @@ class MembershipLayer(Layer):
             joiners = tuple(sorted(self._pending_joiners.mbrs, key=repr))
             counter = max(counter, self._pending_joiners.vid.counter + 1)
         members = tuple(self._survivors) + joiners
+        if self._new_coord == self.me:
+            # only the creator can collide with its own past proposals
+            counter = max(counter, self._counter_floor + 1)
         f = self.config.resilience(len(members))
         return View(ViewId(counter, self._new_coord), members,
                     coordinator=self._new_coord, f=f,
@@ -490,7 +510,15 @@ class MembershipLayer(Layer):
                 self._waiting_stability = True
                 self.process.stability.subscribe(self._on_stability_update)
             return
-        value = (self._proposed_view().to_wire(),
+        # the send below is one-shot per change: our own broadcast's
+        # self-delivery bumps the ack matrix, which re-enters here through
+        # _on_stability_update at zero delay
+        self._waiting_stability = False
+        proposed = self._proposed_view()
+        # the vid is about to go on the wire bound to this membership:
+        # nothing this node creates later may reuse the counter
+        self._counter_floor = max(self._counter_floor, proposed.vid.counter)
+        value = (proposed.to_wire(),
                  tuple(sorted(self._cut.items(), key=repr)))
         ub = self._make_ub_instance()
         if ub is None:
@@ -630,6 +658,8 @@ class MembershipLayer(Layer):
                 self.send_down(offer)
 
     def _install(self, new_view):
+        self._counter_floor = max(self._counter_floor,
+                                  new_view.vid.counter)
         started = self.change_started_at
         self.view_changes += 1
         self.count("view_changes")

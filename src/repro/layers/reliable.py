@@ -26,6 +26,7 @@ stability tracker.
 from __future__ import annotations
 
 from bisect import bisect_left
+from zlib import crc32
 
 from repro.core import message as mk
 from repro.core.message import Message
@@ -77,6 +78,7 @@ class ReliableLayer(Layer):
         self._reset_state()
         self.retransmissions_served = 0
         self.naks_sent = 0
+        self.naks_suppressed = 0
         self.duplicates = 0
         self.archive_trimmed = 0
 
@@ -99,6 +101,9 @@ class ReliableLayer(Layer):
         self._cut = None        # {origin: seq} ceiling on the app stream
         self._cut_callback = None
         self._trailing_nak_at = {}  # (origin, stream) -> last trailing NAK
+        # NAK-storm suppression: per-window global NAK budget
+        self._nak_window_start = -1.0
+        self._naks_in_window = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -110,6 +115,13 @@ class ReliableLayer(Layer):
     def stop(self):
         if getattr(self, "_ack_timer", None) is not None:
             self._ack_timer.cancel()
+            self._ack_timer = None
+        # crash semantics: gap timers re-arm themselves forever while a
+        # stream has holes -- a dead node must not keep NAKing
+        for state in self._in_streams.values():
+            if state.gap_timer is not None:
+                state.gap_timer.cancel()
+                state.gap_timer = None
 
     def on_view(self, view):
         for stream in self._in_streams.values():
@@ -178,6 +190,8 @@ class ReliableLayer(Layer):
     # stream acceptance and in-order delivery
     # ------------------------------------------------------------------
     def _accept_stream(self, origin, msg, stream, seq):
+        if self.process.stopped:
+            return  # a pre-crash self-delivery event racing the stop
         key = (origin, stream)
         state = self._in_streams.get(key)
         if state is None:
@@ -197,7 +211,8 @@ class ReliableLayer(Layer):
         self._drain(origin, stream, state)
         if state.buffer and state.gap_timer is None:
             state.gap_timer = self.sim.schedule(
-                self.config.retrans_timeout, self._gap_expired, origin, stream)
+                self._retrans_delay(origin, stream, state.nak_round),
+                self._gap_expired, origin, stream)
 
     def _drain(self, origin, stream, state):
         while state.next_seq in state.buffer:
@@ -209,9 +224,12 @@ class ReliableLayer(Layer):
             state.next_seq = seq + 1
             self._since_ack += 1
             self.send_up(msg)
-        if not state.buffer and state.gap_timer is not None:
-            state.gap_timer.cancel()
-            state.gap_timer = None
+        if not state.buffer:
+            # caught up: the next loss starts a fresh backoff schedule
+            state.nak_round = 0
+            if state.gap_timer is not None:
+                state.gap_timer.cancel()
+                state.gap_timer = None
         self._dv_refresh_stream(origin, stream, state)
         if self._since_ack >= self.config.ack_every:
             self._broadcast_ack()
@@ -258,8 +276,8 @@ class ReliableLayer(Layer):
             state.next_seq += 1
         if state.buffer and state.gap_timer is None:
             state.gap_timer = self.sim.schedule(
-                self.config.retrans_timeout, self._gap_expired,
-                msg.origin, STREAM_P2P)
+                self._retrans_delay(msg.origin, STREAM_P2P, state.nak_round),
+                self._gap_expired, msg.origin, STREAM_P2P)
 
     # ------------------------------------------------------------------
     # acknowledgements
@@ -500,7 +518,29 @@ class ReliableLayer(Layer):
             self._send_nak(origin, stream, missing, state.nak_round)
             state.nak_round += 1
         state.gap_timer = self.sim.schedule(
-            self.config.retrans_timeout, self._gap_expired, origin, stream)
+            self._retrans_delay(origin, stream, state.nak_round),
+            self._gap_expired, origin, stream)
+
+    def _retrans_delay(self, origin, stream, nak_round):
+        """Bounded exponential backoff + jitter for retransmission retries.
+
+        Round 0 retries at the base timeout (the pre-hardening behaviour);
+        repeated misses double the wait up to ``retrans_backoff_max``, so a
+        partitioned or dead origin is not NAKed at full rate forever.  The
+        jitter decorrelates the receivers of one lost broadcast without
+        consuming simulator RNG draws (which would shift every seeded
+        history): it is a pure hash of (receiver, origin, stream, round).
+        """
+        config = self.config
+        delay = config.retrans_timeout * (1 << min(nak_round, 8))
+        if delay > config.retrans_backoff_max:
+            delay = config.retrans_backoff_max
+        jitter = config.retrans_jitter
+        if jitter:
+            salt = crc32(repr((self.me, origin, stream, nak_round))
+                         .encode("utf-8"))
+            delay *= 1.0 + jitter * (salt & 0x3FF) / 1024.0
+        return delay
 
     def request_range(self, origin, stream, first, last, nak_round=0):
         """Explicit recovery request -- used by the flush protocol."""
@@ -529,6 +569,22 @@ class ReliableLayer(Layer):
                 target = others[nak_round % len(others)]
         if target == self.me:
             return
+        # NAK-storm suppression: under heavy loss (or a chaos corruption
+        # campaign) every gap timer fires at once and the repair traffic
+        # can drown the repairs themselves.  Cap the NAKs this node emits
+        # per retrans_timeout window; suppressed requests are retried by
+        # the (backed-off) gap timers, so recovery still converges.
+        budget = self.config.nak_window_budget
+        if budget:
+            now = self.sim.now
+            if now - self._nak_window_start >= self.config.retrans_timeout:
+                self._nak_window_start = now
+                self._naks_in_window = 0
+            if self._naks_in_window >= budget:
+                self.naks_suppressed += 1
+                self.count("naks_suppressed")
+                return
+            self._naks_in_window += 1
         self.naks_sent += 1
         self.count("naks_sent")
         payload = (origin, stream, tuple(missing[:64]))

@@ -77,6 +77,11 @@ class StateTransferLayer(Layer):
         self._snapshots = {}
         self._provider_rank = 0
 
+    def stop(self):
+        if self._retry_timer is not None:
+            self._retry_timer.cancel()
+            self._retry_timer = None
+
     def start(self):
         # processes never see an on_view for their bootstrap view: seed the
         # membership baseline here so the first real change can diff it

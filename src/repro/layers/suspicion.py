@@ -47,6 +47,11 @@ class SuspicionLayer(Layer):
                 "suspicion:slander", max_count=3 * max(8, self.view.n),
                 window=0.25)
 
+    def stop(self):
+        if self._settle_timer is not None:
+            self._settle_timer.cancel()
+            self._settle_timer = None
+
     def on_control(self, event, data):
         if event == "view-change-started":
             self._change_requested = True

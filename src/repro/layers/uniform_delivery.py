@@ -68,6 +68,11 @@ class UniformDeliveryLayer(Layer):
     def active(self):
         return self.config.uniform_delivery and not self.config.total_order
 
+    def stop(self):
+        if self._flush_timer is not None:
+            self._flush_timer.cancel()
+            self._flush_timer = None
+
     def on_view(self, view):
         self._queues.clear()
         self._pending.clear()

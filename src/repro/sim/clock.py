@@ -36,3 +36,50 @@ class Timer:
     def __repr__(self):
         state = "cancelled" if self.cancelled else "armed"
         return "Timer(deadline={:.6f}, {})".format(self.deadline, state)
+
+
+class NodeClock:
+    """A per-node view of the simulator with (optional) timer drift.
+
+    The chaos plane's clock-skew fault: a node whose hardware timer runs
+    fast or slow fires its protocol timers early or late relative to the
+    rest of the cluster.  The proxy scales *relative* delays passed to
+    :meth:`schedule` by ``drift`` (> 1.0 = slow clock, timers late) and
+    leaves absolute deadlines (:meth:`schedule_at` -- NIC serialization,
+    CPU completion) untouched: skew affects when a node *decides* to act,
+    not how long the physics of its hardware take.
+
+    Installed at process construction (layers cache ``process.sim`` when
+    they attach, so a proxy swapped in later would not be seen).  With
+    ``drift == 1.0`` the proxy is behaviourally identical to the bare
+    simulator.
+    """
+
+    __slots__ = ("sim", "drift")
+
+    def __init__(self, sim, drift=1.0):
+        self.sim = sim
+        self.drift = drift
+
+    @property
+    def now(self):
+        return self.sim.now
+
+    @property
+    def rng(self):
+        return self.sim.rng
+
+    @property
+    def pending(self):
+        return self.sim.pending
+
+    def schedule(self, delay, callback, *args):
+        if self.drift != 1.0:
+            delay *= self.drift
+        return self.sim.schedule(delay, callback, *args)
+
+    def schedule_at(self, deadline, callback, *args):
+        return self.sim.schedule_at(deadline, callback, *args)
+
+    def __repr__(self):
+        return "NodeClock(drift={:.3f})".format(self.drift)

@@ -107,7 +107,7 @@ class Network:
 
     __slots__ = ("sim", "topology", "config", "_ports", "_nics",
                  "_component", "datagrams_sent", "datagrams_dropped",
-                 "datagrams_delivered", "observer")
+                 "datagrams_delivered", "observer", "chaos")
 
     def __init__(self, sim, topology, config=None):
         self.sim = sim
@@ -122,6 +122,11 @@ class Network:
         # optional observability hook (repro.obs): None (the default)
         # costs one branch per datagram
         self.observer = None
+        # optional per-link fault injector (repro.chaos.LinkFaults): draws
+        # from its OWN RNG, never the simulator's, so installing it does
+        # not perturb the frozen draw order above -- and None (the
+        # default) costs one branch per datagram
+        self.chaos = None
 
     # ------------------------------------------------------------------
     # membership of the physical network
@@ -153,6 +158,14 @@ class Network:
 
     def nic_of(self, node_id):
         return self._ports[node_id].nic
+
+    def degrade_nic(self, node_id, factor):
+        """Scale a node's NIC bandwidth (chaos fault: a flaky or
+        autonegotiated-down link).  ``factor=1.0`` restores line rate.
+        Nodes sharing a blade (n > 24) share the degradation, as they
+        would share the physical NIC."""
+        nic = self._ports[node_id].nic
+        nic.bandwidth_bps = self.topology.nic_bandwidth_bps * factor
 
     # ------------------------------------------------------------------
     # connectivity (symmetric + transitive by construction)
@@ -221,6 +234,19 @@ class Network:
             delay += rng_random() * config.reorder_extra
         arrival = sent_at + delay
         schedule_at = self.sim.schedule_at
+        chaos = self.chaos
+        if chaos is not None:
+            # after the frozen draws above, so the main RNG stream is
+            # byte-identical whether or not a fault plan is installed
+            payload, extra, chaos_dropped = chaos.filter(src, dst, payload)
+            if chaos_dropped:
+                self.datagrams_dropped += 1
+                if observer is not None:
+                    observer.on_datagram_dropped(src, dst)
+                return
+            for k in range(extra):
+                schedule_at(arrival + (k + 1) * delay, self._deliver,
+                            dst, src, payload)
         schedule_at(arrival, self._deliver, dst, src, payload)
         if config.duplicate_prob and rng_random() < config.duplicate_prob:
             schedule_at(arrival + delay, self._deliver, dst, src, payload)

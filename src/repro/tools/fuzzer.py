@@ -2,9 +2,17 @@
 
 The unit tests pin known scenarios; the fuzzer hunts for unknown ones.
 Each run draws a random script of operations -- traffic, crashes, leaves,
-joins, partitions, heals, Byzantine activations -- executes it against a
-fresh cluster, and verifies the safety clauses of Definitions 2.1/2.2 on
-the recorded execution.  Seeds make every found counterexample replayable.
+joins, partitions, heals, Byzantine activations -- and executes it through
+the chaos engine (:mod:`repro.chaos`), then verifies the safety clauses of
+Definitions 2.1/2.2 on the recorded execution.  Seeds make every found
+counterexample replayable, and :meth:`ScenarioFuzzer.as_plan` exports the
+recorded script as a :class:`~repro.chaos.plan.FaultPlan` so failures can
+be shrunk and replayed by the chaos tooling.
+
+Determinism note: the *sequence of draws* from ``self.rng`` below is part
+of each seed's identity -- reordering or removing a draw changes every
+scenario after it.  The refactor onto the chaos engine deliberately kept
+the draw sequence of the original in-line implementation.
 """
 
 from __future__ import annotations
@@ -13,13 +21,14 @@ import random
 
 from repro import Group, StackConfig
 from repro.byzantine.behaviors import (MuteNode, TwoFacedCaster, VerboseNode)
-from repro.core.properties import check_virtual_synchrony
+from repro.chaos.engine import ChaosEngine
+from repro.chaos.plan import FaultPlan
 
 OPS = ("cast_burst", "run", "crash", "leave", "partition", "heal", "join")
 
 
 class ScenarioFuzzer:
-    """Generates and executes one random scenario per seed."""
+    """Generates one random scenario per seed; the chaos engine runs it."""
 
     def __init__(self, seed, n=None, config=None, ops=12,
                  byzantine_fraction=0.3, allow=OPS, obs=False):
@@ -31,14 +40,25 @@ class ScenarioFuzzer:
         self.config = config or StackConfig.byz()
         if obs and not self.config.obs:
             # observability never perturbs the run (pure accumulators), so
-            # turning it on does not change which seeds fail
-            self.config = self.config.clone(obs=True if obs is True else obs)
+            # turning it on does not change which seeds fail; clone()
+            # normalizes obs=True into a default ObsConfig
+            self.config = self.config.clone(obs=obs)
         self.byzantine_fraction = byzantine_fraction
         self.script = []
         self.group = None
-        self.crashed = set()
-        self.left = set()
+        self.engine = None
         self.next_join_id = 1000
+
+    # ------------------------------------------------------------------
+    # engine-backed state (single source of truth for crash/leave sets)
+    # ------------------------------------------------------------------
+    @property
+    def crashed(self):
+        return self.engine.crashed if self.engine is not None else set()
+
+    @property
+    def left(self):
+        return self.engine.left if self.engine is not None else set()
 
     # ------------------------------------------------------------------
     def build(self):
@@ -51,11 +71,22 @@ class ScenarioFuzzer:
                 TwoFacedCaster(),
             ])
             behaviors[villain] = behavior
-            self.script.append(("byzantine", villain,
-                                type(behavior).__name__))
+            params = {}
+            if isinstance(behavior, MuteNode):
+                params = {"mute_at": behavior.mute_at}
+            elif isinstance(behavior, VerboseNode):
+                params = {"start_at": behavior.start_at}
+            self.script.append(["byzantine", villain,
+                                type(behavior).__name__, params])
         self.group = Group.bootstrap(self.n, config=self.config,
                                      seed=self.seed, behaviors=behaviors)
+        self.engine = ChaosEngine.attached(self.group)
         return self
+
+    def _apply(self, op):
+        """Record one engine op in the script and execute it."""
+        self.script.append(op)
+        self.engine.apply(op)
 
     # ------------------------------------------------------------------
     def _live_correct(self):
@@ -69,14 +100,11 @@ class ScenarioFuzzer:
             return
         sender = self.rng.choice(live)
         count = self.rng.randint(1, 12)
-        self.script.append(("cast_burst", sender, count))
-        for k in range(count):
-            self.group.endpoints[sender].cast((sender, "fz", k))
+        self._apply(["cast", sender, count])
 
     def _op_run(self):
         duration = self.rng.choice((0.05, 0.1, 0.3, 0.6))
-        self.script.append(("run", duration))
-        self.group.run(duration)
+        self._apply(["run", duration])
 
     def _op_crash(self):
         live = self._live_correct()
@@ -84,18 +112,14 @@ class ScenarioFuzzer:
         if len(live) <= max(3, (2 * self.n) // 3):
             return
         victim = self.rng.choice(live)
-        self.script.append(("crash", victim))
-        self.group.crash(victim)
-        self.crashed.add(victim)
+        self._apply(["crash", victim])
 
     def _op_leave(self):
         live = self._live_correct()
         if len(live) <= max(3, (2 * self.n) // 3):
             return
         leaver = self.rng.choice(live)
-        self.script.append(("leave", leaver))
-        self.group.endpoints[leaver].leave()
-        self.left.add(leaver)
+        self._apply(["leave", leaver])
 
     def _op_partition(self):
         live = self._live_correct()
@@ -103,20 +127,17 @@ class ScenarioFuzzer:
             return
         self.rng.shuffle(live)
         split = self.rng.randint(1, len(live) - 1)
-        side_a = set(live[:split]) | self.crashed
-        side_b = set(live[split:])
-        self.script.append(("partition", sorted(side_b, key=repr)))
-        self.group.partition(side_a, side_b)
+        side_a = sorted(set(live[:split]) | self.crashed, key=repr)
+        side_b = sorted(live[split:], key=repr)
+        self._apply(["partition", [side_a, side_b]])
 
     def _op_heal(self):
-        self.script.append(("heal",))
-        self.group.heal()
+        self._apply(["heal"])
 
     def _op_join(self):
         node_id = self.next_join_id
         self.next_join_id += 1
-        self.script.append(("join", node_id))
-        self.group.add_node(node_id)
+        self._apply(["join", node_id])
 
     # ------------------------------------------------------------------
     def execute(self):
@@ -125,20 +146,26 @@ class ScenarioFuzzer:
             op = self.rng.choice(self.allow)
             getattr(self, "_op_" + op)()
         # settle: heal and give the membership protocols room to converge
-        self.group.heal()
-        self.group.run(2.0)
+        self.engine.settle(2.0)
         return self
 
     def check(self):
         """Safety-check the recorded execution; returns violations."""
-        execution = self.group.execution()
-        # crash/leave mid-run ends a node's obligation to keep delivering
-        for node in self.crashed | self.left:
-            execution.correct.discard(node)
-        return check_virtual_synchrony(
-            execution,
-            content_agreement=self.config.total_order,
-            total_order=self.config.total_order)
+        return self.engine.check()
+
+    def as_plan(self):
+        """Export the recorded script as a replayable, shrinkable plan.
+
+        The exported config captures the knobs that shape the scenario
+        (QoS level, crypto); timing constants stay at their defaults, as
+        the fuzzer itself never varies them.
+        """
+        config = {"byzantine": self.config.byzantine,
+                  "crypto": self.config.crypto,
+                  "total_order": self.config.total_order,
+                  "uniform_delivery": self.config.uniform_delivery}
+        return FaultPlan(seed=self.seed, n=self.n, ops=self.script,
+                         config=config)
 
     def metrics_summary(self):
         """Key counters of the finished run (requires ``obs=True``).
