@@ -1,0 +1,170 @@
+"""Localhost UDP cluster benchmark: wall-clock numbers vs sim predictions.
+
+Usage::
+
+    python benchmarks/bench_net_localhost.py [--nodes 5] [--casts 40]
+        [--seed 1] [--repeat 3] [--quick] [--out BENCH_net.json]
+
+Runs the same :class:`~repro.runtime.workload.NetWorkload` twice:
+
+* on the **asyncio-UDP backend** -- every node a real OS process on
+  127.0.0.1, the wire codec and monotonic clocks in the loop -- measuring
+  wall-clock seconds;
+* on the **deterministic simulator** -- the backend every other benchmark
+  in this directory uses -- measuring simulated seconds on the
+  BladeCenter topology model.
+
+Reported per backend:
+
+* ``throughput_msgs_per_s`` -- unique workload deliveries per second at
+  each node between its first full view and script completion (median
+  across nodes, then across repeats);
+* ``formation_s`` -- time from node boot (singleton view) to the first
+  installed full n-member view, i.e. the gossip/merge assembly latency;
+* ``leave_change_s`` -- the membership layer's own measurement of the
+  last view change at the survivors: the leave reconfiguration.
+
+The two backends are NOT expected to agree in absolute terms: the
+simulator models a late-90s switched LAN with calibrated CPU costs,
+while the net backend pays real kernel/event-loop overhead on loopback
+with the :func:`~repro.runtime.backend_asyncio.net_profile` timing
+floors.  The point of committing BENCH_net.json is the *shape*: both
+backends deliver every message, reconfigure in well under a second, and
+drift in their ratio is visible across commits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from repro.runtime.driver import run_net_workload
+from repro.runtime.workload import NetWorkload, run_sim_workload
+
+
+def _median(values):
+    values = [v for v in values if v is not None]
+    return statistics.median(values) if values else None
+
+
+def _result_stats(result, workload):
+    """Backend-independent numbers out of one WorkloadResult."""
+    rates = []
+    formations = []
+    changes = []
+    for node, report in sorted(result.reports.items()):
+        wall = report.wall
+        formed, done = wall.get("formed_at"), wall.get("done_at")
+        if formed is not None:
+            formations.append(formed)
+        if (formed is not None and done is not None and done > formed
+                and wall.get("delivered")):
+            rates.append(wall["delivered"] / (done - formed))
+        if node != workload.leaver:
+            changes.append(wall.get("last_change_duration"))
+    datagrams = sum(r.counters.get("datagrams_sent", 0)
+                    for r in result.reports.values())
+    if result.backend == "sim":
+        # the sim network counter is global, not per-node
+        datagrams = max(r.counters.get("datagrams_sent", 0)
+                        for r in result.reports.values())
+    return {
+        "ok": result.ok,
+        "elapsed_s": result.elapsed,
+        "violations": len(result.violations()),
+        "throughput_msgs_per_s": _median(rates),
+        "formation_s": _median(formations),
+        "leave_change_s": _median(changes),
+        "datagrams_sent": datagrams,
+        "total_delivered": result.total_delivered(),
+    }
+
+
+def _fold(samples):
+    """Median-combine repeated runs of _result_stats."""
+    out = dict(samples[0])
+    for key in ("elapsed_s", "throughput_msgs_per_s", "formation_s",
+                "leave_change_s"):
+        out[key] = _median([s[key] for s in samples])
+    out["ok"] = all(s["ok"] for s in samples)
+    out["violations"] = max(s["violations"] for s in samples)
+    return out
+
+
+def run_bench(nodes=5, casts=40, seed=1, repeat=3, cast_gap=0.01):
+    workload = NetWorkload(n=nodes, casts_per_node=casts, cast_gap=cast_gap,
+                           leaver=nodes - 1, deadline=12.0)
+    net_samples, sim_samples = [], []
+    for k in range(repeat):
+        net = run_net_workload(workload, seed=seed + k,
+                               config={"byzantine": True, "crypto": "sym"},
+                               keep_artifacts="never")
+        net_samples.append(_result_stats(net, workload))
+        print("net run %d: ok=%s %.2f s wall, %s msg/s" %
+              (k, net_samples[-1]["ok"], net_samples[-1]["elapsed_s"],
+               "%.0f" % net_samples[-1]["throughput_msgs_per_s"]
+               if net_samples[-1]["throughput_msgs_per_s"] else "?"),
+              flush=True)
+        sim = run_sim_workload(workload, seed=seed + k)
+        sim_samples.append(_result_stats(sim, workload))
+        print("sim run %d: ok=%s %.2f s simulated" %
+              (k, sim_samples[-1]["ok"], sim_samples[-1]["elapsed_s"]),
+              flush=True)
+    net_stats, sim_stats = _fold(net_samples), _fold(sim_samples)
+    ratio = {}
+    for key in ("throughput_msgs_per_s", "formation_s", "leave_change_s"):
+        a, b = net_stats.get(key), sim_stats.get(key)
+        ratio[key] = (a / b) if a and b else None
+    return {
+        "workload": workload.to_jsonable(),
+        "repeat": repeat,
+        "seed": seed,
+        "net": net_stats,
+        "sim": sim_stats,
+        "net_over_sim": ratio,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--nodes", type=int, default=5)
+    parser.add_argument("--casts", type=int, default=40,
+                        help="multicasts per node once the view forms")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument("--quick", action="store_true",
+                        help="one repeat, fewer casts (CI smoke)")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="write the JSON result here")
+    args = parser.parse_args(argv)
+    repeat = 1 if args.quick else args.repeat
+    casts = min(args.casts, 10) if args.quick else args.casts
+    result = run_bench(nodes=args.nodes, casts=casts, seed=args.seed,
+                       repeat=repeat)
+    net, sim = result["net"], result["sim"]
+    print("\n%-24s %12s %12s" % ("", "net (wall)", "sim (model)"))
+    for key in ("throughput_msgs_per_s", "formation_s", "leave_change_s"):
+        print("%-24s %12s %12s"
+              % (key,
+                 "%.3f" % net[key] if net[key] is not None else "-",
+                 "%.3f" % sim[key] if sim[key] is not None else "-"))
+    print("%-24s %12s %12s" % ("ok / violations",
+                               "%s/%d" % (net["ok"], net["violations"]),
+                               "%s/%d" % (sim["ok"], sim["violations"])))
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(result, handle, indent=1, sort_keys=True)
+        print("\nwrote %s" % args.out)
+    if not (net["ok"] and sim["ok"]
+            and net["violations"] == 0 and sim["violations"] == 0):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -203,6 +203,11 @@ def main(argv=None):
                         help="also run the wall-clock (host-speed) benchmark "
                              "and store it under runs['after'] of this JSON "
                              "(see benchmarks/bench_wallclock.py)")
+    parser.add_argument("--net", default=None, metavar="PATH",
+                        help="also run the localhost UDP cluster benchmark "
+                             "(real OS processes + sockets) and write its "
+                             "net-vs-sim JSON here "
+                             "(see benchmarks/bench_net_localhost.py)")
     args = parser.parse_args(argv)
     sizes = QUICK_SIZES if args.quick else FULL_SIZES
     lines = []
@@ -239,6 +244,10 @@ def main(argv=None):
         from benchmarks import bench_wallclock
         bench_wallclock.main((["--quick"] if args.quick else [])
                              + ["--out", args.wallclock, "--tag", "after"])
+    if args.net:
+        from benchmarks import bench_net_localhost
+        bench_net_localhost.main((["--quick"] if args.quick else [])
+                                 + ["--out", args.net])
     text = "\n".join(lines) + "\n"
     with open(args.out, "w") as handle:
         handle.write(text)

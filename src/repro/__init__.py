@@ -41,6 +41,7 @@ from repro.core.process import GroupProcess
 from repro.core.properties import check_virtual_synchrony
 from repro.core.view import View, ViewId, singleton_view
 from repro.obs import MetricsRegistry, ObsConfig, ObservabilityPlane, Trace
+from repro.runtime import Runtime, SimRuntime
 from repro.sim.network import NetworkConfig
 from repro.sim.topology import HostModel
 
@@ -66,7 +67,9 @@ __all__ = [
     "ObsConfig",
     "ObservabilityPlane",
     "Replayer",
+    "Runtime",
     "SendDeliver",
+    "SimRuntime",
     "SlowNode",
     "StackConfig",
     "Trace",

@@ -165,6 +165,51 @@ def cmd_chaos(args):
     return 1 if summary["failed"] else 0
 
 
+def cmd_net(args):
+    """Boot a real asyncio-UDP cluster on localhost, form a view,
+    multicast, tear down -- each node its own OS process."""
+    import json
+
+    from repro.runtime.driver import run_net_workload
+    from repro.runtime.workload import NetWorkload
+    leaver = None if args.no_leave else args.nodes - 1
+    workload = NetWorkload(n=args.nodes, casts_per_node=args.casts,
+                           leaver=leaver, deadline=args.deadline)
+    config = {"byzantine": not args.benign, "crypto": args.crypto}
+    print("spawning %d node processes on localhost UDP (%s%s) ..."
+          % (args.nodes, "benign" if args.benign else "byz+" + args.crypto,
+             "" if leaver is None else ", node %d will leave" % leaver))
+    result = run_net_workload(workload, seed=args.seed, config=config,
+                              obs=args.obs,
+                              keep_artifacts="always" if args.keep
+                              else "on-failure")
+    if args.json:
+        print(json.dumps(result.summary(), indent=2))
+    else:
+        members = result.common_final_members()
+        print("cluster %s in %.2f s wall" % (
+            "completed" if result.ok else "FAILED", result.elapsed))
+        for node in sorted(result.reports):
+            report = result.reports[node]
+            print("  node %d: ok=%-5s delivered=%-3d formed_at=%s%s"
+                  % (node, report.ok,
+                     len(report.history.delivery_order()),
+                     ("%.2fs" % report.wall["formed_at"])
+                     if report.wall.get("formed_at") is not None else "never",
+                     (" error=%s" % report.error.splitlines()[-1])
+                     if report.error else ""))
+        print("  final view at survivors: %s"
+              % (list(members) if members else "DISAGREE"))
+        violations = result.violations()
+        print("  Def 2.1/2.2 violations: %d" % len(violations))
+        for line in violations[:5]:
+            print("    " + line)
+    if result.artifacts_dir:
+        print("artifacts: %s" % result.artifacts_dir)
+    return 0 if (result.ok and not result.violations()
+                 and result.common_final_members() is not None) else 1
+
+
 def cmd_calibration(args):
     """Print the calibration tables the benchmarks run on."""
     from repro.crypto.cost import CryptoCostModel
@@ -239,6 +284,26 @@ def main(argv=None):
     chaos.add_argument("--replay", default=None, metavar="PLAN_JSON",
                        help="replay one saved plan instead of sweeping")
     chaos.set_defaults(func=cmd_chaos)
+
+    net = sub.add_parser("net", help=cmd_net.__doc__)
+    net.add_argument("--nodes", type=int, default=5)
+    net.add_argument("--seed", type=int, default=1)
+    net.add_argument("--casts", type=int, default=3,
+                     help="multicasts per node once the view forms")
+    net.add_argument("--crypto", choices=("none", "sym", "pub"),
+                     default="sym")
+    net.add_argument("--benign", action="store_true",
+                     help="run the non-Byzantine stack")
+    net.add_argument("--no-leave", action="store_true",
+                     help="skip the polite-leave phase")
+    net.add_argument("--deadline", type=float, default=8.0,
+                     help="per-node give-up horizon, wall seconds")
+    net.add_argument("--obs", action="store_true",
+                     help="collect per-node observability exports")
+    net.add_argument("--keep", action="store_true",
+                     help="always keep the artifacts directory")
+    net.add_argument("--json", action="store_true")
+    net.set_defaults(func=cmd_net)
 
     calib = sub.add_parser("calibration", help=cmd_calibration.__doc__)
     calib.add_argument("--nodes", type=int, default=48)

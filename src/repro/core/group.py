@@ -21,19 +21,18 @@ from repro.core.process import GroupProcess
 from repro.core.view import View, ViewId, singleton_view
 from repro.crypto.keys import KeyManager
 from repro.obs import ObservabilityPlane
+from repro.runtime.interface import SimRuntime
 from repro.sim.clock import NodeClock
-from repro.sim.network import Network, NetworkConfig
-from repro.sim.scheduler import Simulator
-from repro.sim.topology import BladeCenterTopology
 
 
 class Group:
     """A simulated cluster of group-communication daemons."""
 
     def __init__(self, sim, network, processes, endpoints, config,
-                 keys=None, obs=None):
+                 keys=None, obs=None, runtime=None):
         self.sim = sim
         self.network = network
+        self.runtime = runtime        # the Runtime these seams came from
         self.processes = processes    # {node_id: GroupProcess}
         self.endpoints = endpoints    # {node_id: GroupEndpoint}
         self.config = config
@@ -77,9 +76,10 @@ class Group:
             delays are scaled by ``drift`` (chaos clock-skew fault).
         """
         config = config or StackConfig.byz()
-        sim = Simulator(seed=seed)
-        topology = (topology_cls or BladeCenterTopology)(n)
-        network = Network(sim, topology, net_config or NetworkConfig())
+        runtime = SimRuntime(n, seed=seed, topology_cls=topology_cls,
+                             net_config=net_config)
+        sim = runtime.sim
+        network = runtime.network
         obs = cls._make_obs(sim, network, config)
         keys = KeyManager()
         if node_ids is None:
@@ -105,7 +105,7 @@ class Group:
             processes[node_id] = process
             endpoints[node_id] = GroupEndpoint(process)
         group = cls(sim, network, processes, endpoints, config, keys=keys,
-                    obs=obs)
+                    obs=obs, runtime=runtime)
         group.byzantine_nodes = set(behaviors)
         group.clocks = clocks
         if start:
@@ -125,6 +125,7 @@ class Group:
         """
         from repro.adhoc.geometry import Field
         from repro.adhoc.network import AdHocNetwork
+        from repro.sim.scheduler import Simulator
         config = config or StackConfig.byz()
         # radio timing is ~20x wired: scale the detection constants so the
         # stack does not mistake multi-hop latency for muteness

@@ -27,6 +27,8 @@ from __future__ import annotations
 
 import hashlib
 
+from repro.core.view import ViewId
+
 # application-data kinds
 KIND_CAST = "cast"
 KIND_SEND = "send"
@@ -159,6 +161,64 @@ class Message:
     def wire_size(self, header_overhead, signature_bytes):
         base = 8  # kind + origin + view-id framing
         return base + self.payload_size + header_overhead + signature_bytes
+
+    # ------------------------------------------------------------------
+    # wire codec seam (repro.runtime.wire): the message owns its field
+    # list so the codec never reaches into the struct layout.  The order
+    # below is the wire order and is covered by WIRE_FIELD_COUNT --
+    # adding a slot that must travel means appending it here, bumping
+    # repro.runtime.wire.WIRE_VERSION, and nothing else.
+    WIRE_FIELD_COUNT = 10
+
+    def wire_fields(self):
+        """The transmitted state, in wire order (see runtime/wire.py)."""
+        return (self.kind, self.origin, self.sender, self.view_id,
+                self._payload, self.payload_size, self.headers,
+                self.signature, self.dest, self.msg_id)
+
+    @classmethod
+    def from_wire_fields(cls, fields):
+        """Rebuild a message from :meth:`wire_fields` output.
+
+        Validates only structure (the field count and the types the
+        codec cannot express wrongly); *content* authenticity is the
+        bottom layer's signature check, exactly as for simulated
+        messages.  The memoized auth digest is NOT carried over the
+        wire: the receiver recomputes it from the decoded content, so a
+        tampered datagram can never smuggle a stale digest past
+        verification.
+        """
+        if len(fields) != cls.WIRE_FIELD_COUNT:
+            raise ValueError("message struct has %d fields, expected %d"
+                             % (len(fields), cls.WIRE_FIELD_COUNT))
+        (kind, origin, sender, view_id, payload, payload_size, headers,
+         signature, dest, msg_id) = fields
+        if not isinstance(kind, str):
+            raise ValueError("message kind is not a string: %r" % (kind,))
+        if not isinstance(headers, dict):
+            raise ValueError("message headers are not a dict: %r" % (headers,))
+        if view_id is not None and not isinstance(view_id, ViewId):
+            # auth_token() calls view_id.to_wire(); a garbage-typed view
+            # id would crash the receiving stack instead of being dropped
+            raise ValueError("message view id is not a ViewId: %r"
+                             % (view_id,))
+        if not isinstance(payload_size, int) or isinstance(payload_size, bool) \
+                or payload_size < 0:
+            raise ValueError("bad payload size: %r" % (payload_size,))
+        msg = cls.__new__(cls)
+        msg.kind = kind
+        msg.origin = origin
+        msg.sender = sender
+        msg.view_id = view_id
+        msg._payload = payload
+        msg.payload_size = payload_size
+        msg.headers = headers
+        msg.signature = signature
+        msg.dest = dest
+        msg.msg_id = msg_id
+        msg._auth_cache = None
+        msg._hdrs_shared = False
+        return msg
 
     def clone_for(self, dest):
         """Shallow copy addressed to one destination (used by two-faced

@@ -150,6 +150,12 @@ class GroupProcess:
         self.verbose_levels.stop()
         self.mute_detector.cancel_all()
         self.network.crash(self.node_id)
+        # a per-process clock (the real-network runtime) still holds the
+        # node's pending wall timers; cancel them so a stopped node leaks
+        # neither sockets (released by crash above) nor timer callbacks.
+        # The shared Simulator clock is untouched: per_process is False.
+        if getattr(self.sim, "per_process", False):
+            self.sim.close()
 
     # ------------------------------------------------------------------
     # view installation

@@ -37,6 +37,7 @@ class BottomLayer(Layer):
         self.dropped_wrong_view = 0
         self.dropped_impersonation = 0
         self.dropped_stale_incarnation = 0
+        self.dropped_undecodable = 0
         self.packets_packed = 0
         self._pack_queues = {}   # dst -> [(msg, inner_size)]
         self._pack_bytes = {}    # dst -> running byte total of that queue
@@ -228,6 +229,24 @@ class BottomLayer(Layer):
             return
         process.note_heard_from(src)
         self.send_up(msg)
+
+    def note_undecodable(self, src):
+        """An arriving datagram failed wire decoding (real-network runtime:
+        truncated, bit-flipped, or garbage bytes).  The simulator never
+        produces these -- its payloads are structured objects -- but on the
+        wire they are exactly the corruption the signature check would have
+        caught one step later, so they feed the same evidence trail: the
+        verbose detector's illegal count and the corruption-strike path
+        toward ``corruption_suspect_threshold``.  ``src`` is the claimed
+        frame source when the header survived, else None (unattributable
+        noise is counted but suspects nobody)."""
+        if self.process.stopped:
+            return
+        self.dropped_undecodable += 1
+        self.count("drop_undecodable")
+        if src is not None and src in self.view.mbrs:
+            self.process.verbose_detector.illegal(src, "bottom:undecodable")
+            self._sig_strike(src)
 
     def _sig_strike(self, src):
         """Corruption-triggered suspicion: enough signature rejections from

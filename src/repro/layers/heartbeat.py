@@ -36,6 +36,7 @@ class HeartbeatLayer(Layer):
         self._hb_timer = None
         self._gossip_timer = None
         self._last_coord_gossip = 0.0
+        self._last_hb_tick = None
         self.gossips_sent = 0
 
     # ------------------------------------------------------------------
@@ -59,6 +60,14 @@ class HeartbeatLayer(Layer):
     def _heartbeat_tick(self):
         process = self.process
         config = self.config
+        tick = self.sim.now
+        if self._last_hb_tick is not None:
+            # observed tick spacing: exactly heartbeat_interval under the
+            # simulator, jittered by OS scheduling on the real-network
+            # runtime -- the histogram is how a net run quantifies how much
+            # timer slack its failure detectors must absorb
+            self.observe("hb_interval", tick - self._last_hb_tick)
+        self._last_hb_tick = tick
         if self.view.n > 1:
             hb = Message(mk.KIND_HEARTBEAT, self.me, self.view.vid, (),
                          payload_size=4)

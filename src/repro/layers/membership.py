@@ -79,6 +79,9 @@ class MembershipLayer(Layer):
         self._new_coord = None
         self._sync_reports = {}
         self._sync_ord_k = {}
+        self._sync_pending = []        # (origin, epoch, report, ord_k)
+        self._sync_nudged = set()      # laggards we re-sent our report to
+        self._sync_sent_wire = None    # our frozen report, for re-sends
         self._cut = None
         self._cut_done = False
         self._ub = None
@@ -87,9 +90,11 @@ class MembershipLayer(Layer):
         self._pending_joiners = None   # foreign View whose members join us
         self._merge_requested_at = {}
         self._merge_inflight = None    # (target coordinator, request time)
+        self._rejoin_requested_at = -1e9
         self._regroup_timer = None
         self._join_offer = None        # (view, digest) received as a joiner
         self._join_echoes = {}
+        self._join_timer = None        # fallback for a stalled join
         self._expectations = []
         self._waiting_stability = False
         self._flush_undecidable = False
@@ -111,12 +116,20 @@ class MembershipLayer(Layer):
     # ------------------------------------------------------------------
     def on_view(self, view):
         self._reset_change_state()
+        # change-attempt epochs restart per view: every agreement instance
+        # id is scoped by vid.key() so uniqueness is unaffected, and a
+        # common baseline is what lets members that joined through
+        # different merge paths (different attempt counts) line their
+        # epochs up for the next change -- critical in regroup mode
+        # (f = 0), which has no consensus traffic to reconcile them
+        self._epoch = 0
         self._leavers.clear()
         self._pending_joiners = None
         self._join_offer = None
         self._join_echoes = {}
         self._merge_requested_at.clear()
         self._merge_inflight = None
+        self._rejoin_requested_at = -1e9
 
     def _reset_change_state(self):
         self._state = IDLE
@@ -127,6 +140,9 @@ class MembershipLayer(Layer):
         self._new_coord = None
         self._sync_reports = {}
         self._sync_ord_k = {}
+        self._sync_pending = []
+        self._sync_nudged = set()
+        self._sync_sent_wire = None
         self._cut = None
         self._cut_done = False
         self._ub = None
@@ -134,6 +150,9 @@ class MembershipLayer(Layer):
         self._ub_ready = False
         self._waiting_stability = False
         self._flush_undecidable = False
+        if self._join_timer is not None:
+            self._join_timer.cancel()
+            self._join_timer = None
         self._cancel_expectations()
 
     def _cancel_expectations(self):
@@ -148,6 +167,9 @@ class MembershipLayer(Layer):
         if self._regroup_timer is not None:
             self._regroup_timer.cancel()
             self._regroup_timer = None
+        if self._join_timer is not None:
+            self._join_timer.cancel()
+            self._join_timer = None
         self._cancel_expectations()
 
     def _expect(self, member, tag, timeout):
@@ -178,7 +200,11 @@ class MembershipLayer(Layer):
         elif kind == mk.KIND_LEAVE:
             self._on_leave(msg)
         elif kind == mk.KIND_MERGE:
-            self._on_merge_request(msg)
+            payload = msg.payload
+            if isinstance(payload, tuple) and payload[:1] == ("rejoin",):
+                self._on_rejoin_request(msg)
+            else:
+                self._on_merge_request(msg)
         elif kind == mk.KIND_MANNOUNCE:
             self._on_merge_announce(msg)
         elif kind == mk.KIND_NEWVIEW:
@@ -310,13 +336,18 @@ class MembershipLayer(Layer):
                 self._restart()
 
     def _restart(self):
+        self._restart_at(self._epoch + 1)
+
+    def _restart_at(self, epoch):
         self._cancel_expectations()
         self._state = CONSENSUS
-        self._epoch += 1
+        self._epoch = epoch
         self._suspected_at_start = (
             set(self.process.suspicion.suspected_set()) | self._leavers)
         self._sync_reports = {}
         self._sync_ord_k = {}
+        self._sync_nudged = set()
+        self._sync_sent_wire = None
         self._cut = None
         self._cut_done = False
         self._ub = None
@@ -395,17 +426,35 @@ class MembershipLayer(Layer):
             len(survivors) < view.n - self.process.f)
         ord_k = self.process.ordering_freeze(self._flush_undecidable)
         wire_report = tuple(sorted(report.items(), key=repr))
+        self._sync_sent_wire = (wire_report, ord_k)
         out = Message(mk.KIND_SYNC, self.me, view.vid,
                       ("report", self._epoch, wire_report, ord_k),
                       payload_size=8 + 6 * len(wire_report))
         self.send_down(out)
         self._sync_reports[self.me] = dict(report)
         self._sync_ord_k = {self.me: ord_k}
-        # (re-sent below for every survivor we have not yet heard from)
+        # fold in reports that arrived ahead of us (regroup-mode epoch
+        # reconciliation stashes them while we re-enter the agreement)
+        pending, self._sync_pending = self._sync_pending, []
+        for origin, epoch, peer_report, peer_ord_k in pending:
+            if (epoch == self._epoch and origin in survivors
+                    and origin not in self._sync_reports):
+                self._sync_reports[origin] = peer_report
+                self._sync_ord_k[origin] = peer_ord_k
         for member in survivors:
             if member != self.me and member not in self._sync_reports:
                 self._expect(member, "sync", self.config.consensus_msg_timeout)
         self._maybe_finish_sync()
+
+    def _resend_sync_report(self):
+        """Repeat our frozen flush report (regroup-mode reconciliation)."""
+        if self._sync_sent_wire is None:
+            return
+        wire_report, ord_k = self._sync_sent_wire
+        out = Message(mk.KIND_SYNC, self.me, self.view.vid,
+                      ("report", self._epoch, wire_report, ord_k),
+                      payload_size=8 + 6 * len(wire_report))
+        self.send_down(out)
 
     def _on_sync_msg(self, msg):
         payload = msg.payload
@@ -420,9 +469,7 @@ class MembershipLayer(Layer):
             return
         _tag, epoch, wire_report, ord_k = payload
         self.process.mute_detector.fulfil(msg.origin, "sync")
-        if epoch != self._epoch or self._state not in (SYNC, CUT, AWAIT_VIEW):
-            return
-        if msg.origin in self._sync_reports:
+        if msg.origin in self._sync_reports and epoch == self._epoch:
             return
         try:
             report = {origin: int(top) for origin, top in wire_report}
@@ -430,8 +477,40 @@ class MembershipLayer(Layer):
         except (TypeError, ValueError, IndexError):
             self._on_peer_misbehavior(msg.origin, "membership:bad-sync-body")
             return
-        if any(top < 0 for top in report.values()) or min(ord_k) < 0:
+        if (not isinstance(epoch, int) or isinstance(epoch, bool)
+                or any(top < 0 for top in report.values())
+                or min(ord_k) < 0):
             self._on_peer_misbehavior(msg.origin, "membership:bad-sync-body")
+            return
+        if self._state not in (SYNC, CUT, AWAIT_VIEW):
+            # A peer's flush report racing ahead of our own consensus
+            # decision (the ctl stream delivers it exactly once, and the
+            # sender has no reason to repeat it at our epoch): dropping
+            # it would wedge the flush forever once we do decide, so
+            # stash it -- _on_consensus_decided folds stashed reports
+            # that match the decided epoch and survivor set.
+            if len(self._sync_pending) < 4 * max(1, self.view.n):
+                self._sync_pending.append((msg.origin, epoch, report, ord_k))
+            return
+        if epoch != self._epoch:
+            # Regroup mode (f = 0) runs no consensus instance, so the
+            # epoch reconciliation of _join_epoch never happens; without
+            # the rules below, members whose attempt counters diverged
+            # (e.g. restarts fired on one side only) flush forever at
+            # different epochs and drop each other's reports -- the
+            # post-merge leave wedge the conformance workload exposed.
+            if self._consensus is not None:
+                return  # consensus traffic will reconcile; drop as before
+            if self._epoch < epoch <= self._epoch + 64:
+                # a peer is flushing ahead of us: adopt its epoch (the
+                # report is kept and folded in once we re-enter SYNC)
+                self._sync_pending.append((msg.origin, epoch, report, ord_k))
+                self._restart_at(epoch)
+            elif epoch < self._epoch and msg.origin not in self._sync_nudged:
+                # a laggard flushing at a stale epoch: repeat our own
+                # report once so it can adopt the current epoch
+                self._sync_nudged.add(msg.origin)
+                self._resend_sync_report()
             return
         self._sync_reports[msg.origin] = report
         self._sync_ord_k[msg.origin] = ord_k
@@ -695,6 +774,27 @@ class MembershipLayer(Layer):
         view = self.view
         if fingerprint != stack_fingerprint(self.config):
             return
+        if (self.me in foreign.mbrs
+                and foreign.vid.key() > view.vid.key()
+                and all(m in foreign.mbrs for m in view.mbrs)
+                and self._state == IDLE and not self.leaving):
+            # A newer view still names us a member: the group completed a
+            # change whose final view message never reached us (a dropped
+            # datagram on a lossy transport), and our heartbeats are now
+            # view-filtered on their side while theirs are on ours.  The
+            # merge path cannot heal this -- the views are not disjoint --
+            # so ask the coordinator to resend the view offer instead:
+            # one unicast round trip, re-verified by _on_join_offer, with
+            # no extra view change.
+            now = self.sim.now
+            if now - self._rejoin_requested_at < self.config.gossip_interval:
+                return
+            self._rejoin_requested_at = now
+            self.count("rejoin_requests")
+            request = Message(mk.KIND_MERGE, self.me, view.vid, ("rejoin",),
+                              payload_size=8, dest=foreign.coordinator)
+            self.send_down(request)
+            return
         if set(foreign.mbrs) & set(view.mbrs):
             return  # not disjoint: stale gossip about an ancestor view
         if self._state != IDLE or self.leaving:
@@ -723,6 +823,22 @@ class MembershipLayer(Layer):
                 # arrives, the coordinator gains mute fuzziness
                 self._expect(view.coordinator, "merge-progress",
                              6 * self.config.gossip_interval)
+
+    def _on_rejoin_request(self, msg):
+        """A current member missed our view install (its NEWVIEW datagram
+        was lost) and asks for a resend after seeing the view in gossip.
+        Resending is idempotent and touches no change state; the offer
+        re-runs the full joiner-side verification at the requester."""
+        view = self.view
+        if self.me != view.coordinator or msg.origin == self.me:
+            return
+        if msg.origin not in view.mbrs:
+            return
+        self.count("rejoin_resends")
+        offer = Message(mk.KIND_NEWVIEW, self.me, view.vid,
+                        ("joined", view.to_wire()),
+                        payload_size=24 + 8 * view.n, dest=msg.origin)
+        self.send_down(offer)
 
     def _on_merge_request(self, msg):
         payload = msg.payload
@@ -807,7 +923,33 @@ class MembershipLayer(Layer):
                        ("nv-echo", digest, payload[1]), payload_size=24)
         self.send_down(echo)
         self._join_echoes[self.me] = digest
+        # a co-member that moved on without us (it suspected us, or raced
+        # into a different merge) will never echo; without an escape we
+        # would wait forever in JOINING while our stale membership blocks
+        # every future merge's disjointness guard
+        if self._join_timer is not None:
+            self._join_timer.cancel()
+        self._join_timer = self.sim.schedule(self.config.newview_timeout,
+                                             self._join_fallback)
         self._maybe_finish_join()
+
+    def _join_fallback(self):
+        """The cross-check never completed: abandon the join and fall back
+        to a fresh singleton view (counter carried past everything we ever
+        proposed or installed -- Def 2.1 item 2), from which the gossip
+        machinery merges us back into whatever group exists now.  This is
+        the joiner-side twin of the excluded-member fallback in
+        ``_on_consensus_decided``."""
+        self._join_timer = None
+        if self._state != JOINING or self._join_offer is None:
+            return
+        view = self.view
+        fallback = View(ViewId(max(view.vid.counter,
+                                   self._counter_floor) + 1, self.me),
+                        (self.me,), coordinator=self.me, f=0,
+                        underprovisioned=True)
+        self.count("join_fallbacks")
+        self._install(fallback)
 
     def _on_join_echo(self, msg):
         payload = msg.payload

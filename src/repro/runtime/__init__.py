@@ -1,0 +1,39 @@
+"""Runtime backends: the clock + transport seams under the protocol stack.
+
+The layer stack touches the outside world through exactly four seams: the
+clock (``process.sim.now`` + timer scheduling), the transport
+(``network.send`` / ``network.gossip_cast``), and the two upward callbacks
+(``_on_datagram`` / ``_on_gossip``).  A :class:`Runtime` bundles one clock
+and one transport behind those seams, which is what lets the *same,
+unmodified* protocol stack run either
+
+* inside the deterministic discrete-event simulator
+  (:class:`SimRuntime` -- an adapter over the existing
+  :class:`~repro.sim.scheduler.Simulator` and
+  :class:`~repro.sim.network.Network`, byte-identical to pre-runtime
+  bootstraps), or
+* over real UDP sockets on localhost (:class:`AsyncioRuntime` -- one OS
+  process per node, monotonic-clock timers, and the versioned wire codec
+  of :mod:`repro.runtime.wire`).
+
+See docs/RUNTIME.md for the interface contract and how to add a third
+transport.  Nothing in this package opens a socket at import time; the
+default test suite stays simulator-only and socket-free.
+"""
+
+from repro.runtime.interface import Runtime, SimRuntime
+from repro.runtime.wire import (
+    WIRE_VERSION,
+    WireError,
+    decode_frame,
+    encode_frame,
+)
+
+__all__ = [
+    "Runtime",
+    "SimRuntime",
+    "WIRE_VERSION",
+    "WireError",
+    "decode_frame",
+    "encode_frame",
+]

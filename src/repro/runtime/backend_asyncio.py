@@ -1,0 +1,110 @@
+"""The asyncio UDP runtime: one node of a real localhost cluster.
+
+Each node of a net cluster is its own OS process (spawned by
+:mod:`repro.runtime.driver`) running one :class:`AsyncioRuntime`: a
+monotonic :class:`~repro.runtime.clock.AsyncioClock` plus a
+:class:`~repro.runtime.transport.AsyncioTransport` bound to the node's
+UDP port.  The unmodified :class:`~repro.core.process.GroupProcess` and
+layer stack run on top.
+
+``net_profile`` widens the failure-detection and retransmission timing
+constants: the simulator's defaults (20 ms heartbeats, 80 ms mute
+timeout) assume a noiseless virtual LAN, while a loaded CI host adds
+scheduling jitter that would read as muteness and churn views.  The
+profile is the real-network analogue of the MANET rescale in
+``Group.bootstrap_adhoc``.
+"""
+
+from __future__ import annotations
+
+from repro.core.process import GroupProcess
+from repro.core.view import View, ViewId, singleton_view
+from repro.crypto.keys import KeyManager
+from repro.runtime.clock import AsyncioClock
+from repro.runtime.interface import Runtime
+from repro.runtime.transport import AsyncioTransport
+
+
+def net_profile(config):
+    """Rescale a :class:`~repro.core.config.StackConfig` for real clocks.
+
+    Only *floors* are applied: a caller that already asks for slower
+    timers keeps them.
+    """
+    return config.clone(
+        heartbeat_interval=max(config.heartbeat_interval, 0.05),
+        mute_timeout=max(config.mute_timeout, 0.6),
+        gossip_interval=max(config.gossip_interval, 0.1),
+        consensus_msg_timeout=max(config.consensus_msg_timeout, 0.6),
+        newview_timeout=max(config.newview_timeout, 1.0),
+        retrans_timeout=max(config.retrans_timeout, 0.1),
+        ack_interval=max(config.ack_interval, 0.04),
+        fuzzy_decay_interval=max(config.fuzzy_decay_interval, 0.2),
+        suspicion_settle_delay=max(config.suspicion_settle_delay, 0.02))
+
+
+class AsyncioRuntime(Runtime):
+    """Clock + UDP transport for one node; spawns its GroupProcess."""
+
+    kind = "net"
+
+    def __init__(self, node_id, addresses, seed=0, loop=None):
+        self._clock = AsyncioClock(loop=loop, seed=seed)
+        self._transport = AsyncioTransport(self._clock, node_id, addresses,
+                                           loop=loop)
+        self.node_id = node_id
+        self.addresses = dict(addresses)
+
+    @property
+    def clock(self):
+        return self._clock
+
+    @property
+    def transport(self):
+        return self._transport
+
+    async def open(self):
+        """Bind the UDP socket; must run before :meth:`spawn_process`."""
+        await self._transport.open()
+        return self
+
+    def close(self):
+        self._transport.close()
+        self._clock.close()
+
+    # ------------------------------------------------------------------
+    def initial_view(self, node_ids, established=False):
+        """The boot view: a common view of the whole address book, or the
+        node's singleton (gossip/merge then assembles the group -- the
+        default, since a real cluster cannot assume a synchronized boot)."""
+        if not established:
+            return singleton_view(self.node_id)
+        members = tuple(sorted(node_ids, key=repr))
+        return View(ViewId(1, members[0]), members)
+
+    def spawn_process(self, config, keys=None, initial_view=None, obs=None):
+        """Build the GroupProcess for this node on this runtime.
+
+        Wires the transport's undecodable-datagram reports into the
+        bottom layer's corruption-suspicion path, the same escalation a
+        signature rejection takes.
+        """
+        keys = keys or KeyManager()
+        if initial_view is None:
+            initial_view = self.initial_view(self.addresses)
+        view = initial_view
+        if view.f == 0 and config.byzantine and not view.underprovisioned:
+            f = config.resilience(view.n)
+            view = View(view.vid, view.mbrs, coordinator=view.coordinator,
+                        f=f, underprovisioned=(f == 0))
+        process = GroupProcess(self._clock, self._transport, self.node_id,
+                               config, keys, view, obs=obs)
+        self._transport.on_undecodable = process.bottom.note_undecodable
+        if obs is not None:
+            self._clock.observer = obs
+            self._transport.observer = obs
+        return process
+
+    def __repr__(self):
+        return "AsyncioRuntime(node={!r}, peers={})".format(
+            self.node_id, len(self.addresses))

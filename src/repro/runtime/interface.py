@@ -1,0 +1,76 @@
+"""The Runtime interface: one clock + one transport under the stack.
+
+A runtime bundles the two seams the protocol stack touches:
+
+* ``clock`` -- the object handed to :class:`repro.core.process.GroupProcess`
+  as ``sim``: must provide ``now``, ``schedule``, ``schedule_at``, ``rng``
+  and return cancellable timers (see :class:`repro.sim.clock.Timer` /
+  :class:`repro.runtime.clock.WallTimer` for the handle contract);
+* ``transport`` -- the object handed as ``network``: must provide
+  ``attach(node_id, deliver, gossip_deliver)``, ``send(src, dst, size,
+  payload)``, ``gossip_cast(src, size, payload)``, ``crash(node_id)`` and
+  ``detach(node_id)``.
+
+:class:`SimRuntime` is the deterministic backend: a zero-behaviour-change
+adapter over the existing :class:`~repro.sim.scheduler.Simulator` and
+:class:`~repro.sim.network.Network` (it constructs them in exactly the
+order the pre-runtime ``Group.bootstrap`` did, so seed-pinned histories
+stay byte-identical).  The asyncio UDP backend lives in
+:mod:`repro.runtime.backend_asyncio`; it is imported lazily so that
+simulator-only users never load socket code.
+"""
+
+from __future__ import annotations
+
+
+class Runtime:
+    """Abstract clock + transport bundle; see the module docstring."""
+
+    kind = "abstract"
+
+    @property
+    def clock(self):
+        raise NotImplementedError
+
+    @property
+    def transport(self):
+        raise NotImplementedError
+
+    def close(self):
+        """Release whatever the runtime holds (timers, sockets)."""
+
+
+class SimRuntime(Runtime):
+    """The deterministic simulator as a runtime (the default backend).
+
+    Construction order mirrors the historical ``Group.bootstrap`` body
+    exactly -- Simulator first, then topology, then Network -- because
+    the simulator's RNG draw order is part of the frozen seed contract
+    (docs/PERFORMANCE.md) and tier-1 asserts byte-identical histories.
+    """
+
+    kind = "sim"
+
+    def __init__(self, n, seed=0, topology_cls=None, net_config=None):
+        from repro.sim.network import Network, NetworkConfig
+        from repro.sim.scheduler import Simulator
+        from repro.sim.topology import BladeCenterTopology
+        self.sim = Simulator(seed=seed)
+        self.topology = (topology_cls or BladeCenterTopology)(n)
+        self.network = Network(self.sim, self.topology,
+                               net_config or NetworkConfig())
+
+    @property
+    def clock(self):
+        return self.sim
+
+    @property
+    def transport(self):
+        return self.network
+
+    def close(self):
+        """Nothing to release: the simulator owns no OS resources."""
+
+    def __repr__(self):
+        return "SimRuntime(now={:.6f}, pending={})".format(
+            self.sim.now, self.sim.pending)

@@ -1,0 +1,219 @@
+"""Asyncio UDP transport: real datagrams behind the ``network`` seam.
+
+One :class:`AsyncioTransport` serves one node (one OS process): it binds
+a UDP socket on localhost and implements the exact surface the stack
+uses on :class:`repro.sim.network.Network` -- ``attach``, ``send``,
+``gossip_cast``, ``crash``, ``detach`` plus the datagram counters.
+
+The **gossip bus** stands in for the paper's IP multicast: a gossip
+frame is fanned out to every address in the static address book, member
+or not, which reproduces the discovery property the merge protocol
+depends on (any process on the LAN hears any coordinator's view
+announcement).  On a localhost cluster the address book IS the LAN.
+
+Undecodable datagrams (truncated, bit-flipped, garbage) are counted and
+reported through :attr:`on_undecodable`; node wiring points that at
+:meth:`repro.layers.bottom.BottomLayer.note_undecodable`, which folds
+wire corruption into the same fuzzy-suspicion path that signature
+rejections feed (docs/ROBUSTNESS.md).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.runtime.wire import (
+    FRAME_DATAGRAM,
+    FRAME_GOSSIP,
+    WireError,
+    decode_frame,
+    encode_frame,
+)
+
+#: payloads above this encoded size cannot travel in one UDP datagram
+MAX_DATAGRAM_BYTES = 65000
+
+
+class _UdpProtocol(asyncio.DatagramProtocol):
+    """Thin adapter routing socket events into the transport."""
+
+    def __init__(self, transport):
+        self.owner = transport
+
+    def connection_made(self, transport):
+        self.owner._udp = transport
+
+    def datagram_received(self, data, addr):
+        self.owner._on_datagram(data, addr)
+
+    def error_received(self, exc):
+        self.owner.socket_errors += 1
+
+
+class AsyncioTransport:
+    """Real UDP sockets for one node of a localhost cluster."""
+
+    def __init__(self, clock, node_id, addresses, loop=None):
+        """``addresses``: {node_id: (host, port)} for the whole cluster,
+        including this node (its own entry is the bind address)."""
+        self.clock = clock
+        self.node_id = node_id
+        self.addresses = dict(addresses)
+        self._loop = loop or asyncio.get_event_loop()
+        self._udp = None          # asyncio DatagramTransport once open
+        self._deliver = None
+        self._gossip_deliver = None
+        self.closed = False
+        self.crashed = False
+        # counters mirroring repro.sim.network.Network
+        self.datagrams_sent = 0
+        self.datagrams_dropped = 0
+        self.datagrams_delivered = 0
+        self.gossips_sent = 0
+        self.gossips_delivered = 0
+        self.undecodable = 0
+        self.encode_failures = 0
+        self.socket_errors = 0
+        self.bytes_out = 0
+        self.bytes_in = 0
+        # hooks
+        self.observer = None          # ObservabilityPlane, or None
+        self.on_undecodable = None    # callback(src_or_None)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def open(self):
+        """Bind the UDP endpoint on this node's address-book entry."""
+        host, port = self.addresses[self.node_id]
+        await self._loop.create_datagram_endpoint(
+            lambda: _UdpProtocol(self), local_addr=(host, port))
+        return self
+
+    def close(self):
+        """Release the socket; further sends and deliveries are dropped."""
+        if self.closed:
+            return
+        self.closed = True
+        if self._udp is not None:
+            self._udp.close()
+            self._udp = None
+
+    # ------------------------------------------------------------------
+    # the Network surface the stack uses
+    # ------------------------------------------------------------------
+    def attach(self, node_id, deliver, gossip_deliver=None):
+        if node_id != self.node_id:
+            raise ValueError("transport of node %r cannot host node %r"
+                             % (self.node_id, node_id))
+        self._deliver = deliver
+        self._gossip_deliver = gossip_deliver
+
+    def detach(self, node_id):
+        self._deliver = None
+        self._gossip_deliver = None
+        self.close()
+
+    def crash(self, node_id):
+        """Crash semantics: silence the node and release its socket."""
+        self.crashed = True
+        self.close()
+
+    def send(self, src, dst, size_bytes, payload):
+        """Unicast one protocol datagram (``size_bytes`` is the *modelled*
+        size; the wire carries the encoded frame)."""
+        if self.closed or self.crashed:
+            self.datagrams_dropped += 1
+            return
+        addr = self.addresses.get(dst)
+        if addr is None:
+            self.datagrams_dropped += 1
+            return
+        data = self._encode(FRAME_DATAGRAM, src, payload)
+        if data is None:
+            return
+        if self._transmit(data, addr):
+            self.datagrams_sent += 1
+            if self.observer is not None:
+                self.observer.on_datagram_sent(src, dst, len(data), payload)
+
+    def gossip_cast(self, src, size_bytes, payload):
+        """Fan one gossip frame out to every address on the bus."""
+        if self.closed or self.crashed:
+            return
+        data = self._encode(FRAME_GOSSIP, src, payload)
+        if data is None:
+            return
+        for node_id, addr in self.addresses.items():
+            if node_id == src:
+                continue
+            self._transmit(data, addr)
+        self.gossips_sent += 1
+        if self.observer is not None:
+            self.observer.on_gossip_sent(src, len(data))
+
+    # ------------------------------------------------------------------
+    def _encode(self, frame_type, src, payload):
+        try:
+            data = encode_frame(frame_type, src, payload)
+        except WireError:
+            self.encode_failures += 1
+            return None
+        if len(data) > MAX_DATAGRAM_BYTES:
+            self.encode_failures += 1
+            return None
+        return data
+
+    def _transmit(self, data, addr):
+        try:
+            self._udp.sendto(data, addr)
+        except (OSError, AttributeError):
+            self.socket_errors += 1
+            self.datagrams_dropped += 1
+            return False
+        self.bytes_out += len(data)
+        return True
+
+    # ------------------------------------------------------------------
+    # receive path
+    # ------------------------------------------------------------------
+    def _on_datagram(self, data, addr):
+        if self.closed or self.crashed:
+            return
+        self.bytes_in += len(data)
+        try:
+            frame_type, src, payload = decode_frame(data)
+        except WireError as err:
+            self.undecodable += 1
+            callback = self.on_undecodable
+            if callback is not None:
+                callback(err.src)
+            return
+        if frame_type == FRAME_GOSSIP:
+            if self._gossip_deliver is not None:
+                self.gossips_delivered += 1
+                if self.observer is not None:
+                    self.observer.on_gossip_delivered(self.node_id, src)
+                self._gossip_deliver(src, payload)
+            return
+        if self._deliver is not None:
+            self.datagrams_delivered += 1
+            if self.observer is not None:
+                self.observer.on_datagram_delivered(self.node_id, src, payload)
+            self._deliver(src, payload)
+
+    # ------------------------------------------------------------------
+    def counters(self):
+        """Snapshot of the transport counters (for reports/benchmarks)."""
+        return {
+            "datagrams_sent": self.datagrams_sent,
+            "datagrams_dropped": self.datagrams_dropped,
+            "datagrams_delivered": self.datagrams_delivered,
+            "gossips_sent": self.gossips_sent,
+            "gossips_delivered": self.gossips_delivered,
+            "undecodable": self.undecodable,
+            "encode_failures": self.encode_failures,
+            "socket_errors": self.socket_errors,
+            "bytes_out": self.bytes_out,
+            "bytes_in": self.bytes_in,
+        }

@@ -1,0 +1,328 @@
+"""Versioned, length-prefixed wire codec for the real-network runtime.
+
+The simulator hands :class:`~repro.core.message.Message` objects between
+nodes by reference; a real transport has to serialize them.  This module
+defines the datagram format the asyncio UDP backend speaks:
+
+``frame := MAGIC(2) VERSION(1) FRAMETYPE(1) src:value BODYLEN(4) body:value``
+
+where ``value`` is a tagged, recursively-defined encoding of the small
+Python value universe the protocol stack actually puts on the wire: None,
+bools, ints, floats, strings, bytes, tuples, lists, dicts, (frozen)sets,
+:class:`~repro.core.view.ViewId`, and whole ``Message`` structs (whose
+field list is owned by :meth:`Message.wire_fields`, so the codec never
+reaches into message internals).  The body of a datagram frame is either
+one ``Message`` or the bottom layer's ``("pack", (msg, ...))`` container;
+the body of a gossip frame is the plain gossip payload tuple.
+
+Decoding is *total*: any input -- truncated, bit-flipped, or random
+garbage -- either yields a value or raises :class:`WireError`; it never
+raises anything else, never loops, and never allocates more than a small
+multiple of the datagram size (collection counts are bounded by the bytes
+remaining, so a flipped length byte cannot demand gigabytes).  Transports
+route decode failures into the bottom layer's corruption-suspicion path
+(:meth:`~repro.layers.bottom.BottomLayer.note_undecodable`) when the
+claimed source survived decoding; :class:`WireError` carries it as
+``err.src``.
+
+Content authentication is *not* the codec's job: a bit flip that still
+decodes (e.g. inside a string) reconstructs a message whose HMAC no
+longer matches its content, and the bottom layer's signature check drops
+it -- the same defense the simulator's Byzantine mutators exercise.
+"""
+
+from __future__ import annotations
+
+import struct
+
+MAGIC = b"JB"
+WIRE_VERSION = 1
+
+#: frame types
+FRAME_DATAGRAM = 1   # unicast protocol datagram (Message or pack container)
+FRAME_GOSSIP = 2     # gossip-bus announcement (plain payload)
+
+_FRAME_TYPES = (FRAME_DATAGRAM, FRAME_GOSSIP)
+
+#: value tags (one byte each)
+_T_NONE = 0x00
+_T_TRUE = 0x01
+_T_FALSE = 0x02
+_T_INT64 = 0x03
+_T_BIGINT = 0x04
+_T_FLOAT = 0x05
+_T_STR = 0x06
+_T_BYTES = 0x07
+_T_TUPLE = 0x08
+_T_LIST = 0x09
+_T_DICT = 0x0A
+_T_SET = 0x0B
+_T_FROZENSET = 0x0C
+_T_VIEWID = 0x0D
+_T_MESSAGE = 0x0E
+
+_MAX_DEPTH = 32
+_INT64_MIN = -(1 << 63)
+_INT64_MAX = (1 << 63) - 1
+
+_pack_u32 = struct.Struct("!I").pack
+_pack_i64 = struct.Struct("!q").pack
+_pack_f64 = struct.Struct("!d").pack
+_unpack_u32 = struct.Struct("!I").unpack_from
+_unpack_i64 = struct.Struct("!q").unpack_from
+_unpack_f64 = struct.Struct("!d").unpack_from
+
+
+class WireError(ValueError):
+    """A datagram failed to encode or decode.
+
+    ``src`` is the frame's claimed source node when it was recovered
+    before the failure (so receivers can feed corruption suspicion), or
+    None when even the source field was unreadable.
+    """
+
+    def __init__(self, reason, src=None):
+        super().__init__(reason)
+        self.src = src
+
+
+# ----------------------------------------------------------------------
+# encoding
+# ----------------------------------------------------------------------
+def encode_value(obj):
+    """Encode one value; raises :class:`WireError` on unsupported types."""
+    out = bytearray()
+    _encode(obj, out, 0)
+    return bytes(out)
+
+
+def _encode(obj, out, depth):
+    if depth > _MAX_DEPTH:
+        raise WireError("value nesting exceeds depth %d" % _MAX_DEPTH)
+    if obj is None:
+        out.append(_T_NONE)
+    elif obj is True:
+        out.append(_T_TRUE)
+    elif obj is False:
+        out.append(_T_FALSE)
+    elif type(obj) is int:
+        if _INT64_MIN <= obj <= _INT64_MAX:
+            out.append(_T_INT64)
+            out += _pack_i64(obj)
+        else:
+            raw = obj.to_bytes((obj.bit_length() + 8) // 8, "big", signed=True)
+            out.append(_T_BIGINT)
+            out += _pack_u32(len(raw))
+            out += raw
+    elif type(obj) is float:
+        out.append(_T_FLOAT)
+        out += _pack_f64(obj)
+    elif type(obj) is str:
+        raw = obj.encode("utf-8")
+        out.append(_T_STR)
+        out += _pack_u32(len(raw))
+        out += raw
+    elif type(obj) is bytes:
+        out.append(_T_BYTES)
+        out += _pack_u32(len(obj))
+        out += obj
+    elif type(obj) is tuple:
+        out.append(_T_TUPLE)
+        out += _pack_u32(len(obj))
+        for item in obj:
+            _encode(item, out, depth + 1)
+    elif type(obj) is list:
+        out.append(_T_LIST)
+        out += _pack_u32(len(obj))
+        for item in obj:
+            _encode(item, out, depth + 1)
+    elif type(obj) is dict:
+        out.append(_T_DICT)
+        out += _pack_u32(len(obj))
+        for key, value in obj.items():
+            _encode(key, out, depth + 1)
+            _encode(value, out, depth + 1)
+    elif type(obj) in (set, frozenset):
+        out.append(_T_SET if type(obj) is set else _T_FROZENSET)
+        # repr-sorted for a canonical encoding (sets have no order)
+        items = sorted(obj, key=repr)
+        out += _pack_u32(len(items))
+        for item in items:
+            _encode(item, out, depth + 1)
+    else:
+        # late imports keep this module loadable without the core package
+        # in codec-only tooling, and avoid an import cycle with message.py
+        from repro.core.message import Message
+        from repro.core.view import ViewId
+        if type(obj) is ViewId:
+            out.append(_T_VIEWID)
+            _encode(obj.counter, out, depth + 1)
+            _encode(obj.creator, out, depth + 1)
+        elif type(obj) is Message:
+            out.append(_T_MESSAGE)
+            for field in obj.wire_fields():
+                _encode(field, out, depth + 1)
+        else:
+            raise WireError("unencodable value of type %s: %r"
+                            % (type(obj).__name__, obj))
+
+
+def encode_frame(frame_type, src, payload):
+    """One complete datagram: header + source + length-prefixed body."""
+    if frame_type not in _FRAME_TYPES:
+        raise WireError("unknown frame type %r" % (frame_type,))
+    body = encode_value(payload)
+    out = bytearray(MAGIC)
+    out.append(WIRE_VERSION)
+    out.append(frame_type)
+    _encode(src, out, 0)
+    out += _pack_u32(len(body))
+    out += body
+    return bytes(out)
+
+
+# ----------------------------------------------------------------------
+# decoding
+# ----------------------------------------------------------------------
+def decode_value(data):
+    """Decode one value from ``data``; the whole buffer must be consumed."""
+    value, offset = _decode(data, 0, 0)
+    if offset != len(data):
+        raise WireError("trailing garbage after value (%d of %d bytes)"
+                        % (offset, len(data)))
+    return value
+
+
+def _need(data, offset, nbytes):
+    if offset + nbytes > len(data):
+        raise WireError("truncated: need %d bytes at offset %d, have %d"
+                        % (nbytes, offset, len(data) - offset))
+
+
+def _count(data, offset, minimum_item_bytes=1):
+    """Read a u32 collection count, bounded by the bytes remaining."""
+    _need(data, offset, 4)
+    count = _unpack_u32(data, offset)[0]
+    offset += 4
+    if count * minimum_item_bytes > len(data) - offset:
+        raise WireError("count %d exceeds remaining %d bytes"
+                        % (count, len(data) - offset))
+    return count, offset
+
+
+def _decode(data, offset, depth):
+    if depth > _MAX_DEPTH:
+        raise WireError("value nesting exceeds depth %d" % _MAX_DEPTH)
+    _need(data, offset, 1)
+    tag = data[offset]
+    offset += 1
+    if tag == _T_NONE:
+        return None, offset
+    if tag == _T_TRUE:
+        return True, offset
+    if tag == _T_FALSE:
+        return False, offset
+    if tag == _T_INT64:
+        _need(data, offset, 8)
+        return _unpack_i64(data, offset)[0], offset + 8
+    if tag == _T_BIGINT:
+        length, offset = _count(data, offset)
+        _need(data, offset, length)
+        raw = data[offset:offset + length]
+        return int.from_bytes(raw, "big", signed=True), offset + length
+    if tag == _T_FLOAT:
+        _need(data, offset, 8)
+        return _unpack_f64(data, offset)[0], offset + 8
+    if tag == _T_STR:
+        length, offset = _count(data, offset)
+        _need(data, offset, length)
+        raw = bytes(data[offset:offset + length])
+        try:
+            return raw.decode("utf-8"), offset + length
+        except UnicodeDecodeError as err:
+            raise WireError("invalid utf-8 in string: %s" % err)
+    if tag == _T_BYTES:
+        length, offset = _count(data, offset)
+        _need(data, offset, length)
+        return bytes(data[offset:offset + length]), offset + length
+    if tag in (_T_TUPLE, _T_LIST, _T_SET, _T_FROZENSET):
+        count, offset = _count(data, offset)
+        items = []
+        for _ in range(count):
+            item, offset = _decode(data, offset, depth + 1)
+            items.append(item)
+        if tag == _T_TUPLE:
+            return tuple(items), offset
+        if tag == _T_LIST:
+            return items, offset
+        try:
+            built = set(items) if tag == _T_SET else frozenset(items)
+        except TypeError:
+            raise WireError("unhashable set element")
+        return built, offset
+    if tag == _T_DICT:
+        count, offset = _count(data, offset, minimum_item_bytes=2)
+        table = {}
+        for _ in range(count):
+            key, offset = _decode(data, offset, depth + 1)
+            value, offset = _decode(data, offset, depth + 1)
+            try:
+                table[key] = value
+            except TypeError:
+                raise WireError("unhashable dict key")
+        return table, offset
+    if tag == _T_VIEWID:
+        from repro.core.view import ViewId
+        counter, offset = _decode(data, offset, depth + 1)
+        creator, offset = _decode(data, offset, depth + 1)
+        if not isinstance(counter, int) or isinstance(counter, bool):
+            raise WireError("view-id counter is not an int: %r" % (counter,))
+        return ViewId(counter, creator), offset
+    if tag == _T_MESSAGE:
+        from repro.core.message import Message
+        fields = []
+        for _ in range(Message.WIRE_FIELD_COUNT):
+            field, offset = _decode(data, offset, depth + 1)
+            fields.append(field)
+        try:
+            return Message.from_wire_fields(fields), offset
+        except (ValueError, TypeError) as err:
+            raise WireError("malformed message struct: %s" % err)
+    raise WireError("unknown value tag 0x%02x at offset %d"
+                    % (tag, offset - 1))
+
+
+def decode_frame(data):
+    """``(frame_type, src, payload)`` of one datagram, or :class:`WireError`.
+
+    Never raises anything but :class:`WireError` on arbitrary input; when
+    the source field decoded before the failure it travels on
+    ``err.src`` so the receiver can attribute the corruption.
+    """
+    src = None
+    try:
+        _need(data, 0, 4)
+        if bytes(data[:2]) != MAGIC:
+            raise WireError("bad magic %r" % (bytes(data[:2]),))
+        if data[2] != WIRE_VERSION:
+            raise WireError("unsupported wire version %d" % data[2])
+        frame_type = data[3]
+        if frame_type not in _FRAME_TYPES:
+            raise WireError("unknown frame type %d" % frame_type)
+        src, offset = _decode(data, 4, 0)
+        _need(data, offset, 4)
+        body_len = _unpack_u32(data, offset)[0]
+        offset += 4
+        if body_len != len(data) - offset:
+            raise WireError("body length %d does not match remaining %d "
+                            "bytes" % (body_len, len(data) - offset), src=src)
+        payload, offset = _decode(data, offset, 0)
+        if offset != len(data):
+            raise WireError("trailing garbage after frame body", src=src)
+        return frame_type, src, payload
+    except WireError as err:
+        if err.src is None:
+            err.src = src
+        raise
+    except Exception as err:   # struct errors, recursion, anything exotic
+        raise WireError("undecodable datagram: %s" % err, src=src)

@@ -170,3 +170,104 @@ def test_vacuous_view_change_aborts():
     assert layer._state == "idle"
     assert not process.stack.blocked
     assert layer.view_changes == 0
+
+
+# ----------------------------------------------------------------------
+# lossy-transport liveness: the two recovery paths the UDP conformance
+# workload exposed (see docs/RUNTIME.md, "Lossy-transport hardening")
+# ----------------------------------------------------------------------
+def test_sync_report_racing_the_decision_is_stashed_then_folded():
+    """A flush report that arrives while we are still deciding must not
+    be dropped: the ctl stream delivers it exactly once, and the sender
+    never repeats it at our epoch -- dropping wedged the flush forever."""
+    process = membership_stub()
+    layer = process.layer
+    process._fake_suspicion.suspect_locally(7)
+    layer.on_control("start-view-change", {"suspected": {7}})
+    assert layer._state == "consensus"
+    early = sync_msg(process, 1, layer._epoch, {0: 3, 1: 5})
+    layer.handle_up(early)
+    assert 1 not in layer._sync_reports
+    assert any(origin == 1 for origin, _e, _r, _k in layer._sync_pending)
+    # now the consensus decides; the stashed report counts immediately
+    proposal = tuple(1 if m == 7 else 0 for m in process.view.mbrs)
+    iid = layer._consensus.instance_id
+    for sender in process.view.mbrs:
+        if sender == process.node_id:
+            continue
+        msg = Message(mk.KIND_CONSENSUS, sender, process.view.vid,
+                      (iid, ("val", 1, proposal)))
+        msg.sender = sender
+        layer.handle_up(msg)
+    assert layer._state in ("sync", "await-view")
+    assert layer._sync_reports.get(1) == {0: 3, 1: 5}
+
+
+def test_foreign_gossip_naming_me_triggers_rejoin_request():
+    """A newer view that still lists us means we missed its install (a
+    lost NEWVIEW): ask that coordinator for a resend.  The merge path
+    cannot recover this case -- the views are not disjoint."""
+    from repro.layers.heartbeat import stack_fingerprint
+    process = membership_stub(members=(0,), me=0)
+    layer = process.layer
+    foreign = View(ViewId(5, 3), (0, 1, 2, 3), coordinator=3,
+                   f=process.config.resilience(4))
+    data = {"src": 3, "view": foreign,
+            "fingerprint": stack_fingerprint(process.config)}
+    layer.on_control("foreign-gossip", data)
+    requests = [m for m in process.below.received_down
+                if m.kind == mk.KIND_MERGE]
+    assert len(requests) == 1
+    assert requests[0].payload == ("rejoin",)
+    assert requests[0].dest == 3
+    # throttled: a second gossip inside the gossip interval is ignored
+    layer.on_control("foreign-gossip", data)
+    assert len([m for m in process.below.received_down
+                if m.kind == mk.KIND_MERGE]) == 1
+    process.run(2 * process.config.gossip_interval)
+    layer.on_control("foreign-gossip", data)
+    assert len([m for m in process.below.received_down
+                if m.kind == mk.KIND_MERGE]) == 2
+
+
+def test_rejoin_request_from_member_gets_view_resend():
+    process = membership_stub(me=1)  # 1 IS the coordinator
+    layer = process.layer
+    req = Message(mk.KIND_MERGE, 3, process.view.vid, ("rejoin",), dest=1)
+    req.sender = 3
+    layer.handle_up(req)
+    offers = [m for m in process.below.received_down
+              if m.kind == mk.KIND_NEWVIEW]
+    assert len(offers) == 1
+    assert offers[0].dest == 3
+    assert offers[0].payload[0] == "joined"
+    assert offers[0].payload[1] == process.view.to_wire()
+    # no change state was touched: the resend is pure
+    assert layer._state == "idle"
+    assert layer._pending_joiners is None
+
+
+def test_rejoin_request_from_stranger_ignored():
+    process = membership_stub(me=1)
+    layer = process.layer
+    req = Message(mk.KIND_MERGE, "z", process.view.vid, ("rejoin",), dest=1)
+    req.sender = "z"
+    layer.handle_up(req)
+    assert not [m for m in process.below.received_down
+                if m.kind == mk.KIND_NEWVIEW]
+
+
+def test_rejoin_offer_installs_directly_from_singleton():
+    process = membership_stub(members=(0,), me=0)
+    layer = process.layer
+    installed = []
+    process.install_view = installed.append
+    offered = View(ViewId(5, 3), (0, 1, 2, 3), coordinator=3,
+                   f=process.config.resilience(4))
+    offer = Message(mk.KIND_NEWVIEW, 3, process.view.vid,
+                    ("joined", offered.to_wire()), dest=0)
+    offer.sender = 3
+    layer.handle_up(offer)
+    assert len(installed) == 1
+    assert installed[0].vid == offered.vid
+    assert tuple(installed[0].mbrs) == (0, 1, 2, 3)
