@@ -176,6 +176,46 @@ class Message:
                 self._payload, self.payload_size, self.headers,
                 self.signature, self.dest, self.msg_id)
 
+    # encode-once fan-out seam (runtime/wire.py): the leading wire fields
+    # are identical across a clone_for fan-out, so the wire encoder can
+    # serialize them once per broadcast and append only the trailing
+    # per-destination fields for each sibling.  The split must follow the
+    # wire_fields() order: shared fields first, tail fields last.
+    WIRE_SHARED_FIELD_COUNT = 8
+
+    def wire_shared_fields(self):
+        """The leading wire fields shared by all clone_for siblings."""
+        return (self.kind, self.origin, self.sender, self.view_id,
+                self._payload, self.payload_size, self.headers,
+                self.signature)
+
+    def wire_tail_fields(self):
+        """The trailing wire fields that vary per fan-out destination."""
+        return (self.dest, self.msg_id)
+
+    def wire_shares_body(self, other):
+        """True when ``other`` serializes to the same shared wire prefix.
+
+        Holds exactly for undiverged ``clone_for`` siblings: the mutable
+        parts (view id, payload, header map, signature) are compared by
+        identity -- any mutation path (COW ``push_header``/``pop_header``,
+        the ``payload`` property, a Byzantine behavior swapping the
+        signature) replaces the object and breaks the match, so a false
+        hit would require in-place mutation of a shared structure, which
+        also breaks the memoized auth digest and is excluded by the same
+        contract.  Scalar fields are compared by value.  A miss is always
+        safe (the encoder just serializes from scratch).
+        """
+        return (other is not None
+                and self.kind == other.kind
+                and self.origin == other.origin
+                and self.sender == other.sender
+                and self.view_id is other.view_id
+                and self._payload is other._payload
+                and self.payload_size == other.payload_size
+                and self.headers is other.headers
+                and self.signature is other.signature)
+
     @classmethod
     def from_wire_fields(cls, fields):
         """Rebuild a message from :meth:`wire_fields` output.

@@ -120,11 +120,15 @@ class BottomLayer(Layer):
         queue.append((out, size))
         total = self._pack_bytes[dst] + size
         self._pack_bytes[dst] = total
-        if total >= self.config.mtu:
+        # the same (budget, delay) policy drives the wire coalescer --
+        # StackConfig.packing_policy is the single definition of "when is
+        # an aggregate full / stale" at both aggregation points
+        max_bytes, flush_delay = self.config.packing_policy()
+        if total >= max_bytes:
             self._flush_pack(dst)
         elif dst not in self._pack_timers:
             self._pack_timers[dst] = self.sim.schedule(
-                self.config.packing_delay, self._flush_pack, dst)
+                flush_delay, self._flush_pack, dst)
 
     def _flush_pack(self, dst):
         timer = self._pack_timers.pop(dst, None)

@@ -138,6 +138,29 @@ class ObservabilityPlane:
             self.metrics.inc(src, "net", "gossips_out")
             self.metrics.inc(src, "net", "bytes_out", size)
 
+    # ------------------------------------------------------------------
+    # wire-path observer (real-network transport coalescer)
+    # ------------------------------------------------------------------
+    def on_coalesce_flush(self, node, reason, frames, nbytes):
+        """The datagram coalescer emitted one UDP datagram.
+
+        ``reason`` is why it flushed ("size" budget, backstop "timer",
+        end-of-"burst", or "final" teardown drain); ``frames`` is the
+        sub-frame fill.  The fill histogram is the coalescer's figure of
+        merit: mean frames/datagram is the wire-path amortization factor.
+        """
+        if self.metrics_enabled:
+            self.metrics.inc(node, "wire", "coalesce_flush_" + reason)
+            self.metrics.observe(node, "wire", "datagram_fill", frames)
+            self.metrics.observe(node, "wire", "datagram_bytes", nbytes)
+
+    def on_oversize_drop(self, node, kind):
+        """An encoded frame exceeded the hard datagram ceiling and was
+        dropped (surfaced, not silent: the transport also warns once per
+        kind on stderr)."""
+        if self.metrics_enabled:
+            self.metrics.inc(node, "wire", "oversize_drops")
+
     def on_gossip_delivered(self, dst, src):
         if self.metrics_enabled:
             self.metrics.inc(dst, "net", "gossips_in")

@@ -90,6 +90,8 @@ class AsyncioRuntime(Runtime):
         signature rejection takes.
         """
         keys = keys or KeyManager()
+        # adopt the stack's packing policy for the datagram coalescer
+        self._transport.configure(config)
         if initial_view is None:
             initial_view = self.initial_view(self.addresses)
         view = initial_view

@@ -137,6 +137,10 @@ async def run_node(spec, loop):
         ok = False
         error = traceback.format_exc()
 
+    # drain the wire-path coalescer before the final snapshot: anything
+    # still buffered belongs to this run's datagram accounting, and
+    # process.stop() below crashes the transport (buffers dropped)
+    runtime.transport.flush_pending(reason="final")
     counters = runtime.transport.counters()
     final_view = _view_jsonable(process.view)
     debug = _stack_debug(process)

@@ -11,27 +11,68 @@ or not, which reproduces the discovery property the merge protocol
 depends on (any process on the LAN hears any coordinator's view
 announcement).  On a localhost cluster the address book IS the LAN.
 
+Wire-path aggregation (docs/PERFORMANCE.md, "The wire path"):
+
+* **datagram coalescing** -- outgoing protocol frames are buffered per
+  destination and flushed as one ``FRAME_BATCH`` datagram when the byte
+  budget fills (``StackConfig.wire_mtu``, capped by
+  :data:`MAX_DATAGRAM_BYTES`), when the backstop timer expires, or at
+  the end of the current event-loop burst (a ``call_soon`` armed on the
+  first buffered frame runs after every callback that was ready this
+  iteration -- so a saturating burst aggregates, while a lone heartbeat
+  leaves within the same loop turn).  Anything already pending to a
+  peer rides the same flush, which is how ack vectors produced while
+  draining a received batch piggyback onto datagrams being emitted
+  anyway.
+* **encode-once fan-out** -- the destination-independent prefix of an
+  encoded ``Message`` is cached across ``clone_for`` siblings
+  (:meth:`Message.wire_shares_body`), so an n-1-receiver broadcast
+  serializes the shared body once; scratch/output buffers are reused
+  ``bytearray`` objects, not per-frame allocations.
+* **batch receive drain** -- an arriving batch is fully decoded and
+  handed to the stack as one ``("pack", ...)`` container, so the bottom
+  layer charges one per-datagram cost and the scheduler runs one
+  callback for the whole batch (the same contract the simulator's pack
+  queues already have).
+
 Undecodable datagrams (truncated, bit-flipped, garbage) are counted and
-reported through :attr:`on_undecodable`; node wiring points that at
-:meth:`repro.layers.bottom.BottomLayer.note_undecodable`, which folds
-wire corruption into the same fuzzy-suspicion path that signature
-rejections feed (docs/ROBUSTNESS.md).
+reported through :attr:`on_undecodable` -- per *sub-frame* for batches,
+so one corrupt sub-frame feeds corruption suspicion without discarding
+its siblings; node wiring points that at
+:meth:`repro.layers.bottom.BottomLayer.note_undecodable`
+(docs/ROBUSTNESS.md).
 """
 
 from __future__ import annotations
 
 import asyncio
+import struct
+import sys
 
+from repro.core.message import Message
 from repro.runtime.wire import (
+    FRAME_BATCH,
     FRAME_DATAGRAM,
     FRAME_GOSSIP,
+    SUBFRAME_OVERHEAD,
     WireError,
-    decode_frame,
+    decode_datagram,
     encode_frame,
+    encode_message_prefix,
+    encode_message_tail_into,
+    encode_value_into,
+    frame_prefix,
 )
 
 #: payloads above this encoded size cannot travel in one UDP datagram
 MAX_DATAGRAM_BYTES = 65000
+
+#: unconfigured-transport defaults; :meth:`AsyncioTransport.configure`
+#: overrides them from StackConfig.packing_policy(wire=True)
+DEFAULT_COALESCE_BYTES = 16000
+DEFAULT_COALESCE_DELAY = 0.0008
+
+_pack_u32 = struct.Struct("!I").pack
 
 
 class _UdpProtocol(asyncio.DatagramProtocol):
@@ -50,6 +91,19 @@ class _UdpProtocol(asyncio.DatagramProtocol):
         self.owner.socket_errors += 1
 
 
+class _DestBuffer:
+    """Pending coalesced sub-frames for one destination address."""
+
+    __slots__ = ("dst", "addr", "buf", "frames", "timer")
+
+    def __init__(self, dst, addr):
+        self.dst = dst
+        self.addr = addr
+        self.buf = bytearray()   # concatenated sub-frames, reused across flushes
+        self.frames = 0
+        self.timer = None
+
+
 class AsyncioTransport:
     """Real UDP sockets for one node of a localhost cluster."""
 
@@ -65,17 +119,44 @@ class AsyncioTransport:
         self._gossip_deliver = None
         self.closed = False
         self.crashed = False
-        # counters mirroring repro.sim.network.Network
+        # coalescing policy (reconfigured from StackConfig by the runtime)
+        self.coalescing = True
+        self.coalesce_max_bytes = DEFAULT_COALESCE_BYTES
+        self.coalesce_delay = DEFAULT_COALESCE_DELAY
+        # coalescer state
+        self._dest_bufs = {}          # addr -> _DestBuffer
+        self._burst_flush_armed = False
+        # encode-once fan-out: (representative clone, shared prefix bytes)
+        self._body_cache = None
+        self._scratch = bytearray()   # reusable body-encode buffer
+        # precomputed frame prefixes for this node's own source id
+        self._prefix = {
+            FRAME_DATAGRAM: frame_prefix(FRAME_DATAGRAM, node_id),
+            FRAME_GOSSIP: frame_prefix(FRAME_GOSSIP, node_id),
+            FRAME_BATCH: frame_prefix(FRAME_BATCH, node_id),
+        }
+        self._single_overhead = len(self._prefix[FRAME_DATAGRAM]) + 4
+        self._batch_overhead = len(self._prefix[FRAME_BATCH]) + 4
+        # counters mirroring repro.sim.network.Network; datagrams_* count
+        # wire datagrams, frames_* count logical protocol frames
         self.datagrams_sent = 0
         self.datagrams_dropped = 0
         self.datagrams_delivered = 0
+        self.frames_sent = 0
+        self.frames_delivered = 0
+        self.frames_dropped = 0
         self.gossips_sent = 0
         self.gossips_delivered = 0
+        self.gossip_drops = 0
         self.undecodable = 0
         self.encode_failures = 0
+        self.encode_cache_hits = 0
+        self.oversize_drops = 0
         self.socket_errors = 0
         self.bytes_out = 0
         self.bytes_in = 0
+        self.flush_reasons = {"size": 0, "timer": 0, "burst": 0, "final": 0}
+        self._oversize_warned = set()
         # hooks
         self.observer = None          # ObservabilityPlane, or None
         self.on_undecodable = None    # callback(src_or_None)
@@ -83,6 +164,13 @@ class AsyncioTransport:
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
+    def configure(self, config):
+        """Adopt the stack's shared packing policy for the coalescer."""
+        self.coalescing = bool(getattr(config, "wire_coalesce", True))
+        max_bytes, delay = config.packing_policy(wire=True)
+        self.coalesce_max_bytes = min(int(max_bytes), MAX_DATAGRAM_BYTES)
+        self.coalesce_delay = delay
+
     async def open(self):
         """Bind the UDP endpoint on this node's address-book entry."""
         host, port = self.addresses[self.node_id]
@@ -91,10 +179,19 @@ class AsyncioTransport:
         return self
 
     def close(self):
-        """Release the socket; further sends and deliveries are dropped."""
+        """Release the socket; further sends and deliveries are dropped.
+
+        A *graceful* close drains pending coalescer buffers first; a
+        crash (:meth:`crash`) drops them, matching the simulator's
+        crash semantics for pack queues.
+        """
         if self.closed:
             return
+        if not self.crashed:
+            self.flush_pending(reason="final")
         self.closed = True
+        self._drop_pending()
+        self._body_cache = None
         if self._udp is not None:
             self._udp.close()
             self._udp = None
@@ -115,13 +212,16 @@ class AsyncioTransport:
         self.close()
 
     def crash(self, node_id):
-        """Crash semantics: silence the node and release its socket."""
+        """Crash semantics: silence the node, drop pending coalescer
+        buffers, and release the socket."""
         self.crashed = True
+        self._drop_pending()
         self.close()
 
     def send(self, src, dst, size_bytes, payload):
-        """Unicast one protocol datagram (``size_bytes`` is the *modelled*
-        size; the wire carries the encoded frame)."""
+        """Unicast one protocol frame (``size_bytes`` is the *modelled*
+        size; the wire carries the encoded frame, possibly coalesced
+        into a batch datagram with other frames to the same peer)."""
         if self.closed or self.crashed:
             self.datagrams_dropped += 1
             return
@@ -129,41 +229,228 @@ class AsyncioTransport:
         if addr is None:
             self.datagrams_dropped += 1
             return
-        data = self._encode(FRAME_DATAGRAM, src, payload)
-        if data is None:
+        if src != self.node_id:
+            # exotic caller (the stack always sends as itself): keep the
+            # faithful-source wire contract via the uncached slow path
+            self._send_single(FRAME_DATAGRAM, src, payload, addr)
             return
-        if self._transmit(data, addr):
-            self.datagrams_sent += 1
-            if self.observer is not None:
-                self.observer.on_datagram_sent(src, dst, len(data), payload)
+        body = self._encode_body(payload)
+        if body is None:
+            return
+        if self._single_overhead + len(body) > MAX_DATAGRAM_BYTES:
+            self._drop_oversize(payload, self._single_overhead + len(body))
+            return
+        if self.observer is not None:
+            self.observer.on_datagram_sent(
+                src, dst, SUBFRAME_OVERHEAD + len(body), payload)
+        if not self.coalescing:
+            data = b"".join((self._prefix[FRAME_DATAGRAM],
+                             _pack_u32(len(body)), body))
+            if self._transmit(data, addr):
+                self.datagrams_sent += 1
+                self.frames_sent += 1
+            else:
+                self.frames_dropped += 1
+            return
+        self._enqueue(FRAME_DATAGRAM, dst, addr, body)
 
     def gossip_cast(self, src, size_bytes, payload):
-        """Fan one gossip frame out to every address on the bus."""
+        """Fan one gossip frame out to every address on the bus.
+
+        The frame is encoded once for the whole fan-out.  The sent
+        counter reflects *reachability*: it increments only when at
+        least one per-address transmit succeeded, and every failed
+        address is accounted in ``gossip_drops``.
+        """
         if self.closed or self.crashed:
             return
-        data = self._encode(FRAME_GOSSIP, src, payload)
-        if data is None:
+        try:
+            if src == self.node_id:
+                body = self._encode_gossip_body(payload)
+                data = b"".join((self._prefix[FRAME_GOSSIP],
+                                 _pack_u32(len(body)), body))
+            else:
+                data = encode_frame(FRAME_GOSSIP, src, payload)
+        except WireError:
+            self.encode_failures += 1
             return
+        if len(data) > MAX_DATAGRAM_BYTES:
+            self._drop_oversize(payload, len(data))
+            return
+        sent_any = False
         for node_id, addr in self.addresses.items():
             if node_id == src:
                 continue
-            self._transmit(data, addr)
-        self.gossips_sent += 1
-        if self.observer is not None:
-            self.observer.on_gossip_sent(src, len(data))
+            if self._transmit(data, addr):
+                sent_any = True
+            else:
+                self.gossip_drops += 1
+        if sent_any:
+            self.gossips_sent += 1
+            if self.observer is not None:
+                self.observer.on_gossip_sent(src, len(data))
 
     # ------------------------------------------------------------------
-    def _encode(self, frame_type, src, payload):
+    # encode-once body cache + reusable buffers
+    # ------------------------------------------------------------------
+    def _encode_body(self, payload):
+        """Encoded body bytes of one protocol payload, or None on failure.
+
+        For ``Message`` payloads the destination-independent prefix is
+        cached across the back-to-back ``clone_for`` siblings of one
+        broadcast fan-out; only the (dest, msg_id) tail is re-encoded
+        per receiver.
+        """
+        scratch = self._scratch
+        del scratch[:]
+        try:
+            if type(payload) is Message:
+                cached = self._body_cache
+                if cached is not None and payload.wire_shares_body(cached[0]):
+                    self.encode_cache_hits += 1
+                else:
+                    cached = (payload, encode_message_prefix(payload))
+                    self._body_cache = cached
+                scratch += cached[1]
+                encode_message_tail_into(payload, scratch)
+            else:
+                encode_value_into(payload, scratch)
+        except WireError:
+            self.encode_failures += 1
+            return None
+        return bytes(scratch)
+
+    def _encode_gossip_body(self, payload):
+        scratch = self._scratch
+        del scratch[:]
+        encode_value_into(payload, scratch)
+        return bytes(scratch)
+
+    def _send_single(self, frame_type, src, payload, addr):
         try:
             data = encode_frame(frame_type, src, payload)
         except WireError:
             self.encode_failures += 1
-            return None
+            return
         if len(data) > MAX_DATAGRAM_BYTES:
-            self.encode_failures += 1
-            return None
-        return data
+            self._drop_oversize(payload, len(data))
+            return
+        if self._transmit(data, addr):
+            self.datagrams_sent += 1
+            self.frames_sent += 1
+        else:
+            self.frames_dropped += 1
 
+    # ------------------------------------------------------------------
+    # the coalescer
+    # ------------------------------------------------------------------
+    def _enqueue(self, frame_type, dst, addr, body):
+        dest = self._dest_bufs.get(addr)
+        if dest is None:
+            dest = self._dest_bufs[addr] = _DestBuffer(dst, addr)
+        sub_len = SUBFRAME_OVERHEAD + len(body)
+        # budget split: a frame that would overflow the pack flushes what
+        # is pending first and starts a fresh datagram -- never dropped
+        if (dest.frames
+                and self._batch_overhead + len(dest.buf) + sub_len
+                > self.coalesce_max_bytes):
+            self._flush_dest(dest, "size")
+        buf = dest.buf
+        buf.append(frame_type)
+        buf += _pack_u32(len(body))
+        buf += body
+        dest.frames += 1
+        if self._batch_overhead + len(buf) >= self.coalesce_max_bytes:
+            self._flush_dest(dest, "size")
+            return
+        if dest.timer is None:
+            dest.timer = self.clock.schedule(
+                self.coalesce_delay, self._on_flush_timer, addr)
+        if not self._burst_flush_armed:
+            # end-of-burst flush: runs after every callback that was
+            # already ready this event-loop iteration, so frames produced
+            # by the same burst coalesce but nothing waits on a timer
+            self._burst_flush_armed = True
+            self._loop.call_soon(self._on_burst_flush)
+
+    def _on_flush_timer(self, addr):
+        dest = self._dest_bufs.get(addr)
+        if dest is not None and dest.frames:
+            dest.timer = None
+            self._flush_dest(dest, "timer")
+
+    def _on_burst_flush(self):
+        self._burst_flush_armed = False
+        self.flush_pending(reason="burst")
+
+    def flush_pending(self, reason="burst"):
+        """Emit every pending coalescer buffer now (end-of-burst hook;
+        also called by the node runner before its final counter snapshot)."""
+        if self.closed or self.crashed:
+            return
+        for dest in self._dest_bufs.values():
+            if dest.frames:
+                self._flush_dest(dest, reason)
+
+    def _flush_dest(self, dest, reason):
+        if dest.timer is not None:
+            dest.timer.cancel()
+            dest.timer = None
+        count = dest.frames
+        if not count:
+            return
+        buf = dest.buf
+        if count == 1:
+            # a lone frame travels as a plain (non-batch) datagram: the
+            # sub-frame framing is stripped, saving the batch overhead
+            frame_type = buf[0]
+            data = b"".join((self._prefix[frame_type],
+                             bytes(buf[1:])))
+        else:
+            data = b"".join((self._prefix[FRAME_BATCH],
+                             _pack_u32(count), buf))
+        if self._transmit(data, dest.addr):
+            self.datagrams_sent += 1
+            self.frames_sent += count
+            self.flush_reasons[reason] = self.flush_reasons.get(reason, 0) + 1
+            observer = self.observer
+            if observer is not None:
+                hook = getattr(observer, "on_coalesce_flush", None)
+                if hook is not None:
+                    hook(self.node_id, reason, count, len(data))
+        else:
+            self.frames_dropped += count
+        del buf[:]                # reuse the bytearray across flushes
+        dest.frames = 0
+
+    def _drop_pending(self):
+        for dest in self._dest_bufs.values():
+            if dest.timer is not None:
+                dest.timer.cancel()
+                dest.timer = None
+            del dest.buf[:]
+            dest.frames = 0
+
+    def _drop_oversize(self, payload, size):
+        """An encoded frame exceeds the hard datagram ceiling: surface it
+        (metric + one stderr line per kind) instead of a silent vanish."""
+        self.oversize_drops += 1
+        kind = getattr(payload, "kind", None)
+        if kind is None and isinstance(payload, tuple) and payload:
+            kind = payload[0]
+        observer = self.observer
+        if observer is not None:
+            hook = getattr(observer, "on_oversize_drop", None)
+            if hook is not None:
+                hook(self.node_id, kind)
+        if kind not in self._oversize_warned:
+            self._oversize_warned.add(kind)
+            print("repro.runtime: node %r dropping oversize frame kind=%r: "
+                  "%d encoded bytes > %d-byte datagram ceiling"
+                  % (self.node_id, kind, size, MAX_DATAGRAM_BYTES),
+                  file=sys.stderr)
+
+    # ------------------------------------------------------------------
     def _transmit(self, data, addr):
         try:
             self._udp.sendto(data, addr)
@@ -181,39 +468,90 @@ class AsyncioTransport:
         if self.closed or self.crashed:
             return
         self.bytes_in += len(data)
-        try:
-            frame_type, src, payload = decode_frame(data)
-        except WireError as err:
-            self.undecodable += 1
+        frames, errors = decode_datagram(data)
+        if errors:
+            # per-sub-frame attribution: one corrupt sub-frame strikes
+            # its source without discarding decodable siblings
+            self.undecodable += len(errors)
             callback = self.on_undecodable
             if callback is not None:
-                callback(err.src)
+                for err in errors:
+                    callback(err.src)
+        if not frames:
             return
-        if frame_type == FRAME_GOSSIP:
-            if self._gossip_deliver is not None:
-                self.gossips_delivered += 1
-                if self.observer is not None:
-                    self.observer.on_gossip_delivered(self.node_id, src)
-                self._gossip_deliver(src, payload)
-            return
-        if self._deliver is not None:
-            self.datagrams_delivered += 1
+        delivered_any = False
+        batch_src = None
+        batch = None            # accumulated datagram payloads, same src
+        for frame_type, src, payload in frames:
+            if frame_type == FRAME_GOSSIP:
+                if self._gossip_deliver is not None:
+                    self.gossips_delivered += 1
+                    delivered_any = True
+                    if self.observer is not None:
+                        self.observer.on_gossip_delivered(self.node_id, src)
+                    self._gossip_deliver(src, payload)
+                continue
+            if self._deliver is None:
+                continue
+            delivered_any = True
+            self.frames_delivered += 1
             if self.observer is not None:
-                self.observer.on_datagram_delivered(self.node_id, src, payload)
-            self._deliver(src, payload)
+                self.observer.on_datagram_delivered(self.node_id, src,
+                                                    payload)
+            if batch is not None and src != batch_src:
+                self._deliver_batch(batch_src, batch)
+                batch = None
+            if batch is None:
+                batch_src, batch = src, []
+            batch.append(payload)
+        if batch is not None:
+            self._deliver_batch(batch_src, batch)
+        if delivered_any:
+            self.datagrams_delivered += 1
+
+    def _deliver_batch(self, src, payloads):
+        """Drain all sub-frames from one source into the stack at once.
+
+        A multi-frame batch enters the bottom layer as one ``("pack",
+        (msg, ...))`` container -- one per-datagram CPU charge and one
+        scheduler callback for the whole batch, the same contract the
+        simulator's pack queues have.  Payloads that are themselves pack
+        containers are flattened in wire order.
+        """
+        if len(payloads) == 1:
+            self._deliver(src, payloads[0])
+            return
+        msgs = []
+        for payload in payloads:
+            if (isinstance(payload, tuple) and len(payload) == 2
+                    and payload[0] == "pack"
+                    and isinstance(payload[1], tuple)):
+                msgs.extend(payload[1])
+            else:
+                msgs.append(payload)
+        self._deliver(src, ("pack", tuple(msgs)))
 
     # ------------------------------------------------------------------
     def counters(self):
         """Snapshot of the transport counters (for reports/benchmarks)."""
-        return {
+        snapshot = {
             "datagrams_sent": self.datagrams_sent,
             "datagrams_dropped": self.datagrams_dropped,
             "datagrams_delivered": self.datagrams_delivered,
+            "frames_sent": self.frames_sent,
+            "frames_delivered": self.frames_delivered,
+            "frames_dropped": self.frames_dropped,
             "gossips_sent": self.gossips_sent,
             "gossips_delivered": self.gossips_delivered,
+            "gossip_drops": self.gossip_drops,
             "undecodable": self.undecodable,
             "encode_failures": self.encode_failures,
+            "encode_cache_hits": self.encode_cache_hits,
+            "oversize_drops": self.oversize_drops,
             "socket_errors": self.socket_errors,
             "bytes_out": self.bytes_out,
             "bytes_in": self.bytes_in,
         }
+        for reason, count in self.flush_reasons.items():
+            snapshot["flush_" + reason] = count
+        return snapshot

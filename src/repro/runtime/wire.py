@@ -15,6 +15,23 @@ reaches into message internals).  The body of a datagram frame is either
 one ``Message`` or the bottom layer's ``("pack", (msg, ...))`` container;
 the body of a gossip frame is the plain gossip payload tuple.
 
+Version 2 adds the **batch container** the transport's datagram coalescer
+emits -- many protocol frames from one source in one UDP datagram::
+
+    batch := MAGIC(2) VERSION(1) FRAME_BATCH(1) src:value COUNT(4)
+             { SUBTYPE(1) BODYLEN(4) body:value } * COUNT
+
+Sub-frame bodies are individually length-prefixed, so decoding stays
+total *per sub-frame*: a bit flip inside one body is attributed to the
+frame's source (:func:`decode_datagram` collects it as a
+:class:`WireError`) while every sibling sub-frame is still delivered --
+the length prefix is the resynchronization point.  Only damage to the
+batch header or to a sub-frame's own framing (type byte, length) loses
+the rest of the datagram, exactly the blast radius a single v1 frame
+already had.  v1 frames remain decodable (the single-frame layout is
+unchanged; only the version byte moved), so a mixed-version cluster
+drains in-flight traffic across an upgrade.
+
 Decoding is *total*: any input -- truncated, bit-flipped, or random
 garbage -- either yields a value or raises :class:`WireError`; it never
 raises anything else, never loops, and never allocates more than a small
@@ -36,13 +53,21 @@ from __future__ import annotations
 import struct
 
 MAGIC = b"JB"
-WIRE_VERSION = 1
+WIRE_VERSION = 2
+
+#: versions this decoder accepts (v1 single frames share the v2 layout)
+DECODABLE_VERSIONS = (1, 2)
 
 #: frame types
 FRAME_DATAGRAM = 1   # unicast protocol datagram (Message or pack container)
 FRAME_GOSSIP = 2     # gossip-bus announcement (plain payload)
+FRAME_BATCH = 3      # v2 coalescer container: many sub-frames, one source
 
+#: types a frame may carry on its own (a batch is never nested)
 _FRAME_TYPES = (FRAME_DATAGRAM, FRAME_GOSSIP)
+
+#: per-sub-frame framing overhead inside a batch: type byte + length
+SUBFRAME_OVERHEAD = 5
 
 #: value tags (one byte each)
 _T_NONE = 0x00
@@ -93,6 +118,75 @@ def encode_value(obj):
     """Encode one value; raises :class:`WireError` on unsupported types."""
     out = bytearray()
     _encode(obj, out, 0)
+    return bytes(out)
+
+
+def encode_value_into(obj, out, depth=0):
+    """Encode one value into a caller-owned (reusable) bytearray.
+
+    The hot-path variant of :func:`encode_value`: the transport keeps one
+    scratch buffer per socket and clears it between frames, so steady-state
+    encoding allocates no fresh ``bytearray`` per frame.
+    """
+    _encode(obj, out, depth)
+
+
+def encode_message_prefix(msg):
+    """The destination-independent leading bytes of one encoded Message.
+
+    ``clone_for`` fan-out siblings share every wire field except the
+    trailing ``(dest, msg_id)`` pair (:meth:`Message.wire_shared_fields`),
+    so a broadcast to n-1 receivers can serialize this prefix once and
+    append only the per-destination tail.  The output is the exact byte
+    prefix :func:`encode_value` would produce for the whole message.
+    """
+    out = bytearray()
+    out.append(_T_MESSAGE)
+    for field in msg.wire_shared_fields():
+        _encode(field, out, 1)
+    return bytes(out)
+
+
+def encode_message_tail_into(msg, out):
+    """Append the per-destination tail fields after a shared prefix."""
+    for field in msg.wire_tail_fields():
+        _encode(field, out, 1)
+
+
+def frame_prefix(frame_type, src):
+    """``MAGIC VERSION FRAMETYPE src`` -- everything before the length.
+
+    Constant per (frame type, source), so a transport precomputes one per
+    frame type and assembles each outgoing datagram as
+    ``prefix + u32(len(body)) + body`` (or ``prefix + u32(count) + subframes``
+    for :data:`FRAME_BATCH`) without re-encoding its own node id.
+    """
+    out = bytearray(MAGIC)
+    out.append(WIRE_VERSION)
+    out.append(frame_type)
+    _encode(src, out, 0)
+    return bytes(out)
+
+
+def encode_subframe_into(frame_type, body, out):
+    """Append one batch sub-frame (``SUBTYPE BODYLEN body``) to ``out``."""
+    if frame_type not in _FRAME_TYPES:
+        raise WireError("unknown sub-frame type %r" % (frame_type,))
+    out.append(frame_type)
+    out += _pack_u32(len(body))
+    out += body
+
+
+def encode_batch(src, subframes):
+    """One batch datagram from ``[(frame_type, payload), ...]``.
+
+    The transport assembles batches incrementally from already-encoded
+    bodies; this convenience encoder (tests, tooling) takes raw payloads.
+    """
+    out = bytearray(frame_prefix(FRAME_BATCH, src))
+    out += _pack_u32(len(subframes))
+    for frame_type, payload in subframes:
+        encode_subframe_into(frame_type, encode_value(payload), out)
     return bytes(out)
 
 
@@ -304,7 +398,7 @@ def decode_frame(data):
         _need(data, 0, 4)
         if bytes(data[:2]) != MAGIC:
             raise WireError("bad magic %r" % (bytes(data[:2]),))
-        if data[2] != WIRE_VERSION:
+        if data[2] not in DECODABLE_VERSIONS:
             raise WireError("unsupported wire version %d" % data[2])
         frame_type = data[3]
         if frame_type not in _FRAME_TYPES:
@@ -326,3 +420,73 @@ def decode_frame(data):
         raise
     except Exception as err:   # struct errors, recursion, anything exotic
         raise WireError("undecodable datagram: %s" % err, src=src)
+
+
+def decode_datagram(data):
+    """Total, batch-aware decode of one received UDP datagram.
+
+    Returns ``(frames, errors)`` where ``frames`` is ``[(frame_type, src,
+    payload), ...]`` in wire order and ``errors`` is a list of
+    :class:`WireError` (one per undecodable frame or sub-frame, each
+    carrying ``err.src`` when the source survived).  Never raises: a
+    plain frame yields one entry on exactly one of the two lists; inside
+    a batch, a corrupt sub-frame *body* lands on ``errors`` while its
+    siblings -- located through the per-sub-frame length prefix -- still
+    decode.  Damage to the batch header or to sub-frame framing itself
+    drops the remainder of the datagram with a single error, the same
+    blast radius a v1 frame had.
+    """
+    if len(data) < 4 or bytes(data[:2]) != MAGIC or data[3] != FRAME_BATCH:
+        try:
+            return [decode_frame(data)], []
+        except WireError as err:
+            return [], [err]
+    frames, errors = [], []
+    src = None
+    try:
+        if data[2] != WIRE_VERSION:   # batches exist only from v2 on
+            raise WireError("unsupported batch wire version %d" % data[2])
+        src, offset = _decode(data, 4, 0)
+        count, offset = _count(data, offset,
+                               minimum_item_bytes=SUBFRAME_OVERHEAD + 1)
+    except WireError as err:
+        if err.src is None:
+            err.src = src
+        return frames, [err]
+    except Exception as err:
+        return frames, [WireError("undecodable batch header: %s" % err,
+                                  src=src)]
+    for _ in range(count):
+        try:
+            _need(data, offset, SUBFRAME_OVERHEAD)
+            sub_type = data[offset]
+            if sub_type not in _FRAME_TYPES:
+                raise WireError("unknown sub-frame type %d" % sub_type,
+                                src=src)
+            body_len = _unpack_u32(data, offset + 1)[0]
+            offset += SUBFRAME_OVERHEAD
+            _need(data, offset, body_len)
+        except WireError as err:
+            # framing damage: the resynchronization point itself is gone
+            if err.src is None:
+                err.src = src
+            errors.append(err)
+            return frames, errors
+        end = offset + body_len
+        body = bytes(data[offset:end])
+        try:
+            payload, stop = _decode(body, 0, 0)
+            if stop != len(body):
+                raise WireError("trailing garbage in sub-frame", src=src)
+            frames.append((sub_type, src, payload))
+        except WireError as err:
+            if err.src is None:
+                err.src = src
+            errors.append(err)
+        except Exception as err:
+            errors.append(WireError("undecodable sub-frame: %s" % err,
+                                    src=src))
+        offset = end              # resync to the next length-prefixed frame
+    if offset != len(data):
+        errors.append(WireError("trailing garbage after batch", src=src))
+    return frames, errors

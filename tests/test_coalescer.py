@@ -1,0 +1,398 @@
+"""Unit tests for the transport's wire-path aggregation (socket-free).
+
+The datagram coalescer, the encode-once fan-out cache, and the
+batch-receive drain live in :class:`repro.runtime.transport
+.AsyncioTransport` but are pure buffer/callback logic: these tests drive
+them with a fake event loop, a fake clock, and a recording fake UDP
+endpoint -- no sockets, no asyncio loop, tier-1 safe.
+
+Covered contracts:
+
+* frames to one destination coalesce into one FRAME_BATCH datagram at
+  the end-of-burst flush; a lone frame travels as a plain v1-layout
+  frame (no batch overhead);
+* the byte budget splits, never drops: an overflowing pack is flushed
+  and the frame starts a fresh datagram;
+* oversize frames (over the hard datagram ceiling) are dropped loudly:
+  counter, observer hook, one stderr line per frame kind;
+* the backstop timer flushes when no burst flush happens;
+* clone_for fan-out hits the encode-once cache and the emitted bytes
+  are identical to encoding each clone from scratch;
+* gossip_cast counts a send only if >=1 transmit succeeded and accounts
+  per-address failures (the counter-drift fix);
+* a received batch enters the stack as ONE ``("pack", ...)`` container
+  (nested pack payloads flattened), and a corrupt sub-frame feeds
+  ``on_undecodable`` for that sub-frame only while siblings deliver;
+* crash drops pending buffers, graceful close flushes them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.message import Message
+from repro.core.view import ViewId
+from repro.runtime.transport import MAX_DATAGRAM_BYTES, AsyncioTransport
+from repro.runtime.wire import (
+    FRAME_BATCH,
+    FRAME_DATAGRAM,
+    decode_datagram,
+    decode_frame,
+    encode_frame,
+    encode_value,
+)
+
+
+class FakeTimer:
+    def __init__(self):
+        self.cancelled = False
+
+    def cancel(self):
+        self.cancelled = True
+
+
+class FakeClock:
+    """Records schedule() calls; fire_all() runs pending callbacks."""
+
+    def __init__(self):
+        self.scheduled = []   # (delay, callback, args, timer)
+
+    def schedule(self, delay, callback, *args):
+        timer = FakeTimer()
+        self.scheduled.append((delay, callback, args, timer))
+        return timer
+
+    def fire_all(self):
+        pending, self.scheduled = self.scheduled, []
+        for _delay, callback, args, timer in pending:
+            if not timer.cancelled:
+                callback(*args)
+
+
+class FakeLoop:
+    """Collects call_soon callbacks; drain() runs them (one 'iteration')."""
+
+    def __init__(self):
+        self.ready = []
+
+    def call_soon(self, callback, *args):
+        self.ready.append((callback, args))
+
+    def drain(self):
+        ready, self.ready = self.ready, []
+        for callback, args in ready:
+            callback(*args)
+
+
+class FakeUdp:
+    """Recording sendto endpoint; per-address failure injection."""
+
+    def __init__(self):
+        self.sent = []        # (data, addr)
+        self.fail_addrs = set()
+
+    def sendto(self, data, addr):
+        if addr in self.fail_addrs:
+            raise OSError("injected")
+        self.sent.append((bytes(data), addr))
+
+    def close(self):
+        pass
+
+
+ADDRS = {0: ("127.0.0.1", 40000), 1: ("127.0.0.1", 40001),
+         2: ("127.0.0.1", 40002), 3: ("127.0.0.1", 40003)}
+
+
+def make_transport(node_id=0, coalescing=True):
+    transport = AsyncioTransport(FakeClock(), node_id, ADDRS, loop=FakeLoop())
+    transport._udp = FakeUdp()
+    transport.coalescing = coalescing
+    return transport
+
+
+def msg(kind="cast", origin=0, payload=("data", 1), dest=None, msg_id=None):
+    m = Message(kind, origin, ViewId(1, 0), payload, payload_size=16,
+                dest=dest, msg_id=msg_id)
+    m.signature = ("sig", origin)
+    return m
+
+
+# ----------------------------------------------------------------------
+# coalescing
+# ----------------------------------------------------------------------
+def test_burst_coalesces_into_one_batch_datagram():
+    t = make_transport()
+    for k in range(5):
+        t.send(0, 1, 100, msg(msg_id=("m", k)))
+    assert t._udp.sent == []          # nothing on the wire mid-burst
+    t._loop.drain()                   # end-of-burst flush
+    assert len(t._udp.sent) == 1
+    data, addr = t._udp.sent[0]
+    assert addr == ADDRS[1]
+    assert data[3] == FRAME_BATCH
+    frames, errors = decode_datagram(data)
+    assert errors == []
+    assert [f[2].msg_id for f in frames] == [("m", k) for k in range(5)]
+    assert t.datagrams_sent == 1
+    assert t.frames_sent == 5
+    assert t.flush_reasons["burst"] == 1
+
+
+def test_lone_frame_travels_as_plain_frame():
+    t = make_transport()
+    t.send(0, 1, 100, msg(msg_id=("solo",)))
+    t._loop.drain()
+    assert len(t._udp.sent) == 1
+    data, _addr = t._udp.sent[0]
+    assert data[3] == FRAME_DATAGRAM      # batch overhead stripped
+    frame_type, src, payload = decode_frame(data)
+    assert (frame_type, src) == (FRAME_DATAGRAM, 0)
+    assert payload.msg_id == ("solo",)
+
+
+def test_destinations_get_separate_datagrams():
+    t = make_transport()
+    t.send(0, 1, 100, msg(msg_id=("a",)))
+    t.send(0, 2, 100, msg(msg_id=("b",)))
+    t._loop.drain()
+    assert sorted(addr for _d, addr in t._udp.sent) \
+        == sorted((ADDRS[1], ADDRS[2]))
+
+
+def test_size_budget_splits_instead_of_dropping():
+    t = make_transport()
+    t.coalesce_max_bytes = 600
+    for k in range(6):
+        t.send(0, 1, 100, msg(payload=("blob", "x" * 100, k)))
+    t._loop.drain()
+    assert len(t._udp.sent) >= 2          # split across datagrams...
+    total = []
+    for data, _addr in t._udp.sent:
+        frames, errors = decode_datagram(data)
+        assert errors == []
+        total.extend(f[2].payload[2] for f in frames)
+    assert total == list(range(6))        # ...nothing dropped, in order
+    assert t.flush_reasons["size"] >= 1
+    assert t.frames_sent == 6
+
+
+def test_oversize_frame_dropped_loudly(capsys):
+    t = make_transport()
+    calls = []
+
+    class Obs:
+        def on_oversize_drop(self, node, kind):
+            calls.append((node, kind))
+
+        def on_datagram_sent(self, *a):
+            pass
+
+    t.observer = Obs()
+    t.send(0, 1, 100, msg(kind="frag", payload=("x" * (MAX_DATAGRAM_BYTES))))
+    t._loop.drain()
+    assert t._udp.sent == []
+    assert t.oversize_drops == 1
+    assert calls == [(0, "frag")]
+    err = capsys.readouterr().err
+    assert "oversize" in err and "frag" in err
+    # warn once per kind: a second drop is counted but not re-printed
+    t.send(0, 1, 100, msg(kind="frag", payload=("y" * (MAX_DATAGRAM_BYTES))))
+    assert t.oversize_drops == 2
+    assert "frag" not in capsys.readouterr().err
+
+
+def test_backstop_timer_flushes_without_burst_flush():
+    t = make_transport()
+    t.send(0, 1, 100, msg())
+    assert t._udp.sent == []
+    t.clock.fire_all()                    # timer fires before any drain
+    assert len(t._udp.sent) == 1
+    assert t.flush_reasons["timer"] == 1
+    t._loop.drain()                       # late burst flush: nothing left
+    assert len(t._udp.sent) == 1
+
+
+def test_flush_cancels_backstop_timer():
+    t = make_transport()
+    t.send(0, 1, 100, msg())
+    t._loop.drain()
+    assert all(timer.cancelled for _d, _c, _a, timer in t.clock.scheduled)
+
+
+def test_coalescing_off_sends_immediately():
+    t = make_transport(coalescing=False)
+    t.send(0, 1, 100, msg(msg_id=("now",)))
+    assert len(t._udp.sent) == 1          # no buffering at all
+    frame_type, src, payload = decode_frame(t._udp.sent[0][0])
+    assert payload.msg_id == ("now",)
+    assert t.datagrams_sent == 1 and t.frames_sent == 1
+
+
+# ----------------------------------------------------------------------
+# encode-once fan-out
+# ----------------------------------------------------------------------
+def test_fanout_hits_encode_cache_with_identical_bytes():
+    t = make_transport()
+    base = msg(msg_id=("bcast",))
+    clones = [base.clone_for(dst) for dst in (1, 2, 3)]
+    for clone in clones:
+        t.send(0, clone.dest, 100, clone)
+    assert t.encode_cache_hits == 2       # first clone misses, siblings hit
+    t._loop.drain()
+    for (data, _addr), clone in zip(t._udp.sent, clones):
+        frames, errors = decode_datagram(data)
+        assert errors == []
+        # cache-assembled bytes == from-scratch encoding of the clone
+        assert data.endswith(encode_value(clone))
+        assert frames[0][2].wire_fields() == clone.wire_fields()
+
+
+def test_diverged_clone_misses_cache():
+    t = make_transport()
+    base = msg(msg_id=("bcast",))
+    first = base.clone_for(1)
+    second = base.clone_for(2)
+    second.push_header("inc", 7)          # COW divergence
+    t.send(0, 1, 100, first)
+    t.send(0, 2, 100, second)
+    assert t.encode_cache_hits == 0
+    t._loop.drain()
+    frames, _ = decode_datagram(t._udp.sent[1][0])
+    assert frames[0][2].header("inc") == 7
+
+
+# ----------------------------------------------------------------------
+# gossip accounting (the counter-drift fix)
+# ----------------------------------------------------------------------
+def test_gossip_cast_not_counted_when_every_transmit_fails():
+    t = make_transport()
+    t._udp.fail_addrs = set(ADDRS.values())
+    t.gossip_cast(0, 64, ("announce", 1))
+    assert t.gossips_sent == 0
+    assert t.gossip_drops == len(ADDRS) - 1
+
+
+def test_gossip_cast_counts_partial_fanout_once():
+    t = make_transport()
+    t._udp.fail_addrs = {ADDRS[2]}
+    t.gossip_cast(0, 64, ("announce", 2))
+    assert t.gossips_sent == 1            # reached someone
+    assert t.gossip_drops == 1            # the failed address accounted
+    assert len(t._udp.sent) == len(ADDRS) - 2
+
+
+# ----------------------------------------------------------------------
+# receive-side batch drain
+# ----------------------------------------------------------------------
+def collect_deliveries(t):
+    inbox = []
+    t.attach(t.node_id, lambda src, payload: inbox.append((src, payload)))
+    return inbox
+
+
+def test_batch_delivered_as_one_pack_container():
+    receiver = make_transport(node_id=1)
+    inbox = collect_deliveries(receiver)
+    sender = make_transport(node_id=0)
+    for k in range(3):
+        sender.send(0, 1, 100, msg(msg_id=("m", k)))
+    sender._loop.drain()
+    receiver._on_datagram(sender._udp.sent[0][0], ADDRS[0])
+    assert len(inbox) == 1                # ONE deliver call for the batch
+    src, payload = inbox[0]
+    assert src == 0
+    assert payload[0] == "pack"
+    assert [m.msg_id for m in payload[1]] == [("m", k) for k in range(3)]
+    assert receiver.datagrams_delivered == 1
+    assert receiver.frames_delivered == 3
+
+
+def test_nested_pack_payloads_flatten():
+    receiver = make_transport(node_id=1)
+    inbox = collect_deliveries(receiver)
+    sender = make_transport(node_id=0)
+    # the bottom layer's own pack containers ride the coalescer too
+    sender.send(0, 1, 100, ("pack", (msg(msg_id=("p", 0)),
+                                     msg(msg_id=("p", 1)))))
+    sender.send(0, 1, 100, msg(msg_id=("q",)))
+    sender._loop.drain()
+    receiver._on_datagram(sender._udp.sent[0][0], ADDRS[0])
+    (src, payload), = inbox
+    assert payload[0] == "pack"
+    assert [m.msg_id for m in payload[1]] == [("p", 0), ("p", 1), ("q",)]
+
+
+def test_corrupt_subframe_strikes_source_and_spares_siblings():
+    receiver = make_transport(node_id=1)
+    inbox = collect_deliveries(receiver)
+    strikes = []
+    receiver.on_undecodable = strikes.append
+    sender = make_transport(node_id=0)
+    for k in range(3):
+        sender.send(0, 1, 100, msg(msg_id=("m", k)))
+    sender._loop.drain()
+    data = bytearray(sender._udp.sent[0][0])
+    # smash the LAST sub-frame's value tag (offset of its body start)
+    bodies = [encode_value(msg(msg_id=("m", k))) for k in range(3)]
+    data[len(data) - len(bodies[2])] = 0xFF
+    receiver._on_datagram(bytes(data), ADDRS[0])
+    assert strikes == [0]                 # attributed to the claimed source
+    assert receiver.undecodable == 1
+    (_src, payload), = inbox              # siblings still delivered...
+    assert [m.msg_id for m in payload[1]] == [("m", 0), ("m", 1)]
+    assert receiver.frames_delivered == 2
+
+
+def test_single_frame_delivers_unwrapped():
+    receiver = make_transport(node_id=1)
+    inbox = collect_deliveries(receiver)
+    frame = encode_frame(FRAME_DATAGRAM, 0, msg(msg_id=("one",)))
+    receiver._on_datagram(frame, ADDRS[0])
+    (src, payload), = inbox
+    assert src == 0 and payload.msg_id == ("one",)
+
+
+# ----------------------------------------------------------------------
+# lifecycle
+# ----------------------------------------------------------------------
+def test_crash_drops_pending_close_flushes():
+    t = make_transport()
+    t.send(0, 1, 100, msg())
+    t.crash(0)
+    assert t._udp is None or t._udp.sent == []
+    assert t.datagrams_sent == 0          # crash semantics: buffer dropped
+
+    t2 = make_transport()
+    t2.send(0, 1, 100, msg(msg_id=("late",)))
+    udp = t2._udp
+    t2.close()                            # graceful: drains first
+    assert len(udp.sent) == 1
+    assert t2.flush_reasons["final"] == 1
+
+
+def test_send_after_close_is_counted_dropped():
+    t = make_transport()
+    t.close()
+    t.send(0, 1, 100, msg())
+    assert t.datagrams_dropped == 1
+
+
+# ----------------------------------------------------------------------
+# configure: one packing policy shared with the sim pack queues
+# ----------------------------------------------------------------------
+def test_configure_adopts_stack_packing_policy():
+    from repro.core.config import StackConfig
+    t = make_transport()
+    t.configure(StackConfig(wire_coalesce=False, wire_mtu=9000,
+                            wire_coalesce_delay=0.005))
+    assert t.coalescing is False
+    assert t.coalesce_max_bytes == 9000
+    assert t.coalesce_delay == 0.005
+    # the backstop delay defaults to the shared packing_delay
+    t.configure(StackConfig(packing_delay=0.0042))
+    assert t.coalescing is True
+    assert t.coalesce_delay == 0.0042
+    # the wire budget is capped at the hard datagram ceiling
+    t.configure(StackConfig(wire_mtu=10 ** 9))
+    assert t.coalesce_max_bytes == MAX_DATAGRAM_BYTES

@@ -96,6 +96,28 @@ def test_net_smoke_byzantine_config():
         assert report.wall["delivered"] == total, (node, report.wall)
 
 
+def test_conformance_coalescing_off():
+    """The wire coalescer is an optimization, not a protocol change: with
+    ``wire_coalesce`` off the cluster must still converge and deliver in
+    order -- and emit measurably more (uncoalesced) datagrams."""
+    workload = NetWorkload(n=5, casts_per_node=3, leaver=None)
+    off = run_net_workload(workload, seed=6,
+                           config=dict(BYZ, wire_coalesce=False),
+                           wall_timeout=NET_WALL_BUDGET)
+    _assert_healthy(off, workload)
+    on = run_net_workload(workload, seed=6, config=BYZ,
+                          wall_timeout=NET_WALL_BUDGET)
+    _assert_healthy(on, workload)
+    datagrams_off = sum(r.counters.get("datagrams_sent", 0)
+                        for r in off.reports.values())
+    datagrams_on = sum(r.counters.get("datagrams_sent", 0)
+                       for r in on.reports.values())
+    frames_on = sum(r.counters.get("frames_sent", 0)
+                    for r in on.reports.values())
+    assert datagrams_on < datagrams_off, (datagrams_on, datagrams_off)
+    assert frames_on >= datagrams_on
+
+
 def test_net_teardown_releases_resources():
     """Satellite: GroupProcess.stop + runtime close leave no pending
     asyncio timers and close the UDP socket on every node."""

@@ -106,6 +106,20 @@ def test_parity_gossip_acks():
                   n=6, ops=5, allow=("cast_burst", "run"))
 
 
+def test_parity_wire_knobs():
+    """The wire-path coalescing knobs live strictly below the ``network``
+    seam: the simulator never reads them, so any combination must leave
+    the simulated history byte-identical per seed."""
+    base = run_scenario(505, StackConfig.byz(crypto="sym"))
+    for overrides in (dict(wire_coalesce=False),
+                      dict(wire_mtu=1000, wire_coalesce_delay=0.1),
+                      dict(wire_coalesce=False, wire_mtu=64000)):
+        variant = run_scenario(
+            505, StackConfig.byz(crypto="sym").clone(**overrides))
+        assert variant == base, \
+            "sim history depends on wire knobs %r" % (overrides,)
+
+
 def test_switches_restore():
     with switches(cache=False, token_mode="content", incremental=False):
         assert Message.auth_cache_enabled is False

@@ -27,15 +27,21 @@ from repro import Group, StackConfig
 from repro.core.message import Message
 from repro.core.view import ViewId
 from repro.runtime.wire import (
+    FRAME_BATCH,
     FRAME_DATAGRAM,
     FRAME_GOSSIP,
     MAGIC,
     WIRE_VERSION,
     WireError,
+    decode_datagram,
     decode_frame,
     decode_value,
+    encode_batch,
     encode_frame,
+    encode_message_prefix,
+    encode_message_tail_into,
     encode_value,
+    frame_prefix,
 )
 
 # ----------------------------------------------------------------------
@@ -234,6 +240,151 @@ def test_undecodable_rejects_feed_corruption_threshold():
         assert bottom.dropped_undecodable == 1 + threshold
     finally:
         group.stop()
+
+
+# ----------------------------------------------------------------------
+# 4. v2 batch container (the wire coalescer's frame format)
+# ----------------------------------------------------------------------
+subframe_lists = st.lists(
+    st.tuples(st.sampled_from([FRAME_DATAGRAM, FRAME_GOSSIP]), values),
+    min_size=1, max_size=6)
+
+
+@given(st.integers(0, 1 << 20), subframe_lists)
+def test_batch_round_trip(src, subframes):
+    frames, errors = decode_datagram(encode_batch(src, subframes))
+    assert errors == []
+    assert frames == [(ft, src, payload) for ft, payload in subframes]
+
+
+@given(st.sampled_from([FRAME_DATAGRAM, FRAME_GOSSIP]),
+       st.integers(0, 1 << 20), values)
+def test_decode_datagram_handles_plain_frames(frame_type, src, payload):
+    # non-batch datagrams take the v1-compatible single-frame path
+    frames, errors = decode_datagram(encode_frame(frame_type, src, payload))
+    assert errors == []
+    assert frames == [(frame_type, src, payload)]
+
+
+@given(values)
+def test_v1_frames_still_decode(payload):
+    # v1's single-frame layout is unchanged -- only the version byte moved
+    frame = bytearray(encode_frame(FRAME_DATAGRAM, 9, payload))
+    assert frame[2] == WIRE_VERSION
+    frame[2] = 1
+    assert decode_frame(bytes(frame)) == (FRAME_DATAGRAM, 9, payload)
+    frames, errors = decode_datagram(bytes(frame))
+    assert errors == []
+    assert frames == [(FRAME_DATAGRAM, 9, payload)]
+
+
+def test_batches_require_v2():
+    batch = bytearray(encode_batch(4, [(FRAME_DATAGRAM, ("a",))]))
+    batch[2] = 1
+    frames, errors = decode_datagram(bytes(batch))
+    assert frames == []
+    assert len(errors) == 1
+
+
+@given(st.binary(max_size=300))
+def test_decode_datagram_is_total_on_garbage(data):
+    frames, errors = decode_datagram(data)
+    assert isinstance(frames, list) and isinstance(errors, list)
+    for err in errors:
+        assert isinstance(err, WireError)
+
+
+@given(subframe_lists, st.data())
+def test_bit_flipped_batches_never_crash(subframes, data):
+    batch = bytearray(encode_batch(3, subframes))
+    bit = data.draw(st.integers(0, len(batch) * 8 - 1))
+    batch[bit // 8] ^= 1 << (bit % 8)
+    frames, errors = decode_datagram(bytes(batch))
+    for err in errors:
+        assert isinstance(err, WireError)
+    # whatever survived must still be well-formed triples
+    for frame in frames:
+        assert len(frame) == 3
+
+
+def test_corrupt_subframe_spares_siblings():
+    """A bit flip inside one sub-frame body is attributed to the source
+    while every sibling sub-frame still decodes (the length prefix is
+    the resynchronization point)."""
+    payloads = [("first", 1), ("second", 2), ("third", 3)]
+    batch = bytearray(encode_batch(
+        6, [(FRAME_DATAGRAM, p) for p in payloads]))
+    # smash the middle sub-frame's leading value tag: its body becomes
+    # undecodable while the third sub-frame's framing is untouched
+    middle_body = (len(frame_prefix(FRAME_BATCH, 6)) + 4
+                   + 5 + len(encode_value(payloads[0])) + 5)
+    batch[middle_body] = 0xFF
+    frames, errors = decode_datagram(bytes(batch))
+    assert [f[2] for f in frames] == [payloads[0], payloads[2]]
+    assert len(errors) == 1
+    assert errors[0].src == 6
+
+
+def test_corrupt_subframe_attributes_falsy_source():
+    # node id 0 is falsy: attribution must use an `is None` check, not
+    # truthiness, or node 0's corruption would read as unattributable
+    batch = bytearray(encode_batch(
+        0, [(FRAME_DATAGRAM, ("a", 1)), (FRAME_DATAGRAM, ("b", 2))]))
+    batch[-len(encode_value(("b", 2)))] = 0xFF   # second body's value tag
+    frames, errors = decode_datagram(bytes(batch))
+    assert len(frames) == 1 and len(errors) == 1
+    assert errors[0].src == 0
+
+
+def test_truncated_batch_keeps_decoded_prefix():
+    # framing damage (the datagram cut mid-sub-frame) loses the rest of
+    # the batch but keeps everything decoded before the cut
+    batch = encode_batch(2, [(FRAME_DATAGRAM, ("x",)),
+                             (FRAME_DATAGRAM, ("y",))])
+    frames, errors = decode_datagram(batch[:-3])
+    assert [f[2] for f in frames] == [("x",)]
+    assert len(errors) == 1 and errors[0].src == 2
+
+
+def test_trailing_garbage_after_batch_flagged():
+    batch = encode_batch(5, [(FRAME_DATAGRAM, ("x",))])
+    frames, errors = decode_datagram(batch + b"\x00\x01")
+    assert [f[2] for f in frames] == [("x",)]
+    assert len(errors) == 1
+
+
+def test_nested_batch_rejected():
+    # FRAME_BATCH is not a legal sub-frame type (no recursion)
+    with pytest.raises(WireError):
+        encode_batch(1, [(FRAME_BATCH, ("x",))])
+    batch = bytearray(encode_batch(1, [(FRAME_DATAGRAM, ("x",))]))
+    batch[len(frame_prefix(FRAME_BATCH, 1)) + 4] = FRAME_BATCH
+    # hand-forged on the wire: framing damage, one error, no frames
+    frames, errors = decode_datagram(bytes(batch))
+    assert frames == []
+    assert len(errors) == 1
+
+
+@given(messages, st.integers(0, 64), st.one_of(st.none(), st.integers(0, 64)))
+def test_shared_prefix_plus_tail_equals_full_encoding(msg, dest, msg_id):
+    """The encode-once fan-out seam: shared prefix + per-destination tail
+    must be byte-identical to encoding the clone outright."""
+    msg.msg_id = msg_id
+    clone = msg.clone_for(dest)
+    out = bytearray(encode_message_prefix(msg))
+    encode_message_tail_into(clone, out)
+    assert bytes(out) == encode_value(clone)
+    assert decode_value(bytes(out)).wire_fields() == clone.wire_fields()
+
+
+@given(st.sampled_from([FRAME_DATAGRAM, FRAME_GOSSIP]),
+       st.integers(0, 1 << 20), values)
+def test_frame_prefix_assembly_matches_encode_frame(frame_type, src, payload):
+    import struct
+    body = encode_value(payload)
+    assembled = (frame_prefix(frame_type, src)
+                 + struct.pack("!I", len(body)) + body)
+    assert assembled == encode_frame(frame_type, src, payload)
 
 
 def test_undecodable_ignores_strangers_and_stopped_stacks():
