@@ -32,7 +32,12 @@ from repro.byzantine.behaviors import (
     TwoFacedCaster,
     VerboseNode,
 )
-from repro.core.config import StackConfig
+from repro.core.config import (
+    ChaosConfig,
+    ShardConfig,
+    StackConfig,
+    WireConfig,
+)
 from repro.core.endpoint import GroupEndpoint
 from repro.core.events import BlockEvent, CastDeliver, SendDeliver, ViewEvent
 from repro.core.group import Group
@@ -42,6 +47,16 @@ from repro.core.properties import check_virtual_synchrony
 from repro.core.view import View, ViewId, singleton_view
 from repro.obs import MetricsRegistry, ObsConfig, ObservabilityPlane, Trace
 from repro.runtime import Runtime, SimRuntime
+from repro.shard import (
+    Cluster,
+    HashRing,
+    ShardDirectory,
+    ShardManager,
+    ShardReplica,
+    ShardedKVStore,
+    ShardedRSM,
+    TransferCoordinator,
+)
 from repro.sim.network import NetworkConfig
 from repro.sim.topology import HostModel
 
@@ -52,12 +67,15 @@ __all__ = [
     "BlockEvent",
     "ByzantineBehavior",
     "CastDeliver",
+    "ChaosConfig",
+    "Cluster",
     "Execution",
     "Field",
     "ForgedRetransmitter",
     "Group",
     "GroupEndpoint",
     "GroupProcess",
+    "HashRing",
     "History",
     "HostModel",
     "MetricsRegistry",
@@ -69,16 +87,24 @@ __all__ = [
     "Replayer",
     "Runtime",
     "SendDeliver",
+    "ShardConfig",
+    "ShardDirectory",
+    "ShardManager",
+    "ShardReplica",
+    "ShardedKVStore",
+    "ShardedRSM",
     "SimRuntime",
     "SlowNode",
     "StackConfig",
     "Trace",
+    "TransferCoordinator",
     "TwoFacedCaster",
     "VerboseNode",
     "View",
     "ViewEvent",
     "ViewId",
+    "WireConfig",
+    "__version__",
     "check_virtual_synchrony",
     "singleton_view",
-    "__version__",
 ]

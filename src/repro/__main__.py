@@ -210,6 +210,47 @@ def cmd_net(args):
                  and result.common_final_members() is not None) else 1
 
 
+def cmd_shards(args):
+    """Boot a sharded service plane, route keys, run a cross-shard
+    transfer, and check Defs 2.1/2.2 per shard."""
+    from repro import Cluster, StackConfig, check_virtual_synchrony
+    config = StackConfig.byz(crypto=args.crypto, total_order=True)
+    cluster = Cluster.create(shards=args.shards,
+                             nodes_per_shard=args.nodes_per_shard,
+                             config=config, seed=args.seed)
+    print("plane: %d shards x %d nodes (%s) on one shared runtime"
+          % (cluster.shards, args.nodes_per_shard, config.label()))
+    cluster.run_until_stable_views(timeout=5.0)
+
+    rsm = cluster.sharded_rsm()
+    src = next(k for i in range(1000)
+               if cluster.route(k := "acct:%d" % i) == 0)
+    dst = next(k for i in range(1000)
+               if cluster.route(k := "acct:%d" % i) == 1)
+    print("routing: %r -> shard %d, %r -> shard %d"
+          % (src, cluster.route(src), dst, cluster.route(dst)))
+    rsm.submit(src, ("set", src, 100))
+    cluster.run(1.0)
+    outcome = rsm.transfer(src, dst, 30)
+    cluster.run(1.0)
+    print("cross-shard transfer of 30: %s (balances: %s=%s, %s=%s)"
+          % (outcome, src, rsm.get(src), dst, rsm.get(dst)))
+
+    violations = []
+    for shard in range(cluster.shards):
+        violations.extend(check_virtual_synchrony(
+            cluster.manager.execution(shard)))
+    print("Def 2.1/2.2 violations across %d shards: %d"
+          % (cluster.shards, len(violations)))
+    for line in violations[:5]:
+        print("  " + line)
+    keys = cluster.manager.key_stats()
+    print("shared key cache: %d pairwise keys derived, %d cache hits"
+          % (keys["pair_derivations"], keys["pair_cache_hits"]))
+    cluster.stop()
+    return 0 if outcome == "committed" and not violations else 1
+
+
 def cmd_calibration(args):
     """Print the calibration tables the benchmarks run on."""
     from repro.crypto.cost import CryptoCostModel
@@ -304,6 +345,14 @@ def main(argv=None):
                      help="always keep the artifacts directory")
     net.add_argument("--json", action="store_true")
     net.set_defaults(func=cmd_net)
+
+    shards = sub.add_parser("shards", help=cmd_shards.__doc__)
+    shards.add_argument("--shards", type=int, default=4)
+    shards.add_argument("--nodes-per-shard", type=int, default=5)
+    shards.add_argument("--seed", type=int, default=1)
+    shards.add_argument("--crypto", choices=("none", "sym", "pub"),
+                        default="sym")
+    shards.set_defaults(func=cmd_shards)
 
     calib = sub.add_parser("calibration", help=cmd_calibration.__doc__)
     calib.add_argument("--nodes", type=int, default=48)

@@ -14,6 +14,8 @@ path is exercised.
 
 from __future__ import annotations
 
+import warnings
+
 from repro.core.config import StackConfig
 from repro.core.endpoint import GroupEndpoint
 from repro.core.history import Execution
@@ -24,12 +26,22 @@ from repro.obs import ObservabilityPlane
 from repro.runtime.interface import SimRuntime
 from repro.sim.clock import NodeClock
 
+#: sentinel the builder classmethods pass so only *direct* Group(...)
+#: construction trips the deprecation shim
+_BUILT = object()
+
 
 class Group:
     """A simulated cluster of group-communication daemons."""
 
     def __init__(self, sim, network, processes, endpoints, config,
-                 keys=None, obs=None, runtime=None):
+                 keys=None, obs=None, runtime=None, _built=None):
+        if _built is not _BUILT:
+            warnings.warn(
+                "direct Group(sim, network, processes, ...) construction is "
+                "deprecated; use Cluster.create(...), Group.bootstrap(...), "
+                "or Group.on_runtime(...)",
+                DeprecationWarning, stacklevel=2)
         self.sim = sim
         self.network = network
         self.runtime = runtime        # the Runtime these seams came from
@@ -38,6 +50,7 @@ class Group:
         self.config = config
         self.keys = keys or KeyManager()
         self.obs = obs                # ObservabilityPlane, or None
+        self.group_id = None          # shard tag on a shared runtime
         self.byzantine_nodes = set()
         self.clocks = {}              # node_id -> NodeClock (skewed nodes)
         # (node_id, incarnation, History) of pre-restart incarnations --
@@ -78,15 +91,40 @@ class Group:
         config = config or StackConfig.byz()
         runtime = SimRuntime(n, seed=seed, topology_cls=topology_cls,
                              net_config=net_config)
-        sim = runtime.sim
-        network = runtime.network
-        obs = cls._make_obs(sim, network, config)
-        keys = KeyManager()
         if node_ids is None:
             node_ids = list(range(n))
+        # the one-shard special case of the shared-runtime builder: same
+        # construction order (obs, keys, view, processes in node_ids
+        # order), so seed-pinned single-group histories are unchanged
+        return cls.on_runtime(runtime, node_ids, config=config,
+                              behaviors=behaviors, established=established,
+                              start=start, clock_drift=clock_drift)
+
+    @classmethod
+    def on_runtime(cls, runtime, node_ids, config=None, keys=None, obs=None,
+                   behaviors=None, established=True, start=True,
+                   group_id=None, clock_drift=None):
+        """Build one group over an existing (possibly shared) sim runtime.
+
+        This is the multi-group entry point :class:`repro.shard.ShardManager`
+        uses: several groups attach to ONE runtime's clock/network, each
+        tagged with ``group_id`` (stamped into every signed message and
+        scoping the gossip channel), sharing one ``keys`` manager's
+        pairwise-key cache and one observability plane.  With the defaults
+        (private keys, obs built from the config, ``group_id=None``) it is
+        exactly the classic single-group bootstrap.
+        """
+        config = config or StackConfig.byz()
+        sim = runtime.sim
+        network = runtime.network
+        if obs is None:
+            obs = cls._make_obs(sim, network, config)
+        if keys is None:
+            keys = KeyManager()
         behaviors = behaviors or {}
         clock_drift = clock_drift or {}
         members = tuple(node_ids)
+        n = len(members)
         f = config.resilience(n)
         common = View(ViewId(1, members[0]), members, f=f,
                       underprovisioned=(f == 0 and config.byzantine))
@@ -101,11 +139,12 @@ class Group:
                 clocks[node_id] = clock
             process = GroupProcess(sim, network, node_id, config, keys,
                                    initial, behavior=behaviors.get(node_id),
-                                   obs=obs, clock=clock)
+                                   obs=obs, clock=clock, group_id=group_id)
             processes[node_id] = process
             endpoints[node_id] = GroupEndpoint(process)
         group = cls(sim, network, processes, endpoints, config, keys=keys,
-                    obs=obs, runtime=runtime)
+                    obs=obs, runtime=runtime, _built=_BUILT)
+        group.group_id = group_id
         group.byzantine_nodes = set(behaviors)
         group.clocks = clocks
         if start:
@@ -165,7 +204,7 @@ class Group:
             endpoints[node_id] = GroupEndpoint(process)
         network.refresh_components()
         group = cls(sim, network, processes, endpoints, config, keys=keys,
-                    obs=obs)
+                    obs=obs, _built=_BUILT)
         group.byzantine_nodes = set(behaviors)
         if start:
             group.start()
@@ -176,8 +215,16 @@ class Group:
             process.start()
 
     def stop(self):
+        """Halt every member AND release this group's shared-runtime
+        resources: each process's stop cancels its own timers, and the
+        per-group transport registrations are detached so a ShardManager
+        can stop one shard without leaking ports on the runtime the other
+        shards keep using (``crash()`` alone would leave the dead ports
+        in every gossip iteration forever)."""
         for process in self.processes.values():
             process.stop()
+        for node_id in self.processes:
+            self.network.detach(node_id)
 
     # ------------------------------------------------------------------
     # driving the simulation
@@ -259,7 +306,8 @@ class Group:
             raise ValueError("node %r already exists" % (node_id,))
         process = GroupProcess(self.sim, self.network, node_id, self.config,
                                self.keys, singleton_view(node_id),
-                               behavior=behavior, obs=self.obs)
+                               behavior=behavior, obs=self.obs,
+                               group_id=self.group_id)
         endpoint = GroupEndpoint(process)
         self.processes[node_id] = process
         self.endpoints[node_id] = endpoint
@@ -293,11 +341,14 @@ class Group:
         self.network.detach(node_id)   # free the port for the new process
         self.retired.append((node_id, old.incarnation, old.history))
         self.byzantine_nodes.discard(node_id)
+        # the fresh incarnation keeps the group tag: a rebooted shard
+        # member must rejoin ITS shard's gossip scope, not the global one
         process = GroupProcess(self.sim, self.network, node_id, self.config,
                                self.keys, singleton_view(node_id),
                                behavior=behavior, obs=self.obs,
                                incarnation=old.incarnation + 1,
-                               clock=self.clocks.get(node_id))
+                               clock=self.clocks.get(node_id),
+                               group_id=self.group_id)
         endpoint = GroupEndpoint(process)
         self.processes[node_id] = process
         self.endpoints[node_id] = endpoint

@@ -58,7 +58,7 @@ class Message:
 
     __slots__ = ("kind", "origin", "sender", "view_id", "_payload",
                  "payload_size", "headers", "signature", "dest", "msg_id",
-                 "_auth_cache", "_hdrs_shared")
+                 "group", "_auth_cache", "_hdrs_shared")
 
     #: class-wide switches used by the perf-parity tests
     #: (tests/test_perf_parity.py): with the cache off, every
@@ -70,7 +70,7 @@ class Message:
     auth_token_mode = "digest"  # "digest" | "content"
 
     def __init__(self, kind, origin, view_id, payload, payload_size=0,
-                 dest=None, msg_id=None):
+                 dest=None, msg_id=None, group=None):
         self.kind = kind
         self.origin = origin      # the node that created the message
         self.sender = origin      # the node that last transmitted it
@@ -81,6 +81,11 @@ class Message:
         self.signature = None
         self.dest = dest          # None for broadcast
         self.msg_id = msg_id
+        # multi-group envelope (repro.shard): the shard/group this message
+        # belongs to, or None for a single-group stack.  Stamped by the
+        # bottom layer before signing, so one transport can multiplex many
+        # groups and a replayed cross-shard message fails authentication.
+        self.group = group
         self._auth_cache = None
         self._hdrs_shared = False
 
@@ -130,9 +135,14 @@ class Message:
         kind, origin, view id, headers, and the payload itself.
         """
         vid = self.view_id.to_wire() if self.view_id is not None else None
-        return (self.kind, repr(self.origin), vid,
-                tuple(sorted((k, repr(v)) for k, v in self.headers.items())),
-                repr(self._payload))
+        content = (self.kind, repr(self.origin), vid,
+                   tuple(sorted((k, repr(v)) for k, v in self.headers.items())),
+                   repr(self._payload))
+        if self.group is None:
+            # single-group stacks keep the historical byte encoding, so
+            # every seed-pinned history is unchanged by the shard plane
+            return content
+        return content + (("grp", repr(self.group)),)
 
     def canonical_bytes(self):
         """Canonical byte encoding of :meth:`auth_content` (uncached)."""
@@ -168,26 +178,30 @@ class Message:
     # below is the wire order and is covered by WIRE_FIELD_COUNT --
     # adding a slot that must travel means appending it here, bumping
     # repro.runtime.wire.WIRE_VERSION, and nothing else.
-    WIRE_FIELD_COUNT = 10
+    WIRE_FIELD_COUNT = 11
+
+    #: field count of wire versions 1 and 2 (no ``group`` envelope); the
+    #: codec still decodes those frames, defaulting ``group`` to None
+    WIRE_FIELD_COUNT_V2 = 10
 
     def wire_fields(self):
         """The transmitted state, in wire order (see runtime/wire.py)."""
         return (self.kind, self.origin, self.sender, self.view_id,
                 self._payload, self.payload_size, self.headers,
-                self.signature, self.dest, self.msg_id)
+                self.signature, self.group, self.dest, self.msg_id)
 
     # encode-once fan-out seam (runtime/wire.py): the leading wire fields
     # are identical across a clone_for fan-out, so the wire encoder can
     # serialize them once per broadcast and append only the trailing
     # per-destination fields for each sibling.  The split must follow the
     # wire_fields() order: shared fields first, tail fields last.
-    WIRE_SHARED_FIELD_COUNT = 8
+    WIRE_SHARED_FIELD_COUNT = 9
 
     def wire_shared_fields(self):
         """The leading wire fields shared by all clone_for siblings."""
         return (self.kind, self.origin, self.sender, self.view_id,
                 self._payload, self.payload_size, self.headers,
-                self.signature)
+                self.signature, self.group)
 
     def wire_tail_fields(self):
         """The trailing wire fields that vary per fan-out destination."""
@@ -214,7 +228,8 @@ class Message:
                 and self._payload is other._payload
                 and self.payload_size == other.payload_size
                 and self.headers is other.headers
-                and self.signature is other.signature)
+                and self.signature is other.signature
+                and self.group == other.group)
 
     @classmethod
     def from_wire_fields(cls, fields):
@@ -228,11 +243,15 @@ class Message:
         tampered datagram can never smuggle a stale digest past
         verification.
         """
+        fields = tuple(fields)
+        if len(fields) == cls.WIRE_FIELD_COUNT_V2:
+            # a v1/v2 peer: no group envelope on the wire
+            fields = fields[:8] + (None,) + fields[8:]
         if len(fields) != cls.WIRE_FIELD_COUNT:
             raise ValueError("message struct has %d fields, expected %d"
                              % (len(fields), cls.WIRE_FIELD_COUNT))
         (kind, origin, sender, view_id, payload, payload_size, headers,
-         signature, dest, msg_id) = fields
+         signature, group, dest, msg_id) = fields
         if not isinstance(kind, str):
             raise ValueError("message kind is not a string: %r" % (kind,))
         if not isinstance(headers, dict):
@@ -254,6 +273,7 @@ class Message:
         msg.payload_size = payload_size
         msg.headers = headers
         msg.signature = signature
+        msg.group = group
         msg.dest = dest
         msg.msg_id = msg_id
         msg._auth_cache = None
@@ -279,6 +299,7 @@ class Message:
         copy.payload_size = self.payload_size
         copy.headers = self.headers
         copy.signature = self.signature
+        copy.group = self.group
         copy.dest = dest
         copy.msg_id = self.msg_id
         copy._auth_cache = self._auth_cache

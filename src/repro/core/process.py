@@ -55,12 +55,18 @@ class GroupProcess:
     """A single group-communication daemon on the simulated network."""
 
     def __init__(self, sim, network, node_id, config, keys, initial_view,
-                 behavior=None, obs=None, incarnation=0, clock=None):
+                 behavior=None, obs=None, incarnation=0, clock=None,
+                 group_id=None):
         # a NodeClock proxy (chaos clock-skew fault) must be installed
         # here, before the stack attaches: layers cache process.sim
         self.sim = sim if clock is None else clock
         self.network = network
         self.node_id = node_id
+        # shard plane (repro.shard): which group of a multi-group runtime
+        # this daemon belongs to; None on a classic single-group stack.
+        # The bottom layer stamps it into every outgoing message before
+        # signing and filters mismatches on the way up.
+        self.group_id = group_id
         # reboot counter (crash-recovery): 0 for first boot; bumped by
         # Group.restart so peers can reject the dead incarnation's stragglers
         self.incarnation = incarnation
@@ -89,7 +95,13 @@ class GroupProcess:
         self.stability = StabilityTracker(self)
         self._last_heard = {}
         self.stack = LayerStack(self, default_layers())
-        self.network.attach(node_id, self._on_datagram, self._on_gossip)
+        if group_id is None:
+            # the historical 3-arg attach keeps every transport (ad-hoc
+            # radio, test doubles) working without a ``group`` kwarg
+            self.network.attach(node_id, self._on_datagram, self._on_gossip)
+        else:
+            self.network.attach(node_id, self._on_datagram, self._on_gossip,
+                                group=group_id)
         if behavior is not None:
             behavior.install(self)
 
@@ -154,7 +166,11 @@ class GroupProcess:
         # node's pending wall timers; cancel them so a stopped node leaks
         # neither sockets (released by crash above) nor timer callbacks.
         # The shared Simulator clock is untouched: per_process is False.
-        if getattr(self.sim, "per_process", False):
+        # A multiplexing transport hosting other live shard ports stays
+        # open after crash(node_id) -- then the clock is shared too and
+        # must survive until the last co-hosted process stops.
+        if (getattr(self.sim, "per_process", False)
+                and getattr(self.network, "closed", True)):
             self.sim.close()
 
     # ------------------------------------------------------------------

@@ -48,19 +48,35 @@ class KeyManager:
         self._master = master_secret
         self._pair_cache = {}   # (a, b) -> pairwise key (both orderings)
         self._priv_cache = {}   # owner -> signing key
+        # derivation-vs-cache accounting: with one manager shared across a
+        # whole shard plane (repro.shard), each node pair derives exactly
+        # once no matter how many groups touch it -- these counters are
+        # what the shard tests assert that on
+        self.pair_derivations = 0
+        self.pair_cache_hits = 0
+        self.signing_derivations = 0
 
     # ------------------------------------------------------------------
     def pair_key(self, a, b):
         """Symmetric key shared by the unordered pair (a, b)."""
         cached = self._pair_cache.get((a, b))
         if cached is not None:
+            self.pair_cache_hits += 1
             return cached
         lo, hi = sorted((repr(a), repr(b)))
         material = "pair:{}:{}".format(lo, hi).encode("utf-8")
         key = hmac.new(self._master, material, hashlib.sha256).digest()
+        self.pair_derivations += 1
         self._pair_cache[(a, b)] = key
         self._pair_cache[(b, a)] = key
         return key
+
+    def stats(self):
+        """Cache-effectiveness snapshot of the (possibly shared) manager."""
+        return {"pair_derivations": self.pair_derivations,
+                "pair_cache_hits": self.pair_cache_hits,
+                "signing_derivations": self.signing_derivations,
+                "pairs_cached": len(self._pair_cache) // 2}
 
     def private_key_of(self, owner, requester):
         """Signing key of ``owner``; only ``owner`` itself may fetch it."""
@@ -88,6 +104,7 @@ class KeyManager:
             return cached
         material = "priv:{}".format(repr(owner)).encode("utf-8")
         key = hmac.new(self._master, material, hashlib.sha256).digest()
+        self.signing_derivations += 1
         self._priv_cache[owner] = key
         return key
 

@@ -35,6 +35,7 @@ class BottomLayer(Layer):
         self.datagrams_in = 0
         self.dropped_bad_signature = 0
         self.dropped_wrong_view = 0
+        self.dropped_wrong_group = 0
         self.dropped_impersonation = 0
         self.dropped_stale_incarnation = 0
         self.dropped_undecodable = 0
@@ -62,6 +63,13 @@ class BottomLayer(Layer):
             receivers = tuple(m for m in self.view.mbrs if m != self.me)
         if not receivers:
             return
+        group = getattr(process, "group_id", None)
+        if group is not None and msg.group != group:
+            # multi-group envelope: stamped before signing so the shard id
+            # is covered by the signature -- a datagram replayed into a
+            # different shard fails verification, not just the filter below
+            msg.group = group
+            msg._auth_cache = None
         auth = process.auth
         signature, sign_cost, sig_bytes = auth.sign(
             self.me, receivers, msg.auth_token())
@@ -217,6 +225,12 @@ class BottomLayer(Layer):
                 process.verbose_detector.illegal(src, "bottom:bad-signature")
                 self._sig_strike(src)
                 return
+        if msg.group != getattr(process, "group_id", None):
+            # a message for another shard on the shared transport (or a
+            # cross-shard replay): never let it reach this group's layers
+            self.dropped_wrong_group += 1
+            self.count("drop_wrong_group")
+            return
         known = self._peer_inc.get(src, 0)
         if inc != known:
             if inc < known:

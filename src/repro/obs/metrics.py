@@ -219,6 +219,41 @@ class MetricsRegistry:
                 pooled.samples.extend(instrument.samples)
         return pooled
 
+    # per-shard namespaces (repro.shard): instruments stay keyed by node
+    # -- one registry serves the whole plane -- and these projections
+    # slice them by any node subset, e.g. one shard's member block
+    def select_nodes(self, nodes, layer=None, name=None):
+        """Instruments of any node in ``nodes`` (a shard's namespace)."""
+        nodes = set(nodes)
+        out = {}
+        for (knode, klayer, kname), instrument in self._instruments.items():
+            if knode not in nodes:
+                continue
+            if layer is not None and klayer != layer:
+                continue
+            if name is not None and kname != name:
+                continue
+            out[(knode, klayer, kname)] = instrument
+        return out
+
+    def total_nodes(self, nodes, name, layer=None):
+        """Sum of the counters called ``name`` across ``nodes`` only."""
+        acc = 0
+        for instrument in self.select_nodes(nodes, layer=layer,
+                                            name=name).values():
+            if isinstance(instrument, Counter):
+                acc += instrument.value
+        return acc
+
+    def merged_histogram_nodes(self, nodes, name, layer=None):
+        """Pooled samples of ``name`` across ``nodes`` only."""
+        pooled = Histogram()
+        for instrument in self.select_nodes(nodes, layer=layer,
+                                            name=name).values():
+            if isinstance(instrument, Histogram):
+                pooled.samples.extend(instrument.samples)
+        return pooled
+
     # export -------------------------------------------------------------
     def rows(self):
         """One flat dict per instrument, deterministically ordered."""

@@ -41,6 +41,18 @@ so one corrupt sub-frame feeds corruption suspicion without discarding
 its siblings; node wiring points that at
 :meth:`repro.layers.bottom.BottomLayer.note_undecodable`
 (docs/ROBUSTNESS.md).
+
+Shard multiplexing (repro.shard): one transport -- one socket -- can
+host SEVERAL attached processes (ports), one per group, when their
+address-book entries share this transport's bind address.  Outgoing
+frames carry their own source id (per-source frame prefixes and
+coalescer buffers); incoming protocol frames are routed to the hosting
+port by ``msg.dest``; gossip from a group-tagged port travels in a
+``("grp", group_id, payload)`` envelope and is delivered only to ports
+of the same group, so one shard's view announcements can never feed
+another shard's merge machinery.  A single un-tagged port (the classic
+one-node-one-process deployment) sees byte-identical datagrams to the
+pre-shard wire format.
 """
 
 from __future__ import annotations
@@ -92,16 +104,37 @@ class _UdpProtocol(asyncio.DatagramProtocol):
 
 
 class _DestBuffer:
-    """Pending coalesced sub-frames for one destination address."""
+    """Pending coalesced sub-frames for one (source, destination) pair.
 
-    __slots__ = ("dst", "addr", "buf", "frames", "timer")
+    Keyed by source too because a batch datagram names ONE source for
+    all its sub-frames -- two co-hosted shard ports sending to the same
+    peer address must not share a batch.
+    """
 
-    def __init__(self, dst, addr):
+    __slots__ = ("src", "dst", "addr", "buf", "frames", "timer")
+
+    def __init__(self, src, dst, addr):
+        self.src = src
         self.dst = dst
         self.addr = addr
         self.buf = bytearray()   # concatenated sub-frames, reused across flushes
         self.frames = 0
         self.timer = None
+
+
+class _Port:
+    """One attached process on this transport (one group's member)."""
+
+    __slots__ = ("node_id", "deliver", "gossip_deliver", "group",
+                 "crashed", "on_undecodable")
+
+    def __init__(self, node_id, deliver, gossip_deliver, group):
+        self.node_id = node_id
+        self.deliver = deliver
+        self.gossip_deliver = gossip_deliver
+        self.group = group
+        self.crashed = False
+        self.on_undecodable = None
 
 
 class AsyncioTransport:
@@ -115,8 +148,9 @@ class AsyncioTransport:
         self.addresses = dict(addresses)
         self._loop = loop or asyncio.get_event_loop()
         self._udp = None          # asyncio DatagramTransport once open
-        self._deliver = None
-        self._gossip_deliver = None
+        #: node_id -> _Port; several hosted processes share this socket
+        #: when their address-book entries equal the bind address
+        self._ports = {}
         self.closed = False
         self.crashed = False
         # coalescing policy (reconfigured from StackConfig by the runtime)
@@ -124,19 +158,15 @@ class AsyncioTransport:
         self.coalesce_max_bytes = DEFAULT_COALESCE_BYTES
         self.coalesce_delay = DEFAULT_COALESCE_DELAY
         # coalescer state
-        self._dest_bufs = {}          # addr -> _DestBuffer
+        self._dest_bufs = {}          # (src, addr) -> _DestBuffer
         self._burst_flush_armed = False
         # encode-once fan-out: (representative clone, shared prefix bytes)
         self._body_cache = None
         self._scratch = bytearray()   # reusable body-encode buffer
-        # precomputed frame prefixes for this node's own source id
-        self._prefix = {
-            FRAME_DATAGRAM: frame_prefix(FRAME_DATAGRAM, node_id),
-            FRAME_GOSSIP: frame_prefix(FRAME_GOSSIP, node_id),
-            FRAME_BATCH: frame_prefix(FRAME_BATCH, node_id),
-        }
-        self._single_overhead = len(self._prefix[FRAME_DATAGRAM]) + 4
-        self._batch_overhead = len(self._prefix[FRAME_BATCH]) + 4
+        # precomputed frame prefixes keyed by source node id (a hosted
+        # shard port sends under its OWN id, not the bind node's)
+        self._prefixes = {}
+        self._src_prefixes(node_id)
         # counters mirroring repro.sim.network.Network; datagrams_* count
         # wire datagrams, frames_* count logical protocol frames
         self.datagrams_sent = 0
@@ -153,13 +183,33 @@ class AsyncioTransport:
         self.encode_cache_hits = 0
         self.oversize_drops = 0
         self.socket_errors = 0
+        self.misrouted = 0
         self.bytes_out = 0
         self.bytes_in = 0
         self.flush_reasons = {"size": 0, "timer": 0, "burst": 0, "final": 0}
         self._oversize_warned = set()
         # hooks
         self.observer = None          # ObservabilityPlane, or None
-        self.on_undecodable = None    # callback(src_or_None)
+        self.on_undecodable = None    # transport-wide callback(src_or_None)
+
+    def _src_prefixes(self, src):
+        """``(prefix_map, single_overhead, batch_overhead)`` for one
+        source id, cached (prefix length varies with the encoded id)."""
+        entry = self._prefixes.get(src)
+        if entry is None:
+            prefixes = {
+                FRAME_DATAGRAM: frame_prefix(FRAME_DATAGRAM, src),
+                FRAME_GOSSIP: frame_prefix(FRAME_GOSSIP, src),
+                FRAME_BATCH: frame_prefix(FRAME_BATCH, src),
+            }
+            entry = (prefixes,
+                     len(prefixes[FRAME_DATAGRAM]) + 4,
+                     len(prefixes[FRAME_BATCH]) + 4)
+            self._prefixes[src] = entry
+        return entry
+
+    def _live_ports(self):
+        return [port for port in self._ports.values() if not port.crashed]
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -199,24 +249,38 @@ class AsyncioTransport:
     # ------------------------------------------------------------------
     # the Network surface the stack uses
     # ------------------------------------------------------------------
-    def attach(self, node_id, deliver, gossip_deliver=None):
-        if node_id != self.node_id:
-            raise ValueError("transport of node %r cannot host node %r"
-                             % (self.node_id, node_id))
-        self._deliver = deliver
-        self._gossip_deliver = gossip_deliver
+    def attach(self, node_id, deliver, gossip_deliver=None, group=None):
+        """Host ``node_id`` on this socket.
+
+        Any node whose address-book entry equals this transport's bind
+        address may attach (that is what lets one OS process run several
+        shard members over one socket); ``group`` tags the port for
+        gossip scoping and rides the same contract as
+        :meth:`repro.sim.network.Network.attach`.
+        """
+        if self.addresses.get(node_id) != self.addresses[self.node_id]:
+            raise ValueError("transport bound at %r cannot host node %r "
+                             "(address-book entry differs)"
+                             % (self.addresses[self.node_id], node_id))
+        self._ports[node_id] = _Port(node_id, deliver, gossip_deliver, group)
 
     def detach(self, node_id):
-        self._deliver = None
-        self._gossip_deliver = None
-        self.close()
+        self._ports.pop(node_id, None)
+        if not self._ports:
+            self.close()
 
     def crash(self, node_id):
-        """Crash semantics: silence the node, drop pending coalescer
-        buffers, and release the socket."""
-        self.crashed = True
-        self._drop_pending()
-        self.close()
+        """Crash semantics: silence the node and drop its pending
+        coalescer buffers; the socket is released once every hosted
+        port has crashed (a co-hosted shard member keeps it open)."""
+        port = self._ports.get(node_id)
+        if port is not None:
+            port.crashed = True
+            self._drop_pending(src=node_id)
+        if port is None or not self._live_ports():
+            self.crashed = True
+            self._drop_pending()
+            self.close()
 
     def send(self, src, dst, size_bytes, payload):
         """Unicast one protocol frame (``size_bytes`` is the *modelled*
@@ -225,26 +289,31 @@ class AsyncioTransport:
         if self.closed or self.crashed:
             self.datagrams_dropped += 1
             return
+        port = self._ports.get(src)
+        if port is not None and port.crashed:
+            self.datagrams_dropped += 1
+            return
         addr = self.addresses.get(dst)
         if addr is None:
             self.datagrams_dropped += 1
             return
-        if src != self.node_id:
+        if port is None and src != self.node_id:
             # exotic caller (the stack always sends as itself): keep the
             # faithful-source wire contract via the uncached slow path
             self._send_single(FRAME_DATAGRAM, src, payload, addr)
             return
+        prefixes, single_overhead, _ = self._src_prefixes(src)
         body = self._encode_body(payload)
         if body is None:
             return
-        if self._single_overhead + len(body) > MAX_DATAGRAM_BYTES:
-            self._drop_oversize(payload, self._single_overhead + len(body))
+        if single_overhead + len(body) > MAX_DATAGRAM_BYTES:
+            self._drop_oversize(payload, single_overhead + len(body))
             return
         if self.observer is not None:
             self.observer.on_datagram_sent(
                 src, dst, SUBFRAME_OVERHEAD + len(body), payload)
         if not self.coalescing:
-            data = b"".join((self._prefix[FRAME_DATAGRAM],
+            data = b"".join((prefixes[FRAME_DATAGRAM],
                              _pack_u32(len(body)), body))
             if self._transmit(data, addr):
                 self.datagrams_sent += 1
@@ -252,7 +321,7 @@ class AsyncioTransport:
             else:
                 self.frames_dropped += 1
             return
-        self._enqueue(FRAME_DATAGRAM, dst, addr, body)
+        self._enqueue(FRAME_DATAGRAM, src, dst, addr, body)
 
     def gossip_cast(self, src, size_bytes, payload):
         """Fan one gossip frame out to every address on the bus.
@@ -261,16 +330,29 @@ class AsyncioTransport:
         counter reflects *reachability*: it increments only when at
         least one per-address transmit succeeded, and every failed
         address is accounted in ``gossip_drops``.
+
+        A group-tagged source wraps the payload in a ``("grp", group,
+        payload)`` envelope; receivers deliver it only to same-group
+        ports.  An un-tagged source (the classic deployment) sends the
+        payload bare -- byte-identical to the pre-shard wire format.
+        Shared addresses are deduplicated so a socket hosting several
+        ports receives one copy, not one per hosted node.
         """
         if self.closed or self.crashed:
             return
+        port = self._ports.get(src)
+        if port is not None and port.crashed:
+            return
+        group = port.group if port is not None else None
+        wire_payload = payload if group is None else ("grp", group, payload)
         try:
-            if src == self.node_id:
-                body = self._encode_gossip_body(payload)
-                data = b"".join((self._prefix[FRAME_GOSSIP],
+            if port is not None or src == self.node_id:
+                body = self._encode_gossip_body(wire_payload)
+                prefixes = self._src_prefixes(src)[0]
+                data = b"".join((prefixes[FRAME_GOSSIP],
                                  _pack_u32(len(body)), body))
             else:
-                data = encode_frame(FRAME_GOSSIP, src, payload)
+                data = encode_frame(FRAME_GOSSIP, src, wire_payload)
         except WireError:
             self.encode_failures += 1
             return
@@ -278,9 +360,11 @@ class AsyncioTransport:
             self._drop_oversize(payload, len(data))
             return
         sent_any = False
+        seen_addrs = set()
         for node_id, addr in self.addresses.items():
-            if node_id == src:
+            if node_id == src or addr in seen_addrs:
                 continue
+            seen_addrs.add(addr)
             if self._transmit(data, addr):
                 sent_any = True
             else:
@@ -344,15 +428,17 @@ class AsyncioTransport:
     # ------------------------------------------------------------------
     # the coalescer
     # ------------------------------------------------------------------
-    def _enqueue(self, frame_type, dst, addr, body):
-        dest = self._dest_bufs.get(addr)
+    def _enqueue(self, frame_type, src, dst, addr, body):
+        key = (src, addr)
+        dest = self._dest_bufs.get(key)
         if dest is None:
-            dest = self._dest_bufs[addr] = _DestBuffer(dst, addr)
+            dest = self._dest_bufs[key] = _DestBuffer(src, dst, addr)
+        batch_overhead = self._src_prefixes(src)[2]
         sub_len = SUBFRAME_OVERHEAD + len(body)
         # budget split: a frame that would overflow the pack flushes what
         # is pending first and starts a fresh datagram -- never dropped
         if (dest.frames
-                and self._batch_overhead + len(dest.buf) + sub_len
+                and batch_overhead + len(dest.buf) + sub_len
                 > self.coalesce_max_bytes):
             self._flush_dest(dest, "size")
         buf = dest.buf
@@ -360,12 +446,12 @@ class AsyncioTransport:
         buf += _pack_u32(len(body))
         buf += body
         dest.frames += 1
-        if self._batch_overhead + len(buf) >= self.coalesce_max_bytes:
+        if batch_overhead + len(buf) >= self.coalesce_max_bytes:
             self._flush_dest(dest, "size")
             return
         if dest.timer is None:
             dest.timer = self.clock.schedule(
-                self.coalesce_delay, self._on_flush_timer, addr)
+                self.coalesce_delay, self._on_flush_timer, key)
         if not self._burst_flush_armed:
             # end-of-burst flush: runs after every callback that was
             # already ready this event-loop iteration, so frames produced
@@ -373,8 +459,8 @@ class AsyncioTransport:
             self._burst_flush_armed = True
             self._loop.call_soon(self._on_burst_flush)
 
-    def _on_flush_timer(self, addr):
-        dest = self._dest_bufs.get(addr)
+    def _on_flush_timer(self, key):
+        dest = self._dest_bufs.get(key)
         if dest is not None and dest.frames:
             dest.timer = None
             self._flush_dest(dest, "timer")
@@ -400,14 +486,15 @@ class AsyncioTransport:
         if not count:
             return
         buf = dest.buf
+        prefixes = self._src_prefixes(dest.src)[0]
         if count == 1:
             # a lone frame travels as a plain (non-batch) datagram: the
             # sub-frame framing is stripped, saving the batch overhead
             frame_type = buf[0]
-            data = b"".join((self._prefix[frame_type],
+            data = b"".join((prefixes[frame_type],
                              bytes(buf[1:])))
         else:
-            data = b"".join((self._prefix[FRAME_BATCH],
+            data = b"".join((prefixes[FRAME_BATCH],
                              _pack_u32(count), buf))
         if self._transmit(data, dest.addr):
             self.datagrams_sent += 1
@@ -423,8 +510,10 @@ class AsyncioTransport:
         del buf[:]                # reuse the bytearray across flushes
         dest.frames = 0
 
-    def _drop_pending(self):
+    def _drop_pending(self, src=None):
         for dest in self._dest_bufs.values():
+            if src is not None and dest.src != src:
+                continue
             if dest.timer is not None:
                 dest.timer.cancel()
                 dest.timer = None
@@ -464,6 +553,37 @@ class AsyncioTransport:
     # ------------------------------------------------------------------
     # receive path
     # ------------------------------------------------------------------
+    def _route_port(self, payload):
+        """The hosted port a protocol frame is addressed to.
+
+        Routing key is ``msg.dest`` (every stack payload is a Message or
+        a ``("pack", ...)`` container of same-dest Messages).  A payload
+        with no readable dest falls back to the lone live port -- the
+        classic one-process deployment and raw-payload tests -- and is
+        counted ``misrouted`` when several ports could claim it.
+        """
+        dest = getattr(payload, "dest", None)
+        if (dest is None and isinstance(payload, tuple)
+                and len(payload) == 2 and payload[0] == "pack"
+                and payload[1]):
+            dest = getattr(payload[1][0], "dest", None)
+        port = self._ports.get(dest) if dest is not None else None
+        if port is not None:
+            return None if port.crashed else port
+        live = self._live_ports()
+        if len(live) == 1:
+            return live[0]
+        self.misrouted += 1
+        return None
+
+    def _report_undecodable(self, src):
+        callback = self.on_undecodable
+        if callback is not None:
+            callback(src)
+        for port in self._live_ports():
+            if port.on_undecodable is not None:
+                port.on_undecodable(src)
+
     def _on_datagram(self, data, addr):
         if self.closed or self.crashed:
             return
@@ -473,43 +593,52 @@ class AsyncioTransport:
             # per-sub-frame attribution: one corrupt sub-frame strikes
             # its source without discarding decodable siblings
             self.undecodable += len(errors)
-            callback = self.on_undecodable
-            if callback is not None:
-                for err in errors:
-                    callback(err.src)
+            for err in errors:
+                self._report_undecodable(err.src)
         if not frames:
             return
         delivered_any = False
         batch_src = None
-        batch = None            # accumulated datagram payloads, same src
+        batch_port = None
+        batch = None            # accumulated payloads, same (src, port)
         for frame_type, src, payload in frames:
             if frame_type == FRAME_GOSSIP:
-                if self._gossip_deliver is not None:
+                group = None
+                inner = payload
+                if (isinstance(payload, tuple) and len(payload) == 3
+                        and payload[0] == "grp"):
+                    group, inner = payload[1], payload[2]
+                for port in self._live_ports():
+                    if (port.gossip_deliver is None or port.node_id == src
+                            or port.group != group):
+                        continue
                     self.gossips_delivered += 1
                     delivered_any = True
                     if self.observer is not None:
-                        self.observer.on_gossip_delivered(self.node_id, src)
-                    self._gossip_deliver(src, payload)
+                        self.observer.on_gossip_delivered(port.node_id, src)
+                    port.gossip_deliver(src, inner)
                 continue
-            if self._deliver is None:
+            port = self._route_port(payload)
+            if port is None or port.deliver is None:
                 continue
             delivered_any = True
             self.frames_delivered += 1
             if self.observer is not None:
-                self.observer.on_datagram_delivered(self.node_id, src,
+                self.observer.on_datagram_delivered(port.node_id, src,
                                                     payload)
-            if batch is not None and src != batch_src:
-                self._deliver_batch(batch_src, batch)
+            if batch is not None and (src != batch_src
+                                      or port is not batch_port):
+                self._deliver_batch(batch_port, batch_src, batch)
                 batch = None
             if batch is None:
-                batch_src, batch = src, []
+                batch_src, batch_port, batch = src, port, []
             batch.append(payload)
         if batch is not None:
-            self._deliver_batch(batch_src, batch)
+            self._deliver_batch(batch_port, batch_src, batch)
         if delivered_any:
             self.datagrams_delivered += 1
 
-    def _deliver_batch(self, src, payloads):
+    def _deliver_batch(self, port, src, payloads):
         """Drain all sub-frames from one source into the stack at once.
 
         A multi-frame batch enters the bottom layer as one ``("pack",
@@ -519,7 +648,7 @@ class AsyncioTransport:
         containers are flattened in wire order.
         """
         if len(payloads) == 1:
-            self._deliver(src, payloads[0])
+            port.deliver(src, payloads[0])
             return
         msgs = []
         for payload in payloads:
@@ -529,7 +658,7 @@ class AsyncioTransport:
                 msgs.extend(payload[1])
             else:
                 msgs.append(payload)
-        self._deliver(src, ("pack", tuple(msgs)))
+        port.deliver(src, ("pack", tuple(msgs)))
 
     # ------------------------------------------------------------------
     def counters(self):
@@ -549,6 +678,7 @@ class AsyncioTransport:
             "encode_cache_hits": self.encode_cache_hits,
             "oversize_drops": self.oversize_drops,
             "socket_errors": self.socket_errors,
+            "misrouted": self.misrouted,
             "bytes_out": self.bytes_out,
             "bytes_in": self.bytes_in,
         }

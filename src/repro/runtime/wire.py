@@ -53,10 +53,14 @@ from __future__ import annotations
 import struct
 
 MAGIC = b"JB"
-WIRE_VERSION = 2
+WIRE_VERSION = 3
 
-#: versions this decoder accepts (v1 single frames share the v2 layout)
-DECODABLE_VERSIONS = (1, 2)
+#: versions this decoder accepts (v1 single frames share the v2 layout;
+#: v3 appends the multi-group ``group`` field to the message struct)
+DECODABLE_VERSIONS = (1, 2, 3)
+
+#: versions that may carry the FRAME_BATCH container
+_BATCH_VERSIONS = (2, 3)
 
 #: frame types
 FRAME_DATAGRAM = 1   # unicast protocol datagram (Message or pack container)
@@ -287,6 +291,20 @@ def decode_value(data):
     return value
 
 
+def _message_field_count(version):
+    """How many fields a Message struct carries in ``version`` frames.
+
+    v3 appended the multi-group ``group`` envelope; v1/v2 structs decode
+    with ``group`` defaulting to None (from_wire_fields upgrades them),
+    so a mixed-version cluster drains in-flight traffic across an
+    upgrade exactly as the v1→v2 transition did.
+    """
+    from repro.core.message import Message
+    if version >= 3:
+        return Message.WIRE_FIELD_COUNT
+    return Message.WIRE_FIELD_COUNT_V2
+
+
 def _need(data, offset, nbytes):
     if offset + nbytes > len(data):
         raise WireError("truncated: need %d bytes at offset %d, have %d"
@@ -304,7 +322,7 @@ def _count(data, offset, minimum_item_bytes=1):
     return count, offset
 
 
-def _decode(data, offset, depth):
+def _decode(data, offset, depth, msg_fields=None):
     if depth > _MAX_DEPTH:
         raise WireError("value nesting exceeds depth %d" % _MAX_DEPTH)
     _need(data, offset, 1)
@@ -343,7 +361,7 @@ def _decode(data, offset, depth):
         count, offset = _count(data, offset)
         items = []
         for _ in range(count):
-            item, offset = _decode(data, offset, depth + 1)
+            item, offset = _decode(data, offset, depth + 1, msg_fields)
             items.append(item)
         if tag == _T_TUPLE:
             return tuple(items), offset
@@ -358,8 +376,8 @@ def _decode(data, offset, depth):
         count, offset = _count(data, offset, minimum_item_bytes=2)
         table = {}
         for _ in range(count):
-            key, offset = _decode(data, offset, depth + 1)
-            value, offset = _decode(data, offset, depth + 1)
+            key, offset = _decode(data, offset, depth + 1, msg_fields)
+            value, offset = _decode(data, offset, depth + 1, msg_fields)
             try:
                 table[key] = value
             except TypeError:
@@ -367,16 +385,17 @@ def _decode(data, offset, depth):
         return table, offset
     if tag == _T_VIEWID:
         from repro.core.view import ViewId
-        counter, offset = _decode(data, offset, depth + 1)
-        creator, offset = _decode(data, offset, depth + 1)
+        counter, offset = _decode(data, offset, depth + 1, msg_fields)
+        creator, offset = _decode(data, offset, depth + 1, msg_fields)
         if not isinstance(counter, int) or isinstance(counter, bool):
             raise WireError("view-id counter is not an int: %r" % (counter,))
         return ViewId(counter, creator), offset
     if tag == _T_MESSAGE:
         from repro.core.message import Message
         fields = []
-        for _ in range(Message.WIRE_FIELD_COUNT):
-            field, offset = _decode(data, offset, depth + 1)
+        for _ in range(msg_fields if msg_fields is not None
+                       else Message.WIRE_FIELD_COUNT):
+            field, offset = _decode(data, offset, depth + 1, msg_fields)
             fields.append(field)
         try:
             return Message.from_wire_fields(fields), offset
@@ -400,6 +419,7 @@ def decode_frame(data):
             raise WireError("bad magic %r" % (bytes(data[:2]),))
         if data[2] not in DECODABLE_VERSIONS:
             raise WireError("unsupported wire version %d" % data[2])
+        msg_fields = _message_field_count(data[2])
         frame_type = data[3]
         if frame_type not in _FRAME_TYPES:
             raise WireError("unknown frame type %d" % frame_type)
@@ -410,7 +430,7 @@ def decode_frame(data):
         if body_len != len(data) - offset:
             raise WireError("body length %d does not match remaining %d "
                             "bytes" % (body_len, len(data) - offset), src=src)
-        payload, offset = _decode(data, offset, 0)
+        payload, offset = _decode(data, offset, 0, msg_fields)
         if offset != len(data):
             raise WireError("trailing garbage after frame body", src=src)
         return frame_type, src, payload
@@ -444,8 +464,9 @@ def decode_datagram(data):
     frames, errors = [], []
     src = None
     try:
-        if data[2] != WIRE_VERSION:   # batches exist only from v2 on
+        if data[2] not in _BATCH_VERSIONS:   # batches exist only from v2 on
             raise WireError("unsupported batch wire version %d" % data[2])
+        msg_fields = _message_field_count(data[2])
         src, offset = _decode(data, 4, 0)
         count, offset = _count(data, offset,
                                minimum_item_bytes=SUBFRAME_OVERHEAD + 1)
@@ -475,7 +496,7 @@ def decode_datagram(data):
         end = offset + body_len
         body = bytes(data[offset:end])
         try:
-            payload, stop = _decode(body, 0, 0)
+            payload, stop = _decode(body, 0, 0, msg_fields)
             if stop != len(body):
                 raise WireError("trailing garbage in sub-frame", src=src)
             frames.append((sub_type, src, payload))

@@ -1,0 +1,40 @@
+"""Multi-group sharded service plane (ROADMAP item 1).
+
+The paper's single-group protocol pays O(n^2) per broadcast and hits a
+throughput wall near n=50 (PAPER.md Fig. 5).  Scaling to "millions of
+users" therefore means running *many small groups* -- each with the
+small-quorum efficiency the protocol was measured at -- behind a routing
+layer, not one big group.  This package is that plane:
+
+* :class:`~repro.shard.directory.ShardDirectory` -- static-epoch
+  consistent-hash table mapping keys to shards;
+* :class:`~repro.shard.manager.ShardManager` -- N independent groups
+  over ONE shared runtime (clock, network, pairwise-key cache,
+  observability plane), each group tagged with its shard id at the
+  bottom layer so one transport multiplexes them all;
+* :class:`~repro.shard.cluster.Cluster` -- the documented front door
+  (``Cluster.create(runtime=..., shards=..., config=...)``);
+* :mod:`~repro.shard.rsm` -- the sharded replicated KV store with
+  idempotent two-phase cross-shard transfers.
+"""
+
+from repro.shard.cluster import Cluster
+from repro.shard.directory import HashRing, ShardDirectory
+from repro.shard.manager import ShardManager
+from repro.shard.rsm import (
+    ShardedKVStore,
+    ShardedRSM,
+    ShardReplica,
+    TransferCoordinator,
+)
+
+__all__ = [
+    "Cluster",
+    "HashRing",
+    "ShardDirectory",
+    "ShardManager",
+    "ShardReplica",
+    "ShardedKVStore",
+    "ShardedRSM",
+    "TransferCoordinator",
+]

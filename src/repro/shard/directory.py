@@ -1,0 +1,105 @@
+"""Key -> shard routing: a consistent-hash ring with a static epoch table.
+
+Routing must be a pure function of ``(key, epoch)`` -- every client, test,
+and benchmark computes the same shard for the same key with no
+coordination, which is what makes the directory safe to replicate freely.
+The ring hashes each shard onto ``ring_slots`` virtual points (SHA-256,
+platform-independent -- ``hash()`` is salted per process and would break
+cross-run determinism); a key routes to the owner of the first point at or
+after its own hash, wrapping around.
+
+Epochs version the table: resharding installs a new ring under
+``epoch + 1`` while the old one stays queryable, so in-flight operations
+stamped with the epoch they were routed under can be detected as stale
+instead of silently landing on the wrong shard.  This reproduction ships
+static epochs only (the table never changes mid-run); the fencing hook is
+the seam a dynamic-resharding follow-up would drive.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+
+def _point(label):
+    """A 64-bit ring coordinate from a stable string label."""
+    digest = hashlib.sha256(label.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """One immutable consistent-hash ring over ``shards`` groups."""
+
+    __slots__ = ("shards", "ring_slots", "_points", "_owners")
+
+    def __init__(self, shards, ring_slots=64):
+        if shards < 1:
+            raise ValueError("a ring needs at least one shard")
+        if ring_slots < 1:
+            raise ValueError("a shard needs at least one ring slot")
+        self.shards = shards
+        self.ring_slots = ring_slots
+        pairs = sorted(
+            (_point("shard:%d:slot:%d" % (shard, slot)), shard)
+            for shard in range(shards)
+            for slot in range(ring_slots))
+        self._points = [point for point, _shard in pairs]
+        self._owners = [shard for _point, shard in pairs]
+
+    def shard_for(self, key):
+        """The shard owning ``key`` (any repr-stable value)."""
+        where = _point("key:%r" % (key,))
+        index = bisect.bisect_right(self._points, where) % len(self._points)
+        return self._owners[index]
+
+    def spread(self, keys):
+        """``{shard: count}`` of how ``keys`` distribute (test/diagnostic)."""
+        counts = {}
+        for key in keys:
+            shard = self.shard_for(key)
+            counts[shard] = counts.get(shard, 0) + 1
+        return counts
+
+    def __repr__(self):
+        return "HashRing(shards={}, ring_slots={})".format(
+            self.shards, self.ring_slots)
+
+
+class ShardDirectory:
+    """The routing table: ``epoch -> HashRing``, one current epoch."""
+
+    def __init__(self, shards, ring_slots=64, epoch=0):
+        self.epoch = epoch
+        self._rings = {epoch: HashRing(shards, ring_slots)}
+
+    @property
+    def shards(self):
+        return self._rings[self.epoch].shards
+
+    def ring(self, epoch=None):
+        return self._rings[self.epoch if epoch is None else epoch]
+
+    def route(self, key, epoch=None):
+        """The shard ``key`` lives on under ``epoch`` (default: current).
+
+        Raises ``KeyError`` for an unknown epoch -- a router holding a
+        stale table must fail loudly, not guess.
+        """
+        return self.ring(epoch).shard_for(key)
+
+    def install_epoch(self, epoch, shards, ring_slots=64):
+        """Register a new table version and make it current.
+
+        Old epochs remain queryable so stale-routed operations can be
+        recognized (and re-routed) rather than misdelivered.
+        """
+        if epoch <= self.epoch:
+            raise ValueError("epoch %r is not newer than %r"
+                             % (epoch, self.epoch))
+        self._rings[epoch] = HashRing(shards, ring_slots)
+        self.epoch = epoch
+
+    def __repr__(self):
+        return "ShardDirectory(epoch={}, shards={})".format(
+            self.epoch, self.shards)

@@ -1,0 +1,278 @@
+"""The sharded replicated KV store and its cross-shard transfer protocol.
+
+Each shard runs one totally-ordered RSM (:mod:`repro.apps.rsm`); single-key
+commands route by the directory and never coordinate across shards.  The
+one multi-shard operation is ``transfer`` -- move an integer amount from a
+key on the source shard to a key on the destination shard -- implemented
+as a two-phase protocol whose every step is an *ordinary totally-ordered
+command* on one shard:
+
+1. ``xfer_prepare`` (source shard): atomically debit the amount and park
+   it under the transfer id in the pending table (or record an abort if
+   the balance is short);
+2. ``xfer_credit`` (destination shard): credit the amount;
+3. ``xfer_commit`` (source shard): release the pending entry -- or
+   ``xfer_abort``, which refunds it.
+
+Every command carries the full ``(txid, key, amount)`` tuple and every
+replica keeps a finished-transfer table, so each step is **idempotent**:
+the coordinator may blindly resubmit after a timeout or a shard-side view
+change and the state machine applies each step at most once.  That is the
+entire recovery story -- atomicity across the two shards comes from
+"debit is parked until credit is known durable", not from any cross-shard
+locking, and a crashed coordinator leaves at worst a parked debit that
+``xfer_abort`` refunds.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.apps.rsm import KVStore, Replica
+
+
+class ShardedKVStore(KVStore):
+    """A KVStore that also speaks the two-phase transfer commands.
+
+    Plain KV commands (``set``/``del``/``incr``/``append``) behave exactly
+    as in the base class; the ``xfer_*`` family maintains two extra
+    tables, both covered by the digest so replica-divergence checks see
+    transfer state too:
+
+    * ``pending``  -- txid -> (key, amount) debited, awaiting commit;
+    * ``finished`` -- txid -> outcome, the idempotency/dedup record.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.pending = {}
+        self.finished = {}
+
+    def apply(self, origin, command):
+        if not isinstance(command, tuple) or not command:
+            return None
+        op = command[0]
+        if op == "xfer_prepare" and len(command) == 4:
+            _, txid, key, amount = command
+            self.applied += 1
+            if txid in self.pending or txid in self.finished:
+                return ("xfer", txid, "duplicate")
+            balance = self.data.get(key, 0)
+            if (not isinstance(balance, int) or not isinstance(amount, int)
+                    or amount < 0 or balance < amount):
+                self.finished[txid] = "aborted"
+                return ("xfer", txid, "aborted")
+            self.data[key] = balance - amount
+            self.pending[txid] = (key, amount)
+            return ("xfer", txid, "prepared")
+        if op == "xfer_credit" and len(command) == 4:
+            _, txid, key, amount = command
+            self.applied += 1
+            if txid in self.finished:
+                return ("xfer", txid, "duplicate")
+            base = self.data.get(key, 0)
+            if isinstance(base, int) and isinstance(amount, int):
+                self.data[key] = base + amount
+            self.finished[txid] = "credited"
+            return ("xfer", txid, "credited")
+        if op == "xfer_commit" and len(command) == 2:
+            _, txid = command
+            self.applied += 1
+            if self.finished.get(txid) in ("committed", "aborted"):
+                return ("xfer", txid, "duplicate")
+            self.pending.pop(txid, None)
+            self.finished[txid] = "committed"
+            return ("xfer", txid, "committed")
+        if op == "xfer_abort" and len(command) == 2:
+            _, txid = command
+            self.applied += 1
+            if self.finished.get(txid) in ("committed", "aborted"):
+                return ("xfer", txid, "duplicate")
+            parked = self.pending.pop(txid, None)
+            if parked is not None:
+                key, amount = parked
+                self.data[key] = self.data.get(key, 0) + amount
+            self.finished[txid] = "aborted"
+            return ("xfer", txid, "aborted")
+        return super().apply(origin, command)
+
+    def digest(self):
+        canon = (tuple(sorted(self.data.items(), key=repr)),
+                 tuple(sorted(self.pending.items(), key=repr)),
+                 tuple(sorted(self.finished.items(), key=repr)))
+        return hashlib.sha256(repr(canon).encode("utf-8")).hexdigest()[:16]
+
+
+class ShardReplica(Replica):
+    """A Replica whose snapshots carry the transfer tables, so a member
+    rejoining mid-transfer (state transfer after a view change) resumes
+    with the same pending/finished state its peers have."""
+
+    def __init__(self, endpoint, machine=None):
+        super().__init__(endpoint, machine=machine or ShardedKVStore())
+
+    def _snapshot(self):
+        m = self.machine
+        if isinstance(m, ShardedKVStore):
+            return ("skv", tuple(sorted(m.data.items(), key=repr)),
+                    tuple(sorted(m.pending.items(), key=repr)),
+                    tuple(sorted(m.finished.items(), key=repr)), m.applied)
+        return super()._snapshot()
+
+    def _install_snapshot(self, snapshot):
+        m = self.machine
+        if (isinstance(snapshot, tuple) and len(snapshot) == 5
+                and snapshot[0] == "skv" and isinstance(m, ShardedKVStore)):
+            m.data = dict(snapshot[1])
+            m.pending = dict(snapshot[2])
+            m.finished = dict(snapshot[3])
+            m.applied = snapshot[4]
+            return
+        super()._install_snapshot(snapshot)
+
+
+class TransferCoordinator:
+    """Drives one cross-shard transfer through its phases.
+
+    The coordinator is a *client*: it submits commands through any live
+    replica of the relevant shard and watches replica state to learn the
+    ordered outcome.  Timeouts (e.g. the submitting member crashed and
+    the shard is mid-view-change) are handled by resubmitting the SAME
+    command -- same txid -- through another live replica; idempotency in
+    :class:`ShardedKVStore` makes the retry safe whether or not the
+    first submission survived the flush.
+    """
+
+    def __init__(self, manager, replicas, phase_timeout=3.0, attempts=4):
+        self.manager = manager
+        self.replicas = replicas       # {shard: {node_id: ShardReplica}}
+        self.phase_timeout = phase_timeout
+        self.attempts = attempts
+        self.retries = 0
+
+    # ------------------------------------------------------------------
+    def _live(self, shard):
+        for node_id in sorted(self.replicas[shard]):
+            replica = self.replicas[shard][node_id]
+            if not replica.endpoint.process.stopped:
+                yield replica
+
+    def _machines(self, shard):
+        return [replica.machine for replica in self._live(shard)]
+
+    def _phase(self, shard, command, done):
+        """Submit ``command`` on ``shard`` until ``done(machine)`` holds on
+        some live replica; resubmits with the same txid on timeout."""
+        for _attempt in range(self.attempts):
+            submitter = next(iter(self._live(shard)), None)
+            if submitter is None:
+                return False
+            submitter.submit(command)
+            ok = self.manager.run_until(
+                lambda: any(done(m) for m in self._machines(shard)),
+                timeout=self.phase_timeout)
+            if ok:
+                return True
+            self.retries += 1
+        return False
+
+    # ------------------------------------------------------------------
+    def transfer(self, txid, src_key, dst_key, amount):
+        """Run the whole protocol; returns the outcome string.
+
+        ``"committed"``  -- debited on the source shard, credited on the
+        destination; ``"aborted"`` -- no net effect (insufficient funds,
+        or the credit could not be ordered and the debit was refunded);
+        ``"failed"`` -- a phase could not complete within the retry
+        budget (e.g. a shard lost its quorum); the parked debit, if any,
+        is still refundable by resubmitting ``xfer_abort`` later.
+        """
+        src_shard = self.manager.route(src_key)
+        dst_shard = self.manager.route(dst_key)
+        if src_shard == dst_shard:
+            # the degenerate same-shard case is one ordered command pair
+            ok = self._phase(
+                src_shard, ("xfer_prepare", txid, src_key, amount),
+                lambda m: txid in m.pending or txid in m.finished)
+            if not ok:
+                return "failed"
+            if self._outcome(src_shard, txid) == "aborted":
+                return "aborted"
+            self._phase(src_shard, ("xfer_credit", txid, dst_key, amount),
+                        lambda m: m.finished.get(txid) is not None)
+            ok = self._phase(src_shard, ("xfer_commit", txid),
+                             lambda m: m.finished.get(txid) == "committed")
+            return "committed" if ok else "failed"
+        ok = self._phase(src_shard, ("xfer_prepare", txid, src_key, amount),
+                         lambda m: txid in m.pending or txid in m.finished)
+        if not ok:
+            return "failed"
+        if self._outcome(src_shard, txid) == "aborted":
+            return "aborted"
+        ok = self._phase(dst_shard, ("xfer_credit", txid, dst_key, amount),
+                         lambda m: m.finished.get(txid) == "credited")
+        if not ok:
+            # destination unreachable: refund the parked debit
+            refunded = self._phase(
+                src_shard, ("xfer_abort", txid),
+                lambda m: m.finished.get(txid) == "aborted")
+            return "aborted" if refunded else "failed"
+        ok = self._phase(src_shard, ("xfer_commit", txid),
+                         lambda m: m.finished.get(txid) == "committed")
+        return "committed" if ok else "failed"
+
+    def _outcome(self, shard, txid):
+        for machine in self._machines(shard):
+            if txid in machine.pending:
+                return "prepared"
+            outcome = machine.finished.get(txid)
+            if outcome is not None:
+                return outcome
+        return None
+
+
+class ShardedRSM:
+    """The whole service: one :class:`ShardReplica` per endpoint, key
+    routing, and cross-shard transfers -- the object the quickstart and
+    the benchmarks drive."""
+
+    def __init__(self, manager, phase_timeout=3.0):
+        self.manager = manager
+        self.replicas = {
+            shard: {node_id: ShardReplica(endpoint)
+                    for node_id, endpoint in group.endpoints.items()}
+            for shard, group in manager.groups.items()}
+        self.coordinator = TransferCoordinator(manager, self.replicas,
+                                               phase_timeout=phase_timeout)
+        self._txid_seq = 0
+
+    def submit(self, key, command, size=32):
+        """Order a single-key command on the shard owning ``key``."""
+        shard = self.manager.route(key)
+        for node_id in sorted(self.replicas[shard]):
+            replica = self.replicas[shard][node_id]
+            if not replica.endpoint.process.stopped:
+                return replica.submit(command, size=size)
+        raise RuntimeError("shard %r has no live replica" % (shard,))
+
+    def get(self, key):
+        """Read ``key`` from a live replica of its shard (local read --
+        the RSM's agreed state, not a linearizable quorum read)."""
+        shard = self.manager.route(key)
+        for node_id in sorted(self.replicas[shard]):
+            replica = self.replicas[shard][node_id]
+            if not replica.endpoint.process.stopped:
+                return replica.machine.data.get(key)
+        raise RuntimeError("shard %r has no live replica" % (shard,))
+
+    def transfer(self, src_key, dst_key, amount, txid=None):
+        if txid is None:
+            self._txid_seq += 1
+            txid = ("tx", self._txid_seq, repr(src_key), repr(dst_key))
+        return self.coordinator.transfer(txid, src_key, dst_key, amount)
+
+    def shard_digests(self, shard):
+        """Per-replica state digests of one shard (divergence check)."""
+        return {node_id: replica.state_digest()
+                for node_id, replica in self.replicas[shard].items()
+                if not replica.endpoint.process.stopped}

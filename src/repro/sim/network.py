@@ -81,14 +81,21 @@ class Cpu:
 class _Port:
     """Internal record of an attached node."""
 
-    __slots__ = ("node_id", "deliver", "gossip_deliver", "nic", "crashed")
+    __slots__ = ("node_id", "deliver", "gossip_deliver", "nic", "crashed",
+                 "group")
 
-    def __init__(self, node_id, deliver, gossip_deliver, nic):
+    def __init__(self, node_id, deliver, gossip_deliver, nic, group=None):
         self.node_id = node_id
         self.deliver = deliver
         self.gossip_deliver = gossip_deliver
         self.nic = nic
         self.crashed = False
+        # shard plane (repro.shard): the group this port belongs to, or
+        # None for a single-group network.  Gossip is scoped to the
+        # port's own group -- the discovery channel must not leak view
+        # announcements across shards, or the merge machinery would try
+        # to fold independent groups into one.
+        self.group = group
 
 
 class Network:
@@ -131,8 +138,13 @@ class Network:
     # ------------------------------------------------------------------
     # membership of the physical network
     # ------------------------------------------------------------------
-    def attach(self, node_id, deliver, gossip_deliver=None):
-        """Plug a node in.  ``deliver(src, payload)`` is its datagram sink."""
+    def attach(self, node_id, deliver, gossip_deliver=None, group=None):
+        """Plug a node in.  ``deliver(src, payload)`` is its datagram sink.
+
+        ``group`` tags the port for the shard plane: gossip from this
+        node reaches only same-group ports (None = the single-group
+        network, where every port sees every cast, unchanged).
+        """
         if node_id in self._ports:
             raise ValueError("node %r already attached" % (node_id,))
         nic_id = self.topology.nic_id(node_id)
@@ -141,7 +153,7 @@ class Network:
             nic = Nic(self.sim, self.topology.nic_bandwidth_bps,
                       self.topology.per_packet_overhead_bytes)
             self._nics[nic_id] = nic
-        port = _Port(node_id, deliver, gossip_deliver, nic)
+        port = _Port(node_id, deliver, gossip_deliver, nic, group=group)
         self._ports[node_id] = port
         self._component.setdefault(node_id, 0)
         return port
@@ -157,7 +169,13 @@ class Network:
             port.crashed = True
 
     def nic_of(self, node_id):
-        return self._ports[node_id].nic
+        port = self._ports.get(node_id)
+        if port is not None:
+            return port.nic
+        # the NIC is physical and shared (blade placements): it outlives
+        # any one port's attachment, e.g. post-teardown inspection after
+        # Group.stop released the group's transport registrations
+        return self._nics[self.topology.nic_id(node_id)]
 
     def degrade_nic(self, node_id, factor):
         """Scale a node's NIC bandwidth (chaos fault: a flaky or
@@ -267,8 +285,15 @@ class Network:
         # every later draw in the run (see the class docstring)
         config = self.config
         rng_random = self.sim.rng.random
+        group = src_port.group
         for node_id, port in self._ports.items():
             if node_id == src or port.crashed or port.gossip_deliver is None:
+                continue
+            # shard scoping sits with the other pre-draw filters: a
+            # cross-group receiver consumes no RNG draw (exactly like a
+            # disconnected one), so an all-None single-group network
+            # draws the identical stream it always did
+            if port.group != group:
                 continue
             if not self.connected(src, node_id):
                 continue

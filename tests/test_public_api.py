@@ -36,7 +36,9 @@ def test_documented_surface_is_exported():
     for name in ("Group", "GroupEndpoint", "StackConfig", "NetworkConfig",
                  "HostModel", "Field", "ObsConfig", "MetricsRegistry",
                  "MuteNode", "VerboseNode", "TwoFacedCaster",
-                 "check_virtual_synchrony", "View", "ViewId"):
+                 "check_virtual_synchrony", "View", "ViewId",
+                 "Cluster", "ShardManager", "ShardDirectory", "HashRing",
+                 "ShardedRSM", "WireConfig", "ShardConfig", "ChaosConfig"):
         assert name in repro.__all__, name
         assert hasattr(repro, name), name
 
