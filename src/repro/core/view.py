@@ -28,7 +28,15 @@ class ViewId:
         return (self.counter, repr(self.creator))
 
     def __eq__(self, other):
-        return isinstance(other, ViewId) and self.key() == other.key()
+        # per-message hot path (the bottom layer compares every arriving
+        # message's view id): identity first -- in the simulator messages
+        # carry the installed view's own ViewId object -- then fields
+        # directly, skipping the key() tuples + repr
+        if other is self:
+            return True
+        return (isinstance(other, ViewId)
+                and self.counter == other.counter
+                and self.creator == other.creator)
 
     def __lt__(self, other):
         return self.key() < other.key()

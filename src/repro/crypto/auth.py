@@ -68,6 +68,25 @@ class Authenticator:
         """Returns ``(ok, cpu_cost_seconds)``."""
         raise NotImplementedError
 
+    def verify_batch(self, receiver, items):
+        """Verify one drain's worth of frames in a single pass.
+
+        ``items`` is ``[(claimed_sender, data, signature), ...]`` -- one
+        entry per frame of a received datagram batch.  Returns
+        ``(verdicts, total_cpu_cost)`` with one boolean per item, in
+        order: per-frame verdicts are preserved, so one bad MAC strikes
+        only its own frame.  The base implementation loops over
+        :meth:`verify`; schemes override it to hoist per-sender state
+        (key lookups, half-initialized HMAC states) out of the loop.
+        """
+        verdicts = []
+        total = 0.0
+        for claimed_sender, data, signature in items:
+            ok, cost = self.verify(receiver, claimed_sender, data, signature)
+            verdicts.append(ok)
+            total += cost
+        return verdicts, total
+
 
 class NullAuth(Authenticator):
     """No authentication; used by the benign stack and NoCrypto configs."""
@@ -79,6 +98,9 @@ class NullAuth(Authenticator):
 
     def verify(self, receiver, claimed_sender, data, signature):
         return True, 0.0
+
+    def verify_batch(self, receiver, items):
+        return [True] * len(items), 0.0
 
 
 class PairwiseSymmetricAuth(Authenticator):
@@ -97,16 +119,29 @@ class PairwiseSymmetricAuth(Authenticator):
         super().__init__(keys, costs)
         # (a, b) -> half-initialized HMAC state under pair_key(a, b);
         # copy()+update() per MAC skips the per-call key schedule while
-        # producing byte-identical MAC values
+        # producing byte-identical MAC values.  The cache itself lives on
+        # the KeyManager when one is present, so co-hosted shard
+        # processes sharing a manager also share HMAC states (the same
+        # contract as the pairwise-key cache); the local dict is the
+        # fallback for keyless test doubles.
         self._mac_bases = {}
 
     def _mac_base(self, a, b):
+        # the local dict is an L1 memo: the *object* comes from the shared
+        # KeyManager when one is present, so co-hosted authenticators still
+        # share one HMAC state per pair; the memo only skips the manager
+        # round-trip on the per-MAC hot path
         base = self._mac_bases.get((a, b))
-        if base is None:
-            base = hmac.new(self.keys.pair_key(a, b),
+        if base is not None:
+            return base
+        keys = self.keys
+        if keys is not None and hasattr(keys, "mac_base"):
+            base = keys.mac_base(a, b)
+        else:
+            base = hmac.new(keys.pair_key(a, b),
                             digestmod=hashlib.sha256)
-            self._mac_bases[(a, b)] = base
-            self._mac_bases[(b, a)] = base  # pairwise keys are symmetric
+        self._mac_bases[(a, b)] = base
+        self._mac_bases[(b, a)] = base  # pairwise keys are symmetric
         return base
 
     def _mac(self, a, b, payload):
@@ -115,12 +150,20 @@ class PairwiseSymmetricAuth(Authenticator):
         return state.digest()[:MAC_BYTES]
 
     def sign(self, sender, receivers, data):
+        # n-1 MACs per broadcast: the _mac/_mac_base frames are inlined
+        # (identical MAC bytes, two fewer Python calls per receiver)
         payload = stable_bytes(data)
         macs = {}
+        bases = self._mac_bases
         for receiver in receivers:
             if receiver == sender:
                 continue
-            macs[receiver] = self._mac(sender, receiver, payload)
+            base = bases.get((sender, receiver))
+            if base is None:
+                base = self._mac_base(sender, receiver)
+            state = base.copy()
+            state.update(payload)
+            macs[receiver] = state.digest()[:MAC_BYTES]
         cost = self.costs.sym_sign * len(macs)
         return macs, cost, MAC_BYTES * len(macs)
 
@@ -131,8 +174,40 @@ class PairwiseSymmetricAuth(Authenticator):
         mac = signature.get(receiver)
         if mac is None:
             return False, cost
-        expected = self._mac(claimed_sender, receiver, stable_bytes(data))
-        return hmac.compare_digest(mac, expected), cost
+        base = self._mac_bases.get((claimed_sender, receiver))
+        if base is None:
+            base = self._mac_base(claimed_sender, receiver)
+        state = base.copy()
+        state.update(data if isinstance(data, bytes) else stable_bytes(data))
+        return hmac.compare_digest(mac, state.digest()[:MAC_BYTES]), cost
+
+    def verify_batch(self, receiver, items):
+        # one half-initialized HMAC state lookup per *sender* per drain
+        # (a datagram batch is usually many frames from one sender), and
+        # the loop body is branch-lean: the verdicts are byte-identical
+        # to per-frame verify() calls
+        total = self.costs.sym_verify * len(items)
+        verdicts = []
+        append = verdicts.append
+        bases = {}
+        compare_digest = hmac.compare_digest
+        for claimed_sender, data, signature in items:
+            if not isinstance(signature, dict):
+                append(False)
+                continue
+            mac = signature.get(receiver)
+            if mac is None:
+                append(False)
+                continue
+            base = bases.get(claimed_sender)
+            if base is None:
+                base = bases[claimed_sender] = self._mac_base(
+                    claimed_sender, receiver)
+            state = base.copy()
+            state.update(data if isinstance(data, bytes)
+                         else stable_bytes(data))
+            append(compare_digest(mac, state.digest()[:MAC_BYTES]))
+        return verdicts, total
 
 
 class PublicKeyAuth(Authenticator):
@@ -160,6 +235,24 @@ class PublicKeyAuth(Authenticator):
         key = self.keys.verify_key_of(claimed_sender)
         expected = hmac.new(key, stable_bytes(data), hashlib.sha256).digest()
         return hmac.compare_digest(signature, expected), cost
+
+    def verify_batch(self, receiver, items):
+        # one verification-key lookup per sender per drain
+        total = self.costs.pub_verify * len(items)
+        verdicts = []
+        keys = {}
+        for claimed_sender, data, signature in items:
+            if not isinstance(signature, bytes):
+                verdicts.append(False)
+                continue
+            key = keys.get(claimed_sender)
+            if key is None:
+                key = keys[claimed_sender] = self.keys.verify_key_of(
+                    claimed_sender)
+            expected = hmac.new(key, stable_bytes(data),
+                                hashlib.sha256).digest()
+            verdicts.append(hmac.compare_digest(signature, expected))
+        return verdicts, total
 
 
 def make_authenticator(scheme, keys, costs):

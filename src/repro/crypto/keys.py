@@ -47,6 +47,7 @@ class KeyManager:
             master_secret = master_secret.encode("utf-8")
         self._master = master_secret
         self._pair_cache = {}   # (a, b) -> pairwise key (both orderings)
+        self._mac_base_cache = {}  # (a, b) -> half-initialized HMAC state
         self._priv_cache = {}   # owner -> signing key
         # derivation-vs-cache accounting: with one manager shared across a
         # whole shard plane (repro.shard), each node pair derives exactly
@@ -71,12 +72,30 @@ class KeyManager:
         self._pair_cache[(b, a)] = key
         return key
 
+    def mac_base(self, a, b):
+        """Half-initialized HMAC-SHA256 state under ``pair_key(a, b)``.
+
+        Callers ``copy()`` the returned state and ``update()`` the copy;
+        the key schedule is paid once per pair per manager.  Like the
+        pairwise-key cache, the state is shared across every authenticator
+        holding this manager (one per co-hosted shard process), so the
+        whole shard plane performs each key schedule once.
+        """
+        cached = self._mac_base_cache.get((a, b))
+        if cached is not None:
+            return cached
+        base = hmac.new(self.pair_key(a, b), digestmod=hashlib.sha256)
+        self._mac_base_cache[(a, b)] = base
+        self._mac_base_cache[(b, a)] = base  # pairwise keys are symmetric
+        return base
+
     def stats(self):
         """Cache-effectiveness snapshot of the (possibly shared) manager."""
         return {"pair_derivations": self.pair_derivations,
                 "pair_cache_hits": self.pair_cache_hits,
                 "signing_derivations": self.signing_derivations,
-                "pairs_cached": len(self._pair_cache) // 2}
+                "pairs_cached": len(self._pair_cache) // 2,
+                "mac_bases_cached": len(self._mac_base_cache) // 2}
 
     def private_key_of(self, owner, requester):
         """Signing key of ``owner``; only ``owner`` itself may fetch it."""

@@ -29,6 +29,11 @@ class BottomLayer(Layer):
 
     name = "bottom"
 
+    #: perf-parity switch (tests/test_perf_parity.py): with this off,
+    #: _process_pack_in verifies each frame through the per-message
+    #: reference path instead of one verify_batch call per drain
+    batch_verify = True
+
     def __init__(self):
         super().__init__()
         self.messages_signed = 0
@@ -51,6 +56,18 @@ class BottomLayer(Layer):
         # corruption-triggered suspicion: consecutive signature rejections
         # per transmitter since the last view change
         self._sig_strikes = {}
+        self._cpu_queue = None
+
+    def attach(self, stack):
+        super().attach(stack)
+        # every event this layer schedules fires at a Cpu.charge deadline,
+        # and those are non-decreasing per node -- so the whole CPU backlog
+        # rides one serial queue and the global heap holds at most one
+        # entry per node instead of one per queued datagram
+        # (docs/PERFORMANCE.md, "The CPU path")
+        self._cpu_queue = self.sim.serial_queue()
+        # fixed at process construction; cached off the per-message path
+        self._group_id = getattr(self.process, "group_id", None)
 
     # ------------------------------------------------------------------
     # downward: sign once, charge CPU, transmit per destination
@@ -63,7 +80,7 @@ class BottomLayer(Layer):
             receivers = tuple(m for m in self.view.mbrs if m != self.me)
         if not receivers:
             return
-        group = getattr(process, "group_id", None)
+        group = self._group_id
         if group is not None and msg.group != group:
             # multi-group envelope: stamped before signing so the shard id
             # is covered by the signature -- a datagram replayed into a
@@ -98,7 +115,8 @@ class BottomLayer(Layer):
             total_cpu = sign_cost + per_datagram * len(receivers)
         size = msg.wire_size(HEADER_BYTES * len(msg.headers), sig_bytes)
         done = process.cpu.charge(total_cpu)
-        self.sim.schedule_at(done, self._transmit, msg, receivers, size)
+        self.sim.schedule_serial(self._cpu_queue, done,
+                                 self._transmit, msg, receivers, size)
 
     def _transmit(self, msg, receivers, size):
         process = self.process
@@ -156,8 +174,9 @@ class BottomLayer(Layer):
         container = ("pack", tuple(msg for msg, _size in queue))
         self.packets_packed += 1
         self.count("packets_packed")
-        self.sim.schedule_at(done, self.process.network.send,
-                             self.me, dst, total, container)
+        self.sim.schedule_serial(self._cpu_queue, done,
+                                 self.process.network.send,
+                                 self.me, dst, total, container)
 
     # ------------------------------------------------------------------
     # upward: charge CPU, verify once, filter, pass up
@@ -177,13 +196,54 @@ class BottomLayer(Layer):
             # (consecutive heap sequence numbers at the same deadline), so
             # processing them in one callback preserves execution order
             # while saving k-1 heap operations per packet
-            self.sim.schedule_at(done, self._process_pack_in, src, inner)
+            self.sim.schedule_serial(self._cpu_queue, done,
+                                     self._process_pack_in, src, inner)
             return
         cost = host.recv_cpu + self._per_message_in_cost()
         done = self.process.cpu.charge(cost)
-        self.sim.schedule_at(done, self._process_in, src, msg)
+        self.sim.schedule_serial(self._cpu_queue, done,
+                                 self._process_in, src, msg)
 
     def _process_pack_in(self, src, inner):
+        process = self.process
+        if self.batch_verify and self.config.byzantine and not process.stopped:
+            # one verify_batch pass for the whole drain: the transport
+            # metadata is popped up-front (all frames arrived in this one
+            # callback either way, so the early pop is invisible), frames
+            # failing the impersonation check are excluded exactly as the
+            # per-message path never verifies them, and every
+            # verdict-dependent side effect (drops, strikes, delivery)
+            # still runs per-frame, in frame order
+            incs = []
+            items = []
+            for msg in inner:
+                incs.append(msg.pop_header("inc", 0))
+                if msg.sender == src:
+                    items.append((
+                        msg.origin if msg.sender == msg.origin
+                        else msg.sender,
+                        msg.auth_token(), msg.signature))
+            verdicts, _cost = process.auth.verify_batch(self.me, items)
+            verdict_iter = iter(verdicts)
+            finish = self._finish_in
+            for msg, inc in zip(inner, incs):
+                if process.stopped:
+                    return
+                if msg.sender != src:
+                    self.dropped_impersonation += 1
+                    self.count("drop_impersonation")
+                    process.verbose_detector.illegal(
+                        src, "bottom:impersonation")
+                    continue
+                if not next(verdict_iter):
+                    self.dropped_bad_signature += 1
+                    self.count("drop_bad_signature")
+                    process.verbose_detector.illegal(
+                        src, "bottom:bad-signature")
+                    self._sig_strike(src)
+                    continue
+                finish(src, msg, inc)
+            return
         process_in = self._process_in
         for one in inner:
             process_in(src, one)
@@ -225,7 +285,13 @@ class BottomLayer(Layer):
                 process.verbose_detector.illegal(src, "bottom:bad-signature")
                 self._sig_strike(src)
                 return
-        if msg.group != getattr(process, "group_id", None):
+        self._finish_in(src, msg, inc)
+
+    def _finish_in(self, src, msg, inc):
+        """Post-verification filters and delivery, shared by the
+        per-message and batched receive paths."""
+        process = self.process
+        if msg.group != self._group_id:
             # a message for another shard on the shared transport (or a
             # cross-shard replay): never let it reach this group's layers
             self.dropped_wrong_group += 1

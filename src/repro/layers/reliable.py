@@ -73,6 +73,16 @@ class ReliableLayer(Layer):
     #: must stay byte-identical to
     incremental_ack_vector = True
 
+    #: perf-parity switch: senders memoize their delivered vector and its
+    #: entry tuples, so in the simulator repeated acks arrive as the same
+    #: objects -- receivers diff each ack against the sender's previous
+    #: one by identity and re-validate/re-merge only the changed entries
+    #: (validation is pure in the vector and monotone in out_seq; the
+    #: stability merge is max-idempotent).  The trailing-gap scan is
+    #: skipped only while provably clean (see _on_ack).  Off: every ack
+    #: takes the full path.
+    ack_vector_memo = True
+
     def __init__(self):
         super().__init__()
         self._reset_state()
@@ -101,6 +111,8 @@ class ReliableLayer(Layer):
         self._cut = None        # {origin: seq} ceiling on the app stream
         self._cut_callback = None
         self._trailing_nak_at = {}  # (origin, stream) -> last trailing NAK
+        self._ack_seen = {}     # sender -> last fully-processed ack vector
+        self._ack_dirty = {}    # sender -> last trailing scan found a gap
         # NAK-storm suppression: per-window global NAK budget
         self._nak_window_start = -1.0
         self._naks_in_window = 0
@@ -412,7 +424,48 @@ class ReliableLayer(Layer):
             if self.config.byzantine:
                 self.process.verbose_detector.illegal(msg.sender, "rel:bad-ack")
             return
-        for entry in vector:
+        if self.ack_vector_memo:
+            # Receive-side ack diffing.  Senders memoize their delivered
+            # vector and its entry tuples (_dv_entries reuses unchanged
+            # entry objects across rebuilds), so in the simulator the
+            # repeats arrive as the *same objects*.  Three levels:
+            #
+            # * identical vector object: it already validated (validation
+            #   is pure in the vector) and merged (max-merge idempotent);
+            #   only the listener notify -- on_ack(()) -- and, when the
+            #   last scan found a gap, trailing recovery still run;
+            # * same-sender update: entries present (by identity) in the
+            #   previously-accepted vector are already validated/merged --
+            #   only the changed entries take the full path.  _ack_seen
+            #   keeps the previous vector alive, so an id() collision
+            #   with its entries is impossible;
+            # * first ack from a sender (or a real-network decode, which
+            #   always produces fresh tuples): full reference path below.
+            #
+            # Trailing recovery is skippable only when provably a no-op:
+            # _ack_dirty records whether the last scan of this sender's
+            # vector found any entry ahead of our stream tops.  Tops only
+            # grow within a view (delivered + contiguous buffered
+            # prefix), so a clean entry stays clean forever; a dirty
+            # vector keeps full scans (the NAK re-request path) until a
+            # scan comes back clean.  Over a real network every ack
+            # misses the memo and behaves exactly like the reference.
+            prev = self._ack_seen.get(msg.sender)
+            if vector is prev:
+                self.process.stability.on_ack(msg.sender, ())
+                if self._ack_dirty.get(msg.sender):
+                    self._ack_dirty[msg.sender] = \
+                        self._recover_trailing(vector)
+                return
+            if prev is not None:
+                prev_ids = set(map(id, prev))
+                entries = tuple(entry for entry in vector
+                                if id(entry) not in prev_ids)
+            else:
+                entries = vector
+        else:
+            entries = vector
+        for entry in entries:
             if (not isinstance(entry, tuple) or len(entry) != 3
                     or not isinstance(entry[2], int) or entry[2] < 0):
                 if self.config.byzantine:
@@ -422,12 +475,23 @@ class ReliableLayer(Layer):
             origin, stream, cum = entry
             # verbose check: acknowledging our own stream beyond what we
             # ever sent is a message a correct process could never send
+            # (out_seq only grows, so entries validated with an earlier
+            # vector cannot become illegal and are safe to skip above)
             if (origin == self.me and stream in self._out_seq
                     and cum > self._out_seq[stream]
                     and self.config.byzantine):
                 self.process.verbose_detector.illegal(
                     msg.sender, "rel:ack-for-unsent")
                 return
+        if self.ack_vector_memo:
+            self._ack_seen[msg.sender] = vector
+            self.process.stability.on_ack(msg.sender, entries)
+            if entries is vector or self._ack_dirty.get(msg.sender):
+                self._ack_dirty[msg.sender] = self._recover_trailing(vector)
+            else:
+                self._ack_dirty[msg.sender] = \
+                    self._recover_trailing(entries)
+            return
         self.process.stability.on_ack(msg.sender, vector)
         self._recover_trailing(vector)
 
@@ -474,19 +538,34 @@ class ReliableLayer(Layer):
         message of a burst has none.  Ack vectors double as existence
         proofs: if any member acknowledges an origin's stream beyond what
         we hold, the missing suffix is real and we request it.
+
+        Returns True if any entry was ahead of our stream tops -- even a
+        NAK-throttled one, which must stay eligible for a re-request on a
+        later scan (the ack-diff memo in _on_ack keys off this).
         """
+        dirty = False
         now = self.sim.now
+        # the incremental delivered-vector map already holds each
+        # in-stream's top (delivered + buffered prefix), refreshed by
+        # every _drain -- reuse it instead of rescanning the buffer per
+        # ack entry (the scan made each ack O(members x window))
+        dv_map = self._dv_map if self.incremental_ack_vector else None
         for origin, stream, cum in vector:
             if stream not in (STREAM_APP, STREAM_CTL) or origin == self.me:
                 continue
-            state = self._in_streams.get((origin, stream))
-            top = 0
-            if state is not None:
-                top = state.delivered
-                while top + 1 in state.buffer:
-                    top += 1
+            if dv_map is not None:
+                entry = dv_map.get(("in", origin, stream))
+                top = entry[2] if entry is not None else 0
+            else:
+                state = self._in_streams.get((origin, stream))
+                top = 0
+                if state is not None:
+                    top = state.delivered
+                    while top + 1 in state.buffer:
+                        top += 1
             if cum <= top:
                 continue
+            dirty = True
             key = (origin, stream)
             last = self._trailing_nak_at.get(key, -1.0)
             if now - last < self.config.retrans_timeout:
@@ -496,6 +575,7 @@ class ReliableLayer(Layer):
             # ranges the origin never sent
             self.request_range(origin, stream, top + 1,
                                min(cum, top + self.config.flow_window))
+        return dirty
 
     # ------------------------------------------------------------------
     # loss recovery

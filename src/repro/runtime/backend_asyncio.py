@@ -17,12 +17,36 @@ profile is the real-network analogue of the MANET rescale in
 
 from __future__ import annotations
 
+import os
+
 from repro.core.process import GroupProcess
 from repro.core.view import View, ViewId, singleton_view
 from repro.crypto.keys import KeyManager
 from repro.runtime.clock import AsyncioClock
 from repro.runtime.interface import Runtime
 from repro.runtime.transport import AsyncioTransport
+
+
+def install_uvloop():
+    """Swap the default asyncio event-loop policy for uvloop if present.
+
+    uvloop is an *optional* extra (``pip install .[perf]``): the runtime
+    must work from a bare checkout, so a missing module is simply False.
+    Set ``REPRO_UVLOOP=0`` (or ``off``/``no``/``false``) to keep the
+    stock loop even when uvloop is importable -- e.g. to bisect a
+    loop-dependent difference.  Returns True when uvloop was installed.
+    Call it *before* creating the event loop; an already-running loop is
+    unaffected by a policy change.
+    """
+    if os.environ.get("REPRO_UVLOOP", "").strip().lower() in (
+            "0", "off", "no", "false"):
+        return False
+    try:
+        import uvloop
+    except ImportError:
+        return False
+    uvloop.install()
+    return True
 
 
 def net_profile(config):

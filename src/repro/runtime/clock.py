@@ -107,6 +107,16 @@ class AsyncioClock:
         self._live.add(timer)
         return timer
 
+    def serial_queue(self):
+        """The asyncio loop already merges timers in O(log pending); no
+        per-queue bookkeeping is worth it here (see Simulator.serial_queue)."""
+        return None
+
+    def schedule_serial(self, queue, deadline, callback, *args):
+        """Surface parity with the simulator; plain ``schedule_at``."""
+        del queue
+        return self.schedule_at(deadline, callback, *args)
+
     def _fire(self, timer):
         self._live.discard(timer)
         if timer.cancelled or self.closed:

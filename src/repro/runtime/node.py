@@ -43,7 +43,8 @@ import traceback
 from repro.core.config import StackConfig
 from repro.core.endpoint import GroupEndpoint
 from repro.core.history import History
-from repro.runtime.backend_asyncio import AsyncioRuntime, net_profile
+from repro.runtime.backend_asyncio import (AsyncioRuntime, install_uvloop,
+                                           net_profile)
 from repro.runtime.report import NodeReport
 from repro.runtime.workload import NetWorkload, NodeScript
 
@@ -187,6 +188,9 @@ def main(argv=None):
         return 2
     with open(argv[0]) as handle:
         spec = json.load(handle)
+    # optional perf extra: uvloop when installed (REPRO_UVLOOP=0 to veto);
+    # must run before the loop is created to take effect
+    install_uvloop()
     loop = asyncio.new_event_loop()
     asyncio.set_event_loop(loop)
     try:

@@ -588,7 +588,9 @@ class AsyncioTransport:
         if self.closed or self.crashed:
             return
         self.bytes_in += len(data)
-        frames, errors = decode_datagram(data)
+        # hand the codec a view so its offset walk never copies the
+        # datagram; escaping values are materialized inside the decoder
+        frames, errors = decode_datagram(memoryview(data))
         if errors:
             # per-sub-frame attribution: one corrupt sub-frame strikes
             # its source without discarding decodable siblings

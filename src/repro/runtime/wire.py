@@ -46,11 +46,28 @@ Content authentication is *not* the codec's job: a bit flip that still
 decodes (e.g. inside a string) reconstructs a message whose HMAC no
 longer matches its content, and the bottom layer's signature check drops
 it -- the same defense the simulator's Byzantine mutators exercise.
+
+Zero-copy decoding (docs/PERFORMANCE.md, "The CPU path"): the decoders
+normalize their input to one :class:`memoryview` and walk it by offset.
+Slices taken during the walk (string bodies, big-int magnitudes, batch
+sub-frames) are views, not copies; bytes are materialized only where a
+value *escapes* into a long-lived Python object (``_T_BYTES`` payloads,
+and the str/int constructors which copy inherently).  Batch sub-frames
+decode in place against their computed ``end`` offset instead of being
+carved into per-sub-frame ``bytes`` bodies first.  The
+:data:`ZERO_COPY` switch (tests/test_perf_parity.py,
+tests/test_wire_codec.py) restores the copy-per-sub-frame reference
+path; either way any buffer type -- ``bytes``, ``bytearray``,
+``memoryview`` -- decodes to identical values and identical
+frame-vs-error verdicts (only error *strings* may differ).
 """
 
 from __future__ import annotations
 
 import struct
+
+#: perf-parity switch: False restores the copying reference decoder
+ZERO_COPY = True
 
 MAGIC = b"JB"
 WIRE_VERSION = 3
@@ -282,8 +299,26 @@ def encode_frame(frame_type, src, payload):
 # ----------------------------------------------------------------------
 # decoding
 # ----------------------------------------------------------------------
+def _as_buffer(data):
+    """Normalize decoder input: one flat buffer, no payload copy.
+
+    With :data:`ZERO_COPY` on, anything buffer-like becomes a
+    ``memoryview`` (free for ``bytes``/``bytearray``; an incoming view
+    passes through).  With the switch off, the reference decoder runs on
+    a plain ``bytes`` copy, so every slice below is a copy too.
+    """
+    if ZERO_COPY:
+        if type(data) is memoryview:
+            return data
+        return memoryview(data)
+    if type(data) is bytes:
+        return data
+    return bytes(data)
+
+
 def decode_value(data):
     """Decode one value from ``data``; the whole buffer must be consumed."""
+    data = _as_buffer(data)
     value, offset = _decode(data, 0, 0)
     if offset != len(data):
         raise WireError("trailing garbage after value (%d of %d bytes)"
@@ -348,9 +383,11 @@ def _decode(data, offset, depth, msg_fields=None):
     if tag == _T_STR:
         length, offset = _count(data, offset)
         _need(data, offset, length)
-        raw = bytes(data[offset:offset + length])
+        # str() decodes straight out of the (view) slice; the only copy
+        # is the str object itself, which escapes anyway
         try:
-            return raw.decode("utf-8"), offset + length
+            return (str(data[offset:offset + length], "utf-8"),
+                    offset + length)
         except UnicodeDecodeError as err:
             raise WireError("invalid utf-8 in string: %s" % err)
     if tag == _T_BYTES:
@@ -413,9 +450,12 @@ def decode_frame(data):
     ``err.src`` so the receiver can attribute the corruption.
     """
     src = None
+    data = _as_buffer(data)
     try:
         _need(data, 0, 4)
-        if bytes(data[:2]) != MAGIC:
+        # memoryview compares content against bytes directly -- no
+        # 2-byte copy per datagram just to check the magic
+        if data[:2] != MAGIC:
             raise WireError("bad magic %r" % (bytes(data[:2]),))
         if data[2] not in DECODABLE_VERSIONS:
             raise WireError("unsupported wire version %d" % data[2])
@@ -456,7 +496,8 @@ def decode_datagram(data):
     drops the remainder of the datagram with a single error, the same
     blast radius a v1 frame had.
     """
-    if len(data) < 4 or bytes(data[:2]) != MAGIC or data[3] != FRAME_BATCH:
+    data = _as_buffer(data)
+    if len(data) < 4 or data[:2] != MAGIC or data[3] != FRAME_BATCH:
         try:
             return [decode_frame(data)], []
         except WireError as err:
@@ -494,11 +535,24 @@ def decode_datagram(data):
             errors.append(err)
             return frames, errors
         end = offset + body_len
-        body = bytes(data[offset:end])
         try:
-            payload, stop = _decode(body, 0, 0, msg_fields)
-            if stop != len(body):
-                raise WireError("trailing garbage in sub-frame", src=src)
+            if ZERO_COPY:
+                # decode in place against the sub-frame's end offset: no
+                # per-sub-frame body copy.  A body that would have failed
+                # "truncated" in isolation instead decodes past ``end``
+                # and fails the stop check -- same per-sub-frame verdict,
+                # different error string; allocation stays bounded by the
+                # datagram size either way.
+                payload, stop = _decode(data, offset, 0, msg_fields)
+                if stop != end:
+                    raise WireError("sub-frame body length mismatch",
+                                    src=src)
+            else:
+                body = bytes(data[offset:end])
+                payload, stop = _decode(body, 0, 0, msg_fields)
+                if stop != len(body):
+                    raise WireError("trailing garbage in sub-frame",
+                                    src=src)
             frames.append((sub_type, src, payload))
         except WireError as err:
             if err.src is None:

@@ -81,5 +81,13 @@ class NodeClock:
     def schedule_at(self, deadline, callback, *args):
         return self.sim.schedule_at(deadline, callback, *args)
 
+    def serial_queue(self):
+        return self.sim.serial_queue()
+
+    def schedule_serial(self, queue, deadline, callback, *args):
+        # absolute deadlines (CPU completion physics) are never drifted,
+        # exactly like schedule_at
+        return self.sim.schedule_serial(queue, deadline, callback, *args)
+
     def __repr__(self):
         return "NodeClock(drift={:.3f})".format(self.drift)

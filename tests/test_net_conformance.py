@@ -99,7 +99,8 @@ def test_net_smoke_byzantine_config():
 def test_conformance_coalescing_off():
     """The wire coalescer is an optimization, not a protocol change: with
     ``wire_coalesce`` off the cluster must still converge and deliver in
-    order -- and emit measurably more (uncoalesced) datagrams."""
+    order -- emitting exactly one datagram per frame, where the coalesced
+    run packs multiple frames per datagram."""
     workload = NetWorkload(n=5, casts_per_node=3, leaver=None)
     off = run_net_workload(workload, seed=6,
                            config=dict(BYZ, wire_coalesce=False),
@@ -110,12 +111,18 @@ def test_conformance_coalescing_off():
     _assert_healthy(on, workload)
     datagrams_off = sum(r.counters.get("datagrams_sent", 0)
                         for r in off.reports.values())
+    frames_off = sum(r.counters.get("frames_sent", 0)
+                     for r in off.reports.values())
     datagrams_on = sum(r.counters.get("datagrams_sent", 0)
                        for r in on.reports.values())
     frames_on = sum(r.counters.get("frames_sent", 0)
                     for r in on.reports.values())
-    assert datagrams_on < datagrams_off, (datagrams_on, datagrams_off)
-    assert frames_on >= datagrams_on
+    # per-run invariants, not a cross-run datagram-count comparison:
+    # total chatter scales with how long each run happens to take (a
+    # longer run emits more periodic acks/heartbeats), so raw counts
+    # between two separately-timed real-network runs are noise
+    assert datagrams_off == frames_off, (datagrams_off, frames_off)
+    assert datagrams_on < frames_on, (datagrams_on, frames_on)
 
 
 def test_net_teardown_releases_resources():

@@ -16,29 +16,47 @@ Switches under test:
   SHA-256 digest;
 * ``ReliableLayer.incremental_ack_vector`` -- off = rebuild + repr-sort
   the delivered vector from scratch on every drain, and feed the full
-  vector (not the delta) to the stability tracker.
+  vector (not the delta) to the stability tracker;
+* ``ReliableLayer.ack_vector_memo`` -- off = every received ack is
+  re-validated and re-merged even when it is the identical memoized
+  tuple the sender already sent;
+* ``Simulator.serial_queues`` -- off = every CPU-completion event sits
+  in the global heap instead of the per-node serial-queue k-way merge;
+* ``BottomLayer.batch_verify`` -- off = packed datagrams verify each
+  inner message through the per-message reference path instead of one
+  ``verify_batch`` call per drain.
 """
 
 from contextlib import contextmanager
 
 from repro import StackConfig
 from repro.core.message import Message
+from repro.layers.bottom import BottomLayer
 from repro.layers.reliable import ReliableLayer
+from repro.sim.scheduler import Simulator
 from repro.tools.fuzzer import ScenarioFuzzer
 
 
 @contextmanager
-def switches(cache=True, token_mode="digest", incremental=True):
+def switches(cache=True, token_mode="digest", incremental=True,
+             ack_memo=True, serial=True, batch=True):
     saved = (Message.auth_cache_enabled, Message.auth_token_mode,
-             ReliableLayer.incremental_ack_vector)
+             ReliableLayer.incremental_ack_vector,
+             ReliableLayer.ack_vector_memo,
+             Simulator.serial_queues, BottomLayer.batch_verify)
     Message.auth_cache_enabled = cache
     Message.auth_token_mode = token_mode
     ReliableLayer.incremental_ack_vector = incremental
+    ReliableLayer.ack_vector_memo = ack_memo
+    Simulator.serial_queues = serial
+    BottomLayer.batch_verify = batch
     try:
         yield
     finally:
         (Message.auth_cache_enabled, Message.auth_token_mode,
-         ReliableLayer.incremental_ack_vector) = saved
+         ReliableLayer.incremental_ack_vector,
+         ReliableLayer.ack_vector_memo,
+         Simulator.serial_queues, BottomLayer.batch_verify) = saved
 
 
 def run_scenario(seed, config, **fuzz_kw):
@@ -61,8 +79,12 @@ VARIANTS = {
     "no-cache": dict(cache=False),
     "content-macs": dict(token_mode="content"),
     "full-ack-vector": dict(incremental=False),
+    "no-ack-memo": dict(ack_memo=False),
+    "heap-schedule": dict(serial=False),
+    "per-frame-verify": dict(batch=False),
     "all-reference": dict(cache=False, token_mode="content",
-                          incremental=False),
+                          incremental=False, ack_memo=False,
+                          serial=False, batch=False),
 }
 
 
@@ -121,10 +143,17 @@ def test_parity_wire_knobs():
 
 
 def test_switches_restore():
-    with switches(cache=False, token_mode="content", incremental=False):
+    with switches(cache=False, token_mode="content", incremental=False,
+                  ack_memo=False, serial=False, batch=False):
         assert Message.auth_cache_enabled is False
         assert Message.auth_token_mode == "content"
         assert ReliableLayer.incremental_ack_vector is False
+        assert ReliableLayer.ack_vector_memo is False
+        assert Simulator.serial_queues is False
+        assert BottomLayer.batch_verify is False
     assert Message.auth_cache_enabled is True
     assert Message.auth_token_mode == "digest"
     assert ReliableLayer.incremental_ack_vector is True
+    assert ReliableLayer.ack_vector_memo is True
+    assert Simulator.serial_queues is True
+    assert BottomLayer.batch_verify is True

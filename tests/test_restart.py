@@ -128,7 +128,7 @@ def _armed_victim_timers(group, victim, allow=()):
         owned.append(process.endpoint)
     owned_ids = {id(component) for component in owned}
     hits = []
-    for _deadline, _seq, timer in group.sim._heap:
+    for _deadline, _seq, timer in group.sim.timers():
         if timer.cancelled:
             continue
         callback = timer.callback

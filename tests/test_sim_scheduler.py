@@ -138,3 +138,133 @@ def test_step_processes_single_event():
     assert fired == [1]
     assert sim.step()
     assert not sim.step()
+
+
+# ----------------------------------------------------------------------
+# serial queues (the k-way merge behind per-node CPU completions)
+# ----------------------------------------------------------------------
+def test_serial_entries_interleave_with_heap_events():
+    sim = Simulator()
+    queue = sim.serial_queue()
+    fired = []
+    sim.schedule_serial(queue, 0.1, fired.append, "s1")
+    sim.schedule(0.2, fired.append, "h1")
+    sim.schedule_serial(queue, 0.3, fired.append, "s2")
+    sim.schedule(0.4, fired.append, "h2")
+    sim.schedule_serial(queue, 0.5, fired.append, "s3")
+    sim.run()
+    assert fired == ["s1", "h1", "s2", "h2", "s3"]
+
+
+def test_serial_ties_break_by_schedule_order():
+    # the insertion sequence comes from the shared counter at schedule
+    # time, so equal deadlines fire in schedule order across queues and
+    # plain heap entries alike -- the byte-identity contract
+    sim = Simulator()
+    qa, qb = sim.serial_queue(), sim.serial_queue()
+    fired = []
+    sim.schedule_serial(qa, 1.0, fired.append, "a1")
+    sim.schedule(1.0, fired.append, "h")
+    sim.schedule_serial(qb, 1.0, fired.append, "b1")
+    sim.schedule_serial(qa, 1.0, fired.append, "a2")
+    sim.run()
+    assert fired == ["a1", "h", "b1", "a2"]
+
+
+def test_serial_backlog_keeps_heap_small():
+    sim = Simulator()
+    queue = sim.serial_queue()
+    fired = []
+    for i in range(100):
+        sim.schedule_serial(queue, 0.1 * (i + 1), fired.append, i)
+    # only the queue head occupies the heap; the backlog is parked
+    assert len(sim._heap) == 1
+    assert sim.pending == 100
+    sim.run()
+    assert fired == list(range(100))
+    assert sim.pending == 0
+
+
+def test_serial_hidden_entry_cancellation():
+    sim = Simulator()
+    queue = sim.serial_queue()
+    fired = []
+    sim.schedule_serial(queue, 0.1, fired.append, "head")
+    hidden = sim.schedule_serial(queue, 0.2, fired.append, "hidden")
+    sim.schedule_serial(queue, 0.3, fired.append, "tail")
+    hidden.cancel()
+    sim.run()
+    assert fired == ["head", "tail"]
+
+
+def test_serial_head_cancellation_promotes_successor():
+    sim = Simulator()
+    queue = sim.serial_queue()
+    fired = []
+    head = sim.schedule_serial(queue, 0.1, fired.append, "head")
+    sim.schedule_serial(queue, 0.2, fired.append, "next")
+    head.cancel()
+    sim.run()
+    assert fired == ["next"]
+
+
+def test_serial_non_monotone_deadline_falls_back_to_heap():
+    # a deadline below the queue tail violates the monotonicity contract;
+    # the entry silently becomes a plain heap entry and still fires in
+    # correct global order
+    sim = Simulator()
+    queue = sim.serial_queue()
+    fired = []
+    sim.schedule_serial(queue, 0.5, fired.append, "tail")
+    sim.schedule_serial(queue, 0.2, fired.append, "early")
+    sim.run()
+    assert fired == ["early", "tail"]
+
+
+def test_serial_past_deadline_rejected():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    queue = sim.serial_queue()
+    with pytest.raises(SimulationError):
+        sim.schedule_serial(queue, 0.5, lambda: None)
+
+
+def test_serial_refill_after_drain():
+    # once a queue empties its next entry must re-enter the heap
+    sim = Simulator()
+    queue = sim.serial_queue()
+    fired = []
+    sim.schedule_serial(queue, 0.1, fired.append, "first")
+    sim.run()
+    sim.schedule_serial(queue, 0.2, fired.append, "second")
+    sim.run()
+    assert fired == ["first", "second"]
+
+
+def test_timers_covers_hidden_serial_entries():
+    sim = Simulator()
+    queue = sim.serial_queue()
+    sim.schedule_serial(queue, 0.1, lambda: None)
+    sim.schedule_serial(queue, 0.2, lambda: None)
+    sim.schedule(0.3, lambda: None)
+    deadlines = sorted(deadline for deadline, _seq, _timer in sim.timers())
+    assert deadlines == [0.1, 0.2, 0.3]
+
+
+def test_serial_switch_off_degrades_to_heap():
+    saved = Simulator.serial_queues
+    Simulator.serial_queues = False
+    try:
+        sim = Simulator()
+        queue = sim.serial_queue()
+        fired = []
+        sim.schedule_serial(queue, 0.1, fired.append, "s1")
+        sim.schedule_serial(queue, 0.2, fired.append, "s2")
+        # reference mode: every entry sits in the heap, none are hidden
+        assert len(sim._heap) == 2
+        assert sim.pending == 2
+        sim.run()
+        assert fired == ["s1", "s2"]
+    finally:
+        Simulator.serial_queues = saved

@@ -387,6 +387,108 @@ def test_frame_prefix_assembly_matches_encode_frame(frame_type, src, payload):
     assert assembled == encode_frame(frame_type, src, payload)
 
 
+# ----------------------------------------------------------------------
+# 5. zero-copy decoding (docs/PERFORMANCE.md, "The CPU path")
+# ----------------------------------------------------------------------
+# The decoder walks a single memoryview over the datagram with offset
+# slicing; only escaping values (bytes payloads, strings) are copied out.
+# Contract: for ANY buffer type (bytes, bytearray, memoryview) and ANY
+# damage, the decode outcome -- frames, error count, error attribution --
+# is identical to the reference bytes-only decoder.
+
+import repro.runtime.wire as wire_mod
+
+
+def _no_views(value):
+    """Decoded values must never leak memoryviews into the stack."""
+    assert not isinstance(value, memoryview)
+    if isinstance(value, (tuple, list, set, frozenset)):
+        for item in value:
+            _no_views(item)
+    elif isinstance(value, dict):
+        for k, v in value.items():
+            _no_views(k)
+            _no_views(v)
+
+
+def _outcome(data):
+    frames, errors = decode_datagram(data)
+    return frames, [(type(e), e.src) for e in errors]
+
+
+@given(st.integers(0, 1 << 20), subframe_lists)
+def test_buffer_types_decode_identically(src, subframes):
+    blob = encode_batch(src, subframes)
+    reference = _outcome(blob)
+    assert _outcome(bytearray(blob)) == reference
+    assert _outcome(memoryview(blob)) == reference
+    for _ft, _src, payload in reference[0]:
+        _no_views(payload)
+
+
+@given(values)
+def test_frame_decode_from_memoryview(payload):
+    frame = encode_frame(FRAME_DATAGRAM, 4, payload)
+    assert decode_frame(memoryview(frame)) == decode_frame(frame)
+    assert decode_value(memoryview(encode_value(payload))) == payload
+
+
+def test_batch_truncation_at_every_offset_matches_bytes_path():
+    # exhaustive truncation sweep: the zero-copy path must agree with the
+    # bytes path on every prefix -- same surviving frames, same error
+    # attribution, and never a non-WireError escape
+    blob = encode_batch(3, [(FRAME_DATAGRAM, ("alpha", 1)),
+                            (FRAME_GOSSIP, ("beta", (2, b"xy"))),
+                            (FRAME_DATAGRAM, ("gamma",))])
+    for cut in range(len(blob) + 1):
+        assert _outcome(memoryview(blob[:cut])) == _outcome(blob[:cut]), \
+            "zero-copy decode diverges at truncation offset %d" % cut
+
+
+def test_corrupt_subframe_spares_siblings_from_memoryview():
+    payloads = [("first", 1), ("second", 2), ("third", 3)]
+    batch = bytearray(encode_batch(
+        6, [(FRAME_DATAGRAM, p) for p in payloads]))
+    middle_body = (len(frame_prefix(FRAME_BATCH, 6)) + 4
+                   + 5 + len(encode_value(payloads[0])) + 5)
+    batch[middle_body] = 0xFF
+    frames, errors = decode_datagram(memoryview(batch))
+    assert [f[2] for f in frames] == [payloads[0], payloads[2]]
+    assert len(errors) == 1
+    assert errors[0].src == 6
+
+
+@given(subframe_lists, st.data())
+def test_zero_copy_switch_is_invisible(subframes, data):
+    # flip ZERO_COPY off (the copy-out reference decoder) and compare the
+    # full outcome on both clean and bit-flipped batches; only the error
+    # *strings* may differ, never the verdicts
+    batch = bytearray(encode_batch(8, subframes))
+    if data.draw(st.booleans()):
+        bit = data.draw(st.integers(0, len(batch) * 8 - 1))
+        batch[bit // 8] ^= 1 << (bit % 8)
+    blob = bytes(batch)
+    optimized = _outcome(memoryview(blob))
+    saved = wire_mod.ZERO_COPY
+    wire_mod.ZERO_COPY = False
+    try:
+        reference = _outcome(blob)
+    finally:
+        wire_mod.ZERO_COPY = saved
+    assert optimized == reference
+
+
+def test_decoded_strings_and_bytes_escape_the_buffer():
+    # str/bytes leaves must be real copies: mutating the receive buffer
+    # after decode must not change them (the transport reuses buffers)
+    buf = bytearray(encode_frame(FRAME_DATAGRAM, 2, ("hello", b"world")))
+    _ft, _src, payload = decode_frame(memoryview(buf))
+    for i in range(len(buf)):
+        buf[i] = 0
+    assert payload == ("hello", b"world")
+    assert type(payload[0]) is str and type(payload[1]) is bytes
+
+
 def test_undecodable_ignores_strangers_and_stopped_stacks():
     group = Group.bootstrap(4, config=StackConfig.byz(crypto="sym"), seed=5)
     try:
