@@ -1,0 +1,81 @@
+"""Soak-plane throughput benchmark: simulated events per wall-second.
+
+The nightly soak budget is wall-clock bound (~10 minutes), so the figure
+of merit is how many simulated churn events one soak cycle grinds through
+per second of real time.  This script runs short deterministic soaks
+across cluster sizes and reports events/sec plus per-cycle recovery
+statistics; with ``--out`` it writes a JSON artifact in the same shape as
+the other benchmark scripts.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_soak.py [--sizes 5,6,8]
+        [--events 150000] [--seed 7] [--out bench_soak.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from repro.tournament import run_soak
+
+
+def one_soak(n, events, seed):
+    started = time.perf_counter()
+    report = run_soak(seed, n=n, target_events=events)
+    wall = time.perf_counter() - started
+    return {
+        "n": n,
+        "seed": seed,
+        "target_events": events,
+        "events_processed": report["events_processed"],
+        "cycles": report["cycles"],
+        "sim_time": report["sim_time"],
+        "verdict": report["verdict"],
+        "byzantine_episodes": report["byzantine_episodes"],
+        "recovery_max": report["recovery"]["max"],
+        "recovery_mean": report["recovery"]["mean"],
+        "wall_seconds": round(wall, 3),
+        "events_per_sec": round(report["events_processed"] / wall, 1),
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sizes", default="5,6,8",
+                        help="comma-separated cluster sizes")
+    parser.add_argument("--events", type=int, default=150_000,
+                        help="target simulated events per soak point")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--out", default=None)
+    args = parser.parse_args(argv)
+    sizes = [int(token) for token in args.sizes.split(",")]
+
+    points = []
+    print("%4s %10s %8s %8s %10s %12s %8s"
+          % ("n", "events", "cycles", "sim s", "wall s", "events/s",
+             "verdict"))
+    for n in sizes:
+        point = one_soak(n, args.events, args.seed)
+        points.append(point)
+        print("%4d %10d %8d %8.1f %10.2f %12.0f %8s"
+              % (point["n"], point["events_processed"], point["cycles"],
+                 point["sim_time"], point["wall_seconds"],
+                 point["events_per_sec"], point["verdict"]))
+
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump({"bench": "soak", "seed": args.seed,
+                       "points": points}, handle, indent=2)
+        print("written to %s" % args.out)
+    return 0 if all(p["verdict"] == "pass" for p in points) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -165,6 +165,61 @@ def cmd_chaos(args):
     return 1 if summary["failed"] else 0
 
 
+def cmd_tournament(args):
+    """Evolve fault plans against the stack (or run a --soak campaign);
+    nonzero exit when a failure is found (or the soak fails)."""
+    import json
+    import os
+
+    from repro.tournament import run_soak, run_tournament
+
+    if args.soak:
+        report = run_soak(args.seed, n=args.nodes,
+                          target_events=args.events,
+                          recovery_bound=args.recovery_bound,
+                          byzantine=not args.benign, log=print)
+        print("soak seed %d: %s after %d cycles / %d events (%.1fs sim); "
+              "%d byzantine episodes, recovery max %s"
+              % (args.seed, report["verdict"].upper(), report["cycles"],
+                 report["events_processed"], report["sim_time"],
+                 report["byzantine_episodes"], report["recovery"]["max"]))
+        for line in (report["violations"] + report["state_violations"])[:10]:
+            print("  " + line)
+        if args.out:
+            os.makedirs(args.out, exist_ok=True)
+            path = os.path.join(args.out, "soak-seed%d.json" % args.seed)
+            with open(path, "w") as handle:
+                json.dump(report, handle, indent=2, default=str)
+            print("report written to %s" % path)
+        return 1 if report["verdict"] == "fail" else 0
+
+    report = run_tournament(args.seed, n=args.nodes,
+                            population=args.population,
+                            generations=args.generations,
+                            plan_ops=args.ops,
+                            event_budget=args.budget, log=print)
+    best = report["best"]
+    print("tournament seed %d: %s after %d evaluations "
+          "(best score %.1f, plan %s)"
+          % (args.seed, "FOUND failure" if report["found"] else "no failure",
+             report["evaluations"], best["score"], best["plan_hash"]))
+    for line in best["violations"][:10]:
+        print("  " + line)
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        path = os.path.join(args.out, "tournament-seed%d.json" % args.seed)
+        with open(path, "w") as handle:
+            json.dump(report, handle, indent=2, default=str)
+        print("report written to %s" % path)
+        if report["minimized"] is not None:
+            plan_path = os.path.join(
+                args.out, "counterexample-tournament-seed%d.json" % args.seed)
+            with open(plan_path, "w") as handle:
+                json.dump(report["minimized"], handle, indent=2)
+            print("minimized counterexample written to %s" % plan_path)
+    return 1 if report["found"] else 0
+
+
 def cmd_net(args):
     """Boot a real asyncio-UDP cluster on localhost, form a view,
     multicast, tear down -- each node its own OS process."""
@@ -325,6 +380,29 @@ def main(argv=None):
     chaos.add_argument("--replay", default=None, metavar="PLAN_JSON",
                        help="replay one saved plan instead of sweeping")
     chaos.set_defaults(func=cmd_chaos)
+
+    tournament = sub.add_parser("tournament", help=cmd_tournament.__doc__)
+    tournament.add_argument("--seed", type=int, default=1)
+    tournament.add_argument("--nodes", type=int, default=6)
+    tournament.add_argument("--population", type=int, default=8)
+    tournament.add_argument("--generations", type=int, default=6)
+    tournament.add_argument("--ops", type=int, default=10,
+                            help="op count of each initial random plan")
+    tournament.add_argument("--budget", type=int, default=150_000,
+                            help="per-evaluation simulated-event budget")
+    tournament.add_argument("--soak", action="store_true",
+                            help="run a long-horizon soak campaign instead "
+                                 "of the genetic search")
+    tournament.add_argument("--events", type=int, default=1_000_000,
+                            help="soak: target simulated events")
+    tournament.add_argument("--recovery-bound", type=float, default=5.0,
+                            help="soak: max sim-seconds to re-stabilize "
+                                 "after each churn cycle")
+    tournament.add_argument("--benign", action="store_true",
+                            help="soak: no Byzantine episodes in the mix")
+    tournament.add_argument("--out", default=None,
+                            help="directory for report + counterexample JSON")
+    tournament.set_defaults(func=cmd_tournament)
 
     net = sub.add_parser("net", help=cmd_net.__doc__)
     net.add_argument("--nodes", type=int, default=5)

@@ -26,6 +26,10 @@ from repro.consensus.interface import AgreementInstance
 class BrachaBroadcast(AgreementInstance):
     """One Bracha reliable-broadcast instance."""
 
+    #: regression-revert switch (tests only); see
+    #: :attr:`UniformBroadcast.idempotent_originate`
+    idempotent_originate = True
+
     def __init__(self, instance_id, members, me, f, origin, broadcast,
                  on_deliver=None, on_misbehavior=None):
         super().__init__(instance_id, members, me, f, broadcast,
@@ -51,7 +55,7 @@ class BrachaBroadcast(AgreementInstance):
         # recovered by the reliable layer, never by re-broadcasting here
         if self.me != self.origin:
             raise RuntimeError("only the origin may originate")
-        if self._initial_value is not None:
+        if self._initial_value is not None and self.idempotent_originate:
             return
         self.broadcast(("br-initial", value))
         self._on_initial(self.me, value)

@@ -33,6 +33,12 @@ from repro.consensus.interface import AgreementInstance
 class UniformBroadcast(AgreementInstance):
     """One uniform broadcast instance, identified by ``(origin, k)``."""
 
+    #: regression-revert switch (tests only): with ``False``, a repeated
+    #: ``originate`` re-broadcasts the initial -- combined with a caller
+    #: that retries on every ack-matrix update, the zero-delay
+    #: self-delivery feeds itself forever (the livelock PR 3 fixed)
+    idempotent_originate = True
+
     def __init__(self, instance_id, members, me, f, origin, broadcast,
                  on_deliver=None, on_misbehavior=None):
         super().__init__(instance_id, members, me, f, broadcast,
@@ -68,7 +74,7 @@ class UniformBroadcast(AgreementInstance):
         """
         if self.me != self.origin:
             raise RuntimeError("only the origin may originate")
-        if self._initial_value is not None:
+        if self._initial_value is not None and self.idempotent_originate:
             return
         self.broadcast(("ub-initial", value))
         self._on_initial(self.me, value)

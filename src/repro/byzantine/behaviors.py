@@ -13,19 +13,27 @@ Because the network prevents impersonation and the key manager never
 releases another node's keys, behaviors model exactly the adversary of the
 paper: arbitrary deviation *by a signed identity*.
 
-The classes mirror Table 1:
+The classes mirror Table 1, plus the active attackers the adversary
+tournament evolves against (equivocation on the *control* plane, slander
+floods aimed at one victim, and replay storms of stale traffic):
 
-=================  =====================================================
-ByzLeave           announces leave, then vanishes
-MuteNode           stops sending anything at a chosen time
-MuteCoordinator    goes mute only while it is the coordinator
-VerboseNode        slanders everyone, all the time
-BadViewCoordinator sends a wrong new-view message when coordinator
-TwoFacedCaster     casts different payloads to different receivers
-=================  =====================================================
+==================  ====================================================
+ByzLeave            announces leave, then vanishes
+MuteNode            stops sending anything at a chosen time
+MuteCoordinator     goes mute only while it is the coordinator
+VerboseNode         slanders everyone, all the time
+BadViewCoordinator  sends a wrong new-view message when coordinator
+TwoFacedCaster      casts different payloads to different receivers
+Equivocator         per-receiver conflicting votes/views (control plane)
+TargetedSlanderer   floods slanders against one chosen correct victim
+ReplayStorm         replays recorded traffic in bursts, stale vids and
+                    spoofed incarnation headers included
+==================  ====================================================
 """
 
 from __future__ import annotations
+
+from zlib import crc32
 
 from repro.core import message as mk
 from repro.core.message import Message
@@ -270,6 +278,147 @@ class SlowNode(ByzantineBehavior):
                           lambda: process.network.send(process.node_id, dst,
                                                        size, msg))
         return None
+
+
+class Equivocator(ByzantineBehavior):
+    """Per-receiver conflicting *control-plane* payloads (votes, views).
+
+    Where :class:`TwoFacedCaster` two-faces application casts, this one
+    equivocates on the agreement traffic itself: uniform-broadcast and
+    consensus messages are altered for half of the receivers (split by a
+    deterministic hash of the destination), each copy re-signed -- the
+    strongest adversary Definitions 2.1/2.2 must survive, since a split
+    initial vote is exactly what the echo quorums exist to mask.
+    """
+
+    def __init__(self, kinds=(mk.KIND_UB, mk.KIND_CONSENSUS), start_at=0.0):
+        super().__init__()
+        self.kinds = tuple(kinds)
+        self.start_at = start_at
+        self.armed = start_at <= 0.0
+        self.equivocations = 0
+
+    def start(self):
+        if not self.armed:
+            self.sim.schedule(self.start_at, self._arm)
+
+    def _arm(self):
+        self.armed = True
+
+    def filter_outgoing(self, dst, msg):
+        if not self.armed or msg.kind not in self.kinds:
+            return msg
+        payload = msg.payload
+        if not isinstance(payload, tuple) or len(payload) != 2:
+            return msg
+        if crc32(repr(dst).encode("utf-8")) & 1 == 0:
+            return msg   # this half of the group sees the honest copy
+        instance_id, inner = payload
+        out = msg.clone_for(dst)
+        out.payload = (instance_id, ("equiv", inner, dst))
+        process = self.process
+        receivers = tuple(m for m in process.view.mbrs if m != self.me)
+        signature, _cost, _bytes = process.auth.sign(
+            self.me, receivers, out.auth_token())
+        out.signature = signature
+        self.equivocations += 1
+        return out
+
+
+class TargetedSlanderer(ByzantineBehavior):
+    """Floods slanders against ONE chosen correct victim (slander storm).
+
+    Unlike :class:`VerboseNode` (which slanders everyone and trips the
+    rate bound on itself), the targeted flood concentrates on a single
+    member, probing the f+1 adoption threshold: one Byzantine slanderer
+    must never be able to evict a correct node, no matter the volume.
+    """
+
+    def __init__(self, target=None, start_at=0.02, interval=0.004):
+        super().__init__()
+        self.target = target
+        self.start_at = start_at
+        self.interval = interval
+        self.slanders_sent = 0
+
+    def start(self):
+        self.sim.schedule(self.start_at, self._flood)
+
+    def _victim(self):
+        if self.target is not None and self.target in self.process.view.mbrs:
+            return self.target
+        others = sorted((m for m in self.process.view.mbrs if m != self.me),
+                        key=repr)
+        return others[0] if others else None
+
+    def _flood(self):
+        process = self.process
+        if process.stopped:
+            return
+        victim = self._victim()
+        if victim is not None:
+            slander = Message(mk.KIND_SLANDER, self.me, process.view.vid,
+                              (victim, "byz-flood"), payload_size=12)
+            process.membership.send_down(slander)
+            self.slanders_sent += 1
+        self.sim.schedule(self.interval, self._flood)
+
+
+class ReplayStorm(ByzantineBehavior):
+    """Records ALL outgoing traffic and replays it in bursts.
+
+    The repeated-operation adversary of the self-stabilizing repeated-BRB
+    literature: old messages (stale seqs, stale view ids, optionally a
+    spoofed ``inc`` transport header) arrive over and over.  The stack
+    must absorb the storm with *bounded* state -- duplicate stream seqs
+    die in the reliable layer, stale vids at the bottom layer's view
+    filter, spoofed incarnations in the per-peer incarnation table -- and
+    none of those tables may grow without bound while it rages (the
+    BoundedStateChecker's concern).
+
+    ``spoof_incarnation`` replays copies claiming incarnation + 1: peers
+    bump their incarnation table and start dropping the node's *honest*
+    traffic as stale, so the storm node effectively silences itself and
+    must be evicted like a mute -- burning one's own identity is within
+    the adversary's rights, harming others is not.
+    """
+
+    def __init__(self, start_at=0.05, interval=0.02, burst=8, keep=64,
+                 spoof_incarnation=False):
+        super().__init__()
+        self.start_at = start_at
+        self.interval = interval
+        self.burst = burst
+        self.keep = keep
+        self.spoof_incarnation = spoof_incarnation
+        self._tape = []
+        self._cursor = 0
+        self.replayed = 0
+
+    def start(self):
+        self.sim.schedule(self.start_at, self._storm)
+
+    def filter_outgoing(self, dst, msg):
+        if len(self._tape) < self.keep:
+            self._tape.append((dst, msg))
+        return msg
+
+    def _storm(self):
+        process = self.process
+        if process.stopped:
+            return
+        for _ in range(min(self.burst, len(self._tape))):
+            dst, msg = self._tape[self._cursor % len(self._tape)]
+            self._cursor += 1
+            out = msg
+            if self.spoof_incarnation:
+                out = msg.clone_for(dst)
+                out.pop_header("inc", 0)
+                out.push_header("inc", process.incarnation + 1)
+            size = out.wire_size(6 * len(out.headers), 0)
+            process.network.send(process.node_id, dst, size, out)
+            self.replayed += 1
+        self.sim.schedule(self.interval, self._storm)
 
 
 class Replayer(ByzantineBehavior):

@@ -19,11 +19,12 @@ See ``docs/ROBUSTNESS.md`` for the fault taxonomy and workflow.
 from repro.chaos.campaign import (grid_plan, run_grid_campaign,
                                   run_random_campaign)
 from repro.chaos.engine import ChaosEngine, LinkFaults, run_plan
-from repro.chaos.plan import DEFAULT_OPS, FaultPlan, random_plan
+from repro.chaos.plan import (ADVERSARY_OPS, DEFAULT_OPS, RUNTIME_BEHAVIORS,
+                              FaultPlan, random_plan)
 from repro.chaos.shrink import shrink_plan
 
 __all__ = [
-    "ChaosEngine", "DEFAULT_OPS", "FaultPlan", "LinkFaults", "grid_plan",
-    "random_plan", "run_grid_campaign", "run_plan", "run_random_campaign",
-    "shrink_plan",
+    "ADVERSARY_OPS", "ChaosEngine", "DEFAULT_OPS", "FaultPlan", "LinkFaults",
+    "RUNTIME_BEHAVIORS", "grid_plan", "random_plan", "run_grid_campaign",
+    "run_plan", "run_random_campaign", "shrink_plan",
 ]

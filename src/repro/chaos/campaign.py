@@ -24,71 +24,143 @@ from repro.chaos.plan import DEFAULT_OPS, FaultPlan, random_plan
 from repro.chaos.shrink import shrink_plan
 
 
+#: current campaign report schema version (see docs/ROBUSTNESS.md)
+REPORT_SCHEMA = 2
+
+
+def _violation_kinds(violations):
+    """The distinct violation *categories*: the text before each ':'."""
+    kinds = []
+    for violation in violations:
+        kind = str(violation).split(":", 1)[0].strip()
+        if kind not in kinds:
+            kinds.append(kind)
+    return kinds
+
+
+def load_report(source):
+    """A summary dict from a path, JSON text, or an already-parsed dict."""
+    if isinstance(source, dict):
+        return source
+    if isinstance(source, str) and os.path.exists(source):
+        with open(source) as fh:
+            return json.load(fh)
+    return json.loads(source)
+
+
 def run_random_campaign(seeds, n=None, ops=12, allow=DEFAULT_OPS,
                         byzantine_fraction=0.3, config=None, net=None,
                         check=None, shrink=True, settle=2.0, out_dir=None,
-                        log=None):
+                        log=None, resume_from=None):
     """Run one random plan per seed; returns the campaign summary dict.
 
-    The summary maps ``"failures"`` to one record per failing seed::
+    The summary carries the stable schema-2 report: ``"results"`` holds
+    one record per seed::
 
-        {"seed": .., "plan": {..}, "violations": [..],
-         "minimized": {..} | None, "minimized_violations": [..]}
+        {"seed": .., "plan_hash": "...", "verdict": "pass"|"fail",
+         "violation_kinds": [..], "events_processed": .., "ops": ..}
 
-    ``minimized`` is guaranteed to (a) contain strictly no more ops than
-    the original, and (b) still fail -- it is re-verified after shrinking.
+    plus the legacy ``"failures"`` records (full plan, violations,
+    minimized counterexample) kept for replay tooling.  ``minimized`` is
+    guaranteed to (a) contain strictly no more ops than the original, and
+    (b) still fail -- it is re-verified after shrinking.
+
+    With ``resume_from`` (a prior summary: path, JSON text, or dict) the
+    sweep skips every seed that report already covers and merges its
+    records, so an interrupted campaign continues instead of restarting.
+    When ``out_dir`` is set the summary is rewritten after every seed --
+    the on-disk report is always a valid resume point.
     """
     log = log or (lambda line: None)
     failures = []
-    passed = 0
+    results = []
+    done = set()
+    if resume_from is not None:
+        prior = load_report(resume_from)
+        for record in prior.get("results", ()):
+            results.append(record)
+            done.add(record["seed"])
+        for record in prior.get("failures", ()):
+            failures.append(record)
+        if done:
+            log("resuming: %d seeds already recorded" % (len(done),))
+    summary = {"schema": REPORT_SCHEMA, "kind": "random",
+               "params": {"n": n, "ops": ops, "allow": list(allow),
+                          "byzantine_fraction": byzantine_fraction,
+                          "config": dict(config or {}),
+                          "net": dict(net or {}),
+                          "check": dict(check or {}), "settle": settle},
+               "seeds": 0, "passed": 0, "failed": 0,
+               "results": results, "failures": failures}
+
+    def _refresh_counts():
+        summary["seeds"] = len(results)
+        summary["failed"] = sum(1 for r in results if r["verdict"] == "fail")
+        summary["passed"] = summary["seeds"] - summary["failed"]
+
     for seed in seeds:
+        if seed in done:
+            continue
+        done.add(seed)
         plan = random_plan(seed, n=n, ops=ops, allow=allow,
                            byzantine_fraction=byzantine_fraction,
                            config=config, net=net, check=check)
-        violations, _engine = run_plan(plan, settle=settle)
+        violations, engine = run_plan(plan, settle=settle)
+        result = {"seed": seed, "plan_hash": plan.digest(),
+                  "verdict": "fail" if violations else "pass",
+                  "violation_kinds": _violation_kinds(violations),
+                  "events_processed": engine.group.sim.events_processed,
+                  "ops": len(plan)}
+        results.append(result)
         if not violations:
-            passed += 1
             log("seed %r: ok (%d ops)" % (seed, len(plan)))
-            continue
-        log("seed %r: FAIL (%d violations, %d ops)"
-            % (seed, len(violations), len(plan)))
-        record = {"seed": seed, "plan": plan.to_dict(),
-                  "violations": violations,
-                  "minimized": None, "minimized_violations": []}
-        if shrink:
-            small = shrink_plan(plan)
-            # shrink_plan's cache says the minimized plan fails; re-run it
-            # once more from scratch so the artifact we publish is
-            # independently verified, not just remembered
-            small_violations, _engine = run_plan(small, settle=settle)
-            if small_violations:
-                record["minimized"] = small.to_dict()
-                record["minimized_violations"] = small_violations
-                log("seed %r: shrunk %d -> %d ops"
-                    % (seed, len(plan), len(small)))
-        failures.append(record)
-    summary = {"seeds": len(list(seeds)) if not hasattr(seeds, "__len__")
-               else len(seeds),
-               "passed": passed, "failed": len(failures),
-               "failures": failures}
+        else:
+            log("seed %r: FAIL (%d violations, %d ops)"
+                % (seed, len(violations), len(plan)))
+            record = {"seed": seed, "plan": plan.to_dict(),
+                      "violations": violations,
+                      "minimized": None, "minimized_violations": []}
+            if shrink:
+                small = shrink_plan(plan)
+                # shrink_plan's cache says the minimized plan fails; re-run
+                # it once more from scratch so the artifact we publish is
+                # independently verified, not just remembered
+                small_violations, _engine = run_plan(small, settle=settle)
+                if small_violations:
+                    record["minimized"] = small.to_dict()
+                    record["minimized_violations"] = small_violations
+                    log("seed %r: shrunk %d -> %d ops"
+                        % (seed, len(plan), len(small)))
+            failures.append(record)
+        _refresh_counts()
+        if out_dir:
+            # incremental: every seed leaves a complete, resumable report
+            _write_artifacts(summary, out_dir, log, quiet=True)
+    _refresh_counts()
     if out_dir:
         _write_artifacts(summary, out_dir, log)
     return summary
 
 
-def _write_artifacts(summary, out_dir, log):
+def _write_artifacts(summary, out_dir, log, quiet=False):
     os.makedirs(out_dir, exist_ok=True)
     for record in summary["failures"]:
         best = record["minimized"] or record["plan"]
         path = os.path.join(out_dir,
                             "counterexample-seed%s.json" % (record["seed"],))
         FaultPlan.from_dict(best).save(path)
-        log("wrote %s" % (path,))
+        if not quiet:
+            log("wrote %s" % (path,))
     path = os.path.join(out_dir, "summary.json")
-    with open(path, "w") as fh:
+    tmp = path + ".tmp"
+    # write-then-rename: a campaign killed mid-dump never leaves a torn
+    # summary.json behind, so the report is always a valid resume input
+    with open(tmp, "w") as fh:
         json.dump(summary, fh, indent=2, sort_keys=True)
         fh.write("\n")
-    log("wrote %s" % (path,))
+    os.replace(tmp, path)
+    if not quiet:
+        log("wrote %s" % (path,))
 
 
 # ----------------------------------------------------------------------
@@ -126,14 +198,22 @@ def run_grid_campaign(drops=(0.0, 0.1, 0.2, 0.3), corrupts=(0.0,),
     log = log or (lambda line: None)
     failures = []
     cells = []
+    results = []
     for drop in drops:
         for corrupt in corrupts:
             plan = grid_plan(seed, n, drop=drop, corrupt=corrupt,
                              config=config, check=check)
-            violations, _engine = run_plan(plan, settle=settle)
+            violations, engine = run_plan(plan, settle=settle)
             cell = {"drop": drop, "corrupt": corrupt,
                     "violations": violations}
             cells.append(cell)
+            results.append({
+                "seed": seed, "drop": drop, "corrupt": corrupt,
+                "plan_hash": plan.digest(),
+                "verdict": "fail" if violations else "pass",
+                "violation_kinds": _violation_kinds(violations),
+                "events_processed": engine.group.sim.events_processed,
+                "ops": len(plan)})
             if violations:
                 log("cell drop=%s corrupt=%s: FAIL (%d violations)"
                     % (drop, corrupt, len(violations)))
@@ -150,9 +230,14 @@ def run_grid_campaign(drops=(0.0, 0.1, 0.2, 0.3), corrupts=(0.0,),
                 failures.append(record)
             else:
                 log("cell drop=%s corrupt=%s: ok" % (drop, corrupt))
-    summary = {"seeds": len(cells), "passed": len(cells) - len(failures),
+    summary = {"schema": REPORT_SCHEMA, "kind": "grid",
+               "params": {"n": n, "seed": seed, "drops": list(drops),
+                          "corrupts": list(corrupts),
+                          "config": dict(config or {}),
+                          "check": dict(check or {}), "settle": settle},
+               "seeds": len(cells), "passed": len(cells) - len(failures),
                "failed": len(failures), "failures": failures,
-               "grid": cells}
+               "results": results, "grid": cells}
     if out_dir:
         _write_artifacts(summary, out_dir, log)
     return summary

@@ -27,6 +27,7 @@ from repro.core.group import Group
 from repro.core.message import Message
 from repro.core.properties import check_virtual_synchrony
 from repro.sim.network import NetworkConfig
+from repro.sim.scheduler import SimulationError
 
 #: seed salt so the fault RNG never mirrors the simulator RNG stream
 _FAULT_SEED_SALT = 0x5EEDC4A0
@@ -125,16 +126,26 @@ class LinkFaults:
 class ChaosEngine:
     """Builds and drives one cluster according to a fault plan."""
 
-    def __init__(self, plan=None, group=None):
+    def __init__(self, plan=None, group=None, event_budget=None):
         self.plan = plan
         self.group = group
         seed = plan.seed if plan is not None else 0
         self.faults = LinkFaults(random.Random(seed ^ _FAULT_SEED_SALT))
         self.crashed = set()
         self.left = set()
+        self.restarted = set()   # ever crash-restarted (see check())
         self._degraded = set()   # nodes with a non-1.0 NIC factor
         self._skewed = set()     # nodes with a non-1.0 clock drift
         self._attached = group is not None
+        #: hard cap on total simulator events for this engine's lifetime;
+        #: exhausting it mid-run sets ``stalled`` instead of raising, which
+        #: is how the tournament scores livelocks (a protocol that spins
+        #: forever burns its budget without ever going quiet)
+        self.event_budget = event_budget
+        self.stalled = False
+        #: sim-seconds from fault clearance to stable views, measured by
+        #: :meth:`settle_measured`; ``None`` until measured or on timeout
+        self.recovery_time = None
 
     @classmethod
     def attached(cls, group):
@@ -210,6 +221,25 @@ class ChaosEngine:
             return None
         return process
 
+    def _budget_run(self, duration):
+        """``group.run`` capped by the remaining event budget.
+
+        On exhaustion the run stops where it is and ``stalled`` latches;
+        callers treat the partial run like any other -- the checker still
+        judges whatever history was produced.
+        """
+        if self.event_budget is None:
+            self.group.run(duration)
+            return
+        remaining = self.event_budget - self.group.sim.events_processed
+        if remaining <= 0:
+            self.stalled = True
+            return
+        try:
+            self.group.run(duration, max_events=remaining)
+        except SimulationError:
+            self.stalled = True
+
     def _op_cast(self, sender, count):
         if self._process_of(sender) is None:
             return
@@ -218,7 +248,7 @@ class ChaosEngine:
             endpoint.cast((sender, "fz", k))
 
     def _op_run(self, duration):
-        self.group.run(duration)
+        self._budget_run(duration)
 
     def _op_crash(self, node):
         if self._process_of(node) is None:
@@ -230,6 +260,7 @@ class ChaosEngine:
         if node not in self.crashed:
             return
         self.crashed.discard(node)
+        self.restarted.add(node)
         self.group.restart(node)
 
     def _op_leave(self, node):
@@ -265,6 +296,34 @@ class ChaosEngine:
 
     def _op_byzantine(self, node, name, params=None):
         """Inert at runtime: behaviors are wired in :meth:`build`."""
+
+    def _op_byzantine_at(self, node, name, params=None):
+        """Turn a live, so-far-honest node Byzantine *mid-run*.
+
+        Unlike build-time ``byzantine`` ops this needs no construction
+        hook: :meth:`BottomLayer._transmit` reads ``process.behavior``
+        fresh on every send, and behaviors schedule their attacks with
+        relative delays, so install + start works at any sim time.  A node
+        that already has a behavior keeps it (first gene wins, which makes
+        the op idempotent under ddmin subsetting).
+        """
+        process = self._process_of(node)
+        if process is None or process.behavior is not None:
+            return
+        factory = getattr(behavior_library, str(name), None)
+        if factory is None or not (isinstance(factory, type)
+                                   and issubclass(
+                                       factory,
+                                       behavior_library.ByzantineBehavior)):
+            return
+        try:
+            behavior = factory(**(params or {}))
+        except TypeError:
+            return   # unknown params: tolerate, stay benign
+        process.behavior = behavior
+        behavior.install(process)
+        self.group.byzantine_nodes.add(node)
+        behavior.start()
 
     def _op_drop(self, src, dst, prob):
         self._ensure_faults_installed()
@@ -314,13 +373,9 @@ class ChaosEngine:
         self.settle(settle)
         return self
 
-    def settle(self, duration=2.0):
-        """Lift every standing fault and let the protocols converge.
-
-        The Definitions 2.1/2.2 properties are checked on runs that end
-        in a calm network -- eventual-synchrony convergence is part of the
-        model, so campaigns judge safety after the storm, not during it.
-        """
+    def lift_faults(self):
+        """Clear every standing environment fault (links, partitions,
+        NIC degradation, clock skew) without running the simulator."""
         self.faults.clear()
         self.group.heal()
         for node in sorted(self._degraded, key=repr):
@@ -334,16 +389,72 @@ class ChaosEngine:
             if clock is not None:
                 clock.drift = 1.0
         self._skewed.clear()
+
+    def settle(self, duration=2.0):
+        """Lift every standing fault and let the protocols converge.
+
+        The Definitions 2.1/2.2 properties are checked on runs that end
+        in a calm network -- eventual-synchrony convergence is part of the
+        model, so campaigns judge safety after the storm, not during it.
+        """
+        self.lift_faults()
         if duration:
-            self.group.run(duration)
+            self._budget_run(duration)
+
+    def settle_measured(self, timeout=5.0, drain=1.0):
+        """Settle while timing the recovery: lift all faults, run until
+        every live correct node holds the same view, then drain.
+
+        Returns the sim-seconds from fault clearance to view stability
+        (also latched on ``recovery_time``), or ``None`` if stability was
+        not reached inside ``timeout`` / the event budget.  The trailing
+        ``drain`` run lets reliable-layer retransmissions finish so the
+        delivery-set checks judge a quiescent history.
+        """
+        self.lift_faults()
+        sim = self.group.sim
+        t0 = sim.now
+        max_events = None
+        if self.event_budget is not None:
+            max_events = self.event_budget - sim.events_processed
+            if max_events <= 0:
+                self.stalled = True
+                return None
+        try:
+            stable = self.group.run_until(
+                self._views_stable, timeout, max_events=max_events)
+        except SimulationError:
+            self.stalled = True
+            return None
+        if stable:
+            self.recovery_time = sim.now - t0
+        if drain:
+            self._budget_run(drain)
+        return self.recovery_time
+
+    def _views_stable(self):
+        # gracefully-departed nodes idle forever in a terminal singleton
+        # view; they are not part of the group the cluster converges to
+        live = [p for p in self.group._live_correct()
+                if p.node_id not in self.left]
+        if not live:
+            return True
+        vids = {p.view.vid for p in live}
+        mbrs = {p.view.mbrs for p in live}
+        return len(vids) == 1 and len(mbrs) == 1
 
     def check(self):
         """Safety-check the recorded execution; returns violation strings."""
         execution = self.group.execution()
-        # a crash or leave mid-run ends that node's obligations; nodes
-        # that were *restarted* are back in ``processes`` with a fresh
-        # history and are checked like any correct member
-        for node in self.crashed | self.left:
+        # a crash or leave mid-run ends that node's obligations.  A node
+        # that was crash-RESTARTED stays excluded too: per Definitions
+        # 2.1/2.2 a process that crashed is faulty for the whole
+        # execution, and the rebooted incarnation is a *new* process --
+        # counting it correct lets view changes that happened while it
+        # was down read as missing installations (a soak-campaign false
+        # positive: crash, two churn-driven views before eviction,
+        # restart, and the fresh history "never installed" those views)
+        for node in self.crashed | self.left | self.restarted:
             execution.correct.discard(node)
         config = self.group.config
         opts = self.plan.check if self.plan is not None else {}
@@ -354,11 +465,23 @@ class ChaosEngine:
             total_order=opts.get("total_order", config.total_order))
 
 
-def run_plan(plan, settle=2.0):
-    """Execute one plan start-to-finish; returns ``(violations, engine)``."""
-    engine = ChaosEngine(plan)
+def run_plan(plan, settle=2.0, event_budget=None, measure_recovery=False):
+    """Execute one plan start-to-finish; returns ``(violations, engine)``.
+
+    With ``event_budget`` the whole run (ops + settle) is capped at that
+    many simulator events; exhaustion latches ``engine.stalled`` rather
+    than raising.  With ``measure_recovery`` the settle phase times how
+    long the cluster takes to re-stabilize (``engine.recovery_time``).
+    """
+    engine = ChaosEngine(plan, event_budget=event_budget)
     try:
-        engine.run(settle)
+        engine.build()
+        for op in plan.ops:
+            engine.apply(op)
+        if measure_recovery:
+            engine.settle_measured(timeout=max(settle, 1.0))
+        else:
+            engine.settle(settle)
         violations = engine.check()
     finally:
         if engine.group is not None:

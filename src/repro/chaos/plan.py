@@ -19,6 +19,7 @@ Op vocabulary (each op is a JSON list, name first)::
     ["partition", [[...], [...]]]      connectivity components
     ["heal"]                           reconnect everything
     ["byzantine", node, name, params]  activate a behaviors.<name> villain
+    ["byzantine_at", node, name, params]  turn a live node Byzantine NOW
     ["drop", src, dst, prob]           per-link loss (None = wildcard)
     ["corrupt", src, dst, prob]        per-link payload corruption
     ["duplicate", src, dst, prob]      per-link duplication
@@ -33,6 +34,7 @@ shrinking sound -- any subset of a plan's ops is itself a valid plan.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import random
 
@@ -43,6 +45,16 @@ import random
 DEFAULT_OPS = ("cast", "run", "crash", "restart", "leave", "partition",
                "heal", "join", "drop", "duplicate", "nic", "skew",
                "clear_faults")
+
+#: the tournament's richer vocabulary: everything above plus mid-run
+#: Byzantine activation.  Kept OUT of ``DEFAULT_OPS`` on purpose --
+#: extending that tuple would shift ``rng.choice`` draw order and silently
+#: re-seed every recorded chaos-smoke campaign.
+ADVERSARY_OPS = DEFAULT_OPS + ("byzantine_at",)
+
+#: behaviors the generator may schedule mid-run via ``byzantine_at``
+RUNTIME_BEHAVIORS = ("MuteNode", "VerboseNode", "TwoFacedCaster",
+                     "Equivocator", "TargetedSlanderer", "ReplayStorm")
 
 _PLAN_FIELDS = ("seed", "n", "ops", "config", "net", "check")
 
@@ -84,6 +96,12 @@ class FaultPlan:
     def to_json(self, indent=2):
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
+    def digest(self):
+        """Stable content hash of this plan (campaign report identity)."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
     @classmethod
     def from_json(cls, text):
         return cls.from_dict(json.loads(text))
@@ -109,6 +127,25 @@ class FaultPlan:
     def __repr__(self):
         return "FaultPlan(seed={}, n={}, ops={})".format(
             self.seed, self.n, len(self.ops))
+
+
+def _runtime_params(rng, kind):
+    """Draw constructor params for a ``byzantine_at``-scheduled behavior."""
+    if kind == "MuteNode":
+        return {"mute_at": round(rng.uniform(0.0, 0.2), 4)}
+    if kind == "VerboseNode":
+        return {"start_at": round(rng.uniform(0.0, 0.2), 4)}
+    if kind == "Equivocator":
+        return {"start_at": round(rng.uniform(0.0, 0.2), 4)}
+    if kind == "TargetedSlanderer":
+        return {"start_at": round(rng.uniform(0.0, 0.1), 4),
+                "interval": rng.choice((0.002, 0.004, 0.01))}
+    if kind == "ReplayStorm":
+        return {"start_at": round(rng.uniform(0.0, 0.1), 4),
+                "interval": rng.choice((0.01, 0.02, 0.05)),
+                "burst": rng.randint(2, 12),
+                "spoof_incarnation": rng.random() < 0.5}
+    return {}
 
 
 def random_plan(seed, n=None, ops=12, allow=DEFAULT_OPS,
@@ -138,10 +175,12 @@ def random_plan(seed, n=None, ops=12, allow=DEFAULT_OPS,
             params = {"start_at": round(rng.uniform(0.05, 0.3), 4)}
         plan_ops.append(["byzantine", villain, kind, params])
 
+    turned = set()   # nodes flipped Byzantine mid-run via byzantine_at
+
     def alive():
         return [node for node in range(n)
                 if node not in crashed and node not in left
-                and node != villain]
+                and node != villain and node not in turned]
 
     quorum_floor = max(3, (2 * n) // 3)
     for _step in range(ops):
@@ -203,6 +242,16 @@ def random_plan(seed, n=None, ops=12, allow=DEFAULT_OPS,
             plan_ops.append(["skew", node, round(rng.uniform(0.7, 1.4), 3)])
         elif op == "clear_faults":
             plan_ops.append(["clear_faults"])
+        elif op == "byzantine_at":
+            # keep a correct supermajority: at most one mid-run villain on
+            # top of the build-time one, and never below the quorum floor
+            if turned or len(live) <= quorum_floor:
+                continue
+            node = rng.choice(live)
+            kind = rng.choice(RUNTIME_BEHAVIORS)
+            params = _runtime_params(rng, kind)
+            turned.add(node)
+            plan_ops.append(["byzantine_at", node, kind, params])
         else:
             raise ValueError("unknown op in allow list: %r" % (op,))
     return FaultPlan(seed=seed, n=n, ops=plan_ops, config=config, net=net,

@@ -15,13 +15,83 @@ Soundness rests on two properties of the chaos engine:
   cached by op-list identity.
 
 The result is *1-minimal*: removing any single remaining op makes the
-failure disappear.  That is exactly the replayable artifact a human wants
-to debug from.
+failure disappear.  After op-removal converges a second pass minimizes
+the *scalar fields* of the surviving ops -- cast counts toward 1, run
+times and fault probabilities down their generator ladders, NIC/skew
+factors toward 1.0 -- so the shrunk plan carries the smallest constants
+that still reproduce, not whatever the random generator happened to draw.
+That is exactly the replayable artifact a human wants to debug from.
 """
 
 from __future__ import annotations
 
 from repro.chaos.engine import run_plan
+
+#: per-op scalar fields eligible for minimization: op name -> list of
+#: (index-into-op, kind).  Kinds pick the candidate ladder in
+#: :func:`_scalar_candidates`.
+_SCALAR_FIELDS = {
+    "cast": [(2, "count")],
+    "run": [(1, "time")],
+    "drop": [(3, "prob")],
+    "corrupt": [(3, "prob")],
+    "duplicate": [(3, "prob")],
+    "nic": [(2, "factor")],
+    "skew": [(2, "factor")],
+    "byzantine": [(3, "params")],
+    "byzantine_at": [(3, "params")],
+}
+
+
+def _scalar_candidates(kind, value):
+    """Smaller-but-plausible replacements for ``value``, most aggressive
+    first.  Every candidate must be strictly 'simpler' so the pass cannot
+    cycle; ladders mirror what :func:`~repro.chaos.plan.random_plan`
+    draws, keeping shrunk plans inside the generator's vocabulary.
+    """
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        return []
+    if kind == "count":
+        out = [1, value // 2] if isinstance(value, int) and value > 1 else []
+        return [c for c in out if 1 <= c < value]
+    if kind == "time":
+        ladder = (0.05, 0.1, 0.3, 0.6, 1.0)
+        return [t for t in ladder if t < value]
+    if kind == "prob":
+        ladder = (0.05, 0.1, 0.2, 0.5)
+        return [p for p in ladder if p < value]
+    if kind == "factor":
+        # drift/NIC factors shrink TOWARD neutral 1.0 from either side
+        if value == 1.0:
+            return []
+        candidates = [1.0, round((value + 1.0) / 2, 3)]
+        return [c for c in candidates
+                if abs(c - 1.0) < abs(value - 1.0) and c != value]
+    return []
+
+
+def _numeric_param_shrinks(params):
+    """Yield (key, smaller_value) for a behavior params dict.
+
+    ``interval``/``delay`` never shrink to 0: a zero-period attack loop
+    re-schedules at the same sim instant and would turn every candidate
+    run into an event-budget burn, not a simpler counterexample.
+    """
+    for key in sorted(params):
+        value = params[key]
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        if value == 0:
+            continue
+        halved = value // 2 if isinstance(value, int) else round(value / 2, 4)
+        candidates = [halved]
+        if key not in ("interval", "delay"):
+            candidates.insert(0, 0)
+        for candidate in candidates:
+            if key in ("interval", "delay") and candidate <= 0:
+                continue
+            if candidate != value and abs(candidate) < abs(value):
+                yield key, candidate
 
 
 def shrink_plan(plan, fails=None, max_runs=512):
@@ -60,9 +130,13 @@ def shrink_plan(plan, fails=None, max_runs=512):
         return result
 
     ops = [list(op) for op in plan.ops]
-    if not failing(ops):
+    # the sanity check is budget-exempt: max_runs bounds the *search*,
+    # and a zero budget must still distinguish "nothing to try" from
+    # "the input plan never failed"
+    if not bool(fails(plan.replace_ops(ops))):
         raise ValueError(
             "shrink_plan: the input plan does not fail its predicate")
+    cache[repr(ops)] = True
 
     # ddmin2: try removing chunks, then complements, then refine
     granularity = 2
@@ -87,4 +161,39 @@ def shrink_plan(plan, fails=None, max_runs=512):
             if granularity >= len(ops):
                 break
             granularity = min(granularity * 2, len(ops))
+
+    # second phase: minimize scalar fields of the surviving ops.  Each
+    # accepted substitution restarts the sweep (a smaller run time may
+    # unlock a smaller cast count); every candidate is strictly simpler,
+    # so the loop terminates even without the run budget.
+    changed = True
+    while changed and runs[0] < max_runs:
+        changed = False
+        for index, op in enumerate(ops):
+            for field, kind in _SCALAR_FIELDS.get(op[0], ()):
+                if field >= len(op):
+                    continue
+                if kind == "params":
+                    params = op[field]
+                    if not isinstance(params, dict):
+                        continue
+                    for key, smaller in _numeric_param_shrinks(params):
+                        candidate = [list(o) for o in ops]
+                        candidate[index][field] = dict(params, **{key: smaller})
+                        if failing(candidate):
+                            ops = candidate
+                            changed = True
+                            break
+                else:
+                    for smaller in _scalar_candidates(kind, op[field]):
+                        candidate = [list(o) for o in ops]
+                        candidate[index][field] = smaller
+                        if failing(candidate):
+                            ops = candidate
+                            changed = True
+                            break
+                if changed:
+                    break
+            if changed:
+                break
     return plan.replace_ops(ops)

@@ -137,6 +137,27 @@ class GroupProcess:
         return self.stack.layer("top")
 
     # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def state_sizes(self):
+        """Flat ``{"<layer>.<metric>": count}`` sample of every unbounded-
+        looking state store in this process -- the bounded-state checker's
+        input.  Aggregates each layer's ``state_sizes()`` plus the
+        process-level tables (stability matrix, fuzzy levels, liveness
+        timestamps) that live outside the stack.
+        """
+        sizes = {}
+        for layer in self.stack.layers:
+            for metric, count in layer.state_sizes().items():
+                sizes["%s.%s" % (layer.name, metric)] = count
+        for metric, count in self.stability.state_sizes().items():
+            sizes["stability.%s" % (metric,)] = count
+        sizes["fuzzy.mute_levels"] = len(self.mute_levels._levels)
+        sizes["fuzzy.verbose_levels"] = len(self.verbose_levels._levels)
+        sizes["process.last_heard"] = len(self._last_heard)
+        return sizes
+
+    # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def start(self):

@@ -65,6 +65,15 @@ class Layer:
     def send_up(self, msg):
         self.stack.up_from(self, msg)
 
+    # introspection -----------------------------------------------------
+    def state_sizes(self):
+        """``{metric: entry_count}`` for this layer's unbounded-looking
+        state stores.  The bounded-state checker samples these during soak
+        runs: every store a layer grows in response to traffic or faults
+        should be reported here so monotone growth is caught, not guessed.
+        """
+        return {}
+
     # observability -----------------------------------------------------
     @property
     def obs(self):

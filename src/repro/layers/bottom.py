@@ -58,6 +58,13 @@ class BottomLayer(Layer):
         self._sig_strikes = {}
         self._cpu_queue = None
 
+    def state_sizes(self):
+        return {
+            "peer_inc": len(self._peer_inc),
+            "sig_strikes": len(self._sig_strikes),
+            "pack_queued": sum(len(q) for q in self._pack_queues.values()),
+        }
+
     def attach(self, stack):
         super().attach(stack)
         # every event this layer schedules fires at a Cpu.charge deadline,

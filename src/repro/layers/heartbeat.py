@@ -94,7 +94,12 @@ class HeartbeatLayer(Layer):
     def _gossip_tick(self):
         config = self.config
         view = self.view
-        if view.coordinator == self.me:
+        if (self.process.membership.leaving and view.n == 1):
+            # a departed leaver's singleton view is terminal: it refuses
+            # every merge request, so advertising it only baits joiners
+            # (and the group it left) into dead-end merge courtships
+            pass
+        elif view.coordinator == self.me:
             payload = ("gossip", view.to_wire(), stack_fingerprint(config))
             self.process.gossip(payload, size=32 + 8 * view.n)
             self.gossips_sent += 1

@@ -66,6 +66,20 @@ class MembershipLayer(Layer):
 
     name = "membership"
 
+    #: regression-revert switches (tests only).  Flipping either re-opens
+    #: a bug the chaos campaign once found, so the tournament's search can
+    #: prove it would re-discover them:
+    #:
+    #: * ``vid_counter_floor=False`` drops the never-reuse-a-counter floor
+    #:   -- an aborted change plus a later singleton fallback can bind two
+    #:   memberships to one vid (view-agreement violation; two concurrent
+    #:   leaves sufficed);
+    #: * ``oneshot_view_send=False`` lets every ack-matrix update re-enter
+    #:   the coordinator's view send, whose zero-delay self-delivery then
+    #:   feeds itself forever (livelock) when originate() re-broadcasts.
+    vid_counter_floor = True
+    oneshot_view_send = True
+
     def __init__(self):
         super().__init__()
         self._state = IDLE
@@ -98,6 +112,7 @@ class MembershipLayer(Layer):
         self._expectations = []
         self._waiting_stability = False
         self._flush_undecidable = False
+        self._legacy_substab = False   # oneshot_view_send revert only
         # the highest view counter this node has ever attached to a view
         # it proposed on the wire or installed; never reset.  Any view we
         # CREATE later must use a strictly larger counter, or an aborted
@@ -110,6 +125,20 @@ class MembershipLayer(Layer):
         self.change_started_at = None
         self.last_change_duration = None
         self.leaving = False
+
+    def state_sizes(self):
+        return {
+            "sync_reports": len(self._sync_reports),
+            "sync_pending": len(self._sync_pending),
+            "consensus_pending": len(self._consensus_pending),
+            "ub_pending": len(self._ub_pending),
+            "join_echoes": len(self._join_echoes),
+            "merge_requests": len(self._merge_requested_at),
+        }
+
+    def _floor(self):
+        """The vid-counter floor, or 0 with the regression revert on."""
+        return self._counter_floor if self.vid_counter_floor else 0
 
     # ------------------------------------------------------------------
     # control plane
@@ -150,6 +179,7 @@ class MembershipLayer(Layer):
         self._ub_ready = False
         self._waiting_stability = False
         self._flush_undecidable = False
+        self._legacy_substab = False
         if self._join_timer is not None:
             self._join_timer.cancel()
             self._join_timer = None
@@ -407,7 +437,7 @@ class MembershipLayer(Layer):
             # (counter carried forward -- view ids must stay monotonic in
             # our own history, Def 2.1 item 2) and try to merge back in
             fallback = View(ViewId(max(view.vid.counter,
-                                       self._counter_floor) + 1, self.me),
+                                       self._floor()) + 1, self.me),
                             (self.me,), coordinator=self.me, f=0,
                             underprovisioned=True)
             self._install(fallback)
@@ -574,7 +604,7 @@ class MembershipLayer(Layer):
         members = tuple(self._survivors) + joiners
         if self._new_coord == self.me:
             # only the creator can collide with its own past proposals
-            counter = max(counter, self._counter_floor + 1)
+            counter = max(counter, self._floor() + 1)
         f = self.config.resilience(len(members))
         return View(ViewId(counter, self._new_coord), members,
                     coordinator=self._new_coord, f=f,
@@ -583,6 +613,13 @@ class MembershipLayer(Layer):
     def _coordinator_try_send_view(self):
         if not self._cut_done or self._state != AWAIT_VIEW:
             return
+        if not self.oneshot_view_send and not self._legacy_substab:
+            # reverted wiring: the pre-fix code subscribed to ack-matrix
+            # updates unconditionally on entering AWAIT_VIEW, so every
+            # update (including our own send's zero-delay self-delivery)
+            # re-enters this method
+            self._legacy_substab = True
+            self.process.stability.subscribe(self._on_stability_update)
         survivors = self._survivors
         if not self.process.stability.all_stable(self._cut, survivors):
             if not self._waiting_stability:
@@ -615,7 +652,9 @@ class MembershipLayer(Layer):
             ub.originate(value)
 
     def _on_stability_update(self):
-        if self._waiting_stability and self._state == AWAIT_VIEW:
+        if self._state != AWAIT_VIEW:
+            return
+        if self._waiting_stability or not self.oneshot_view_send:
             self._coordinator_try_send_view()
 
     def _make_ub_instance(self):
@@ -811,7 +850,14 @@ class MembershipLayer(Layer):
                 last = self._merge_requested_at.get(foreign.coordinator, -1e9)
                 if now - last < self.config.gossip_interval:
                     return
-                self._merge_inflight = (foreign.coordinator, now)
+                # re-requests to the same target must NOT refresh the
+                # courtship start: an unresponsive (crashed-after-gossip,
+                # leaving, or Byzantine) coordinator would otherwise pin
+                # us forever and starve every other merge candidate
+                if inflight is not None and inflight[0] == foreign.coordinator:
+                    self._merge_inflight = (foreign.coordinator, inflight[1])
+                else:
+                    self._merge_inflight = (foreign.coordinator, now)
                 self._merge_requested_at[foreign.coordinator] = self.sim.now
                 request = Message(mk.KIND_MERGE, self.me, view.vid,
                                   ("request", view.to_wire()),
@@ -945,7 +991,7 @@ class MembershipLayer(Layer):
             return
         view = self.view
         fallback = View(ViewId(max(view.vid.counter,
-                                   self._counter_floor) + 1, self.me),
+                                   self._floor()) + 1, self.me),
                         (self.me,), coordinator=self.me, f=0,
                         underprovisioned=True)
         self.count("join_fallbacks")

@@ -117,6 +117,16 @@ class ReliableLayer(Layer):
         self._nak_window_start = -1.0
         self._naks_in_window = 0
 
+    def state_sizes(self):
+        return {
+            "in_streams": len(self._in_streams),
+            "stash": sum(len(s.buffer) for s in self._in_streams.values()),
+            "archive": len(self._archive),
+            "p2p_out": len(self._p2p_out),
+            "ack_seen": len(self._ack_seen),
+            "trailing_nak": len(self._trailing_nak_at),
+        }
+
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------

@@ -54,6 +54,14 @@ class StabilityTracker:
         """``callback()`` after every ack-matrix update."""
         self._listeners.append(callback)
 
+    def state_sizes(self):
+        return {
+            "ack_rows": sum(len(table)
+                            for streams in self._acked.values()
+                            for table in streams.values()),
+            "lag_strikes": len(self._lag_strikes),
+        }
+
     # ------------------------------------------------------------------
     # feeds
     # ------------------------------------------------------------------

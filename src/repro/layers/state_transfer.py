@@ -82,6 +82,12 @@ class StateTransferLayer(Layer):
             self._retry_timer.cancel()
             self._retry_timer = None
 
+    def state_sizes(self):
+        return {
+            "digests": len(self._digests),
+            "snapshots": len(self._snapshots),
+        }
+
     def start(self):
         # processes never see an on_view for their bootstrap view: seed the
         # membership baseline here so the first real change can diff it

@@ -52,6 +52,13 @@ class SuspicionLayer(Layer):
             self._settle_timer.cancel()
             self._settle_timer = None
 
+    def state_sizes(self):
+        return {
+            "local": len(self._local),
+            "adopted": len(self._adopted),
+            "slanders": sum(len(s) for s in self._slanders.values()),
+        }
+
     def on_control(self, event, data):
         if event == "view-change-started":
             self._change_requested = True

@@ -1,0 +1,22 @@
+"""Adversarial search + long-horizon soak on top of the chaos plane.
+
+Public surface:
+
+* :func:`~repro.tournament.search.run_tournament` /
+  :func:`~repro.tournament.search.evaluate_plan` -- evolve fault plans
+  against the stack, shrink winners to 1-minimal counterexamples;
+* :func:`~repro.tournament.soak.run_soak` -- continuous-churn campaigns
+  (>= 1M simulated events) with timed recovery after every fault cycle;
+* :class:`~repro.tournament.bounded.BoundedStateChecker` -- fails a soak
+  on unbounded state growth or recovery beyond the configured bound.
+
+See ``docs/ROBUSTNESS.md`` ("Adaptive adversary tournament" and "Soak
+mode") for the workflow.
+"""
+
+from repro.tournament.bounded import BoundedStateChecker
+from repro.tournament.search import evaluate_plan, run_tournament
+from repro.tournament.soak import run_soak
+
+__all__ = ["BoundedStateChecker", "evaluate_plan", "run_soak",
+           "run_tournament"]

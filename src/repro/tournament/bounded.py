@@ -1,0 +1,148 @@
+"""Bounded-state self-stabilization checker.
+
+"Self-stabilizing Byzantine Fault-tolerant Repeated Reliable Broadcast"
+(PAPERS.md) warns that in the *repeated*-operation regime the interesting
+failures are not one-shot safety violations but state that creeps: view
+tables, retransmission stashes, suspicion maps and transfer tables that
+grow a little on every churn cycle and never shrink back.  A soak run
+cannot catch that with the Definitions 2.1/2.2 checker -- every individual
+view change is correct; the leak only shows across hundreds of them.
+
+:class:`BoundedStateChecker` samples each process's
+:meth:`~repro.core.process.GroupProcess.state_sizes` during a long-horizon
+campaign and fails the run on three conditions:
+
+* **monotone growth** -- a per-(node, metric) series whose floor keeps
+  rising across the run's quarters and ends well above where it began
+  (sampling floors, not peaks, tolerates transient spikes during churn);
+* **quiescent caps** -- a store that exceeds its configured cap at a
+  *quiescent* sample point, i.e. after faults cleared and views
+  re-stabilized, when a self-stabilizing stack should have shed its
+  transient state;
+* **recovery time** -- the cluster took longer than the configured bound
+  to re-converge after a fault cleared (or never did).
+"""
+
+from __future__ import annotations
+
+
+class BoundedStateChecker:
+    """Accumulates state-size samples and judges them at the end.
+
+    Parameters
+    ----------
+    growth_slack:
+        A series must end above ``first_floor * growth_slack`` (and above
+        ``growth_floor``) before rising floors count as unbounded growth.
+        Protects tables that legitimately fill toward a plateau early on.
+    growth_floor:
+        Absolute entry count below which growth is never flagged --
+        filters noise from tables whose natural size tracks cluster size.
+    quiescent_caps:
+        ``{metric: cap}`` hard ceilings checked only at quiescent samples.
+        Metrics absent from the map fall back to ``default_cap``.
+    default_cap:
+        Quiescent cap for unlisted metrics (``None`` disables).
+    recovery_bound:
+        Max sim-seconds allowed from fault clearance to stable views.
+    """
+
+    def __init__(self, growth_slack=3.0, growth_floor=64,
+                 quiescent_caps=None, default_cap=None,
+                 recovery_bound=None):
+        self.growth_slack = growth_slack
+        self.growth_floor = growth_floor
+        self.quiescent_caps = dict(quiescent_caps or {})
+        self.default_cap = default_cap
+        self.recovery_bound = recovery_bound
+        self._series = {}        # (node, metric) -> [value, ...]
+        self._quiescent = []     # (time, node, metric, value) over caps
+        self._recoveries = []    # (time, duration or None)
+        self.samples_taken = 0
+
+    # ------------------------------------------------------------------
+    # feeds
+    # ------------------------------------------------------------------
+    def sample(self, group, quiescent=False):
+        """Record one state-size sample of every live correct process."""
+        now = group.sim.now
+        self.samples_taken += 1
+        for node, process in sorted(group.processes.items(), key=repr):
+            if process.stopped or node in group.byzantine_nodes:
+                continue
+            for metric, value in process.state_sizes().items():
+                self._series.setdefault((node, metric), []).append(value)
+                if quiescent:
+                    cap = self.quiescent_caps.get(metric, self.default_cap)
+                    if cap is not None and value > cap:
+                        self._quiescent.append((now, node, metric, value))
+
+    def record_recovery(self, duration, at=None):
+        """Record one fault-clearance recovery; ``None`` = never settled."""
+        self._recoveries.append((at, duration))
+
+    # ------------------------------------------------------------------
+    # verdict
+    # ------------------------------------------------------------------
+    def check(self):
+        """All violations accumulated so far, as strings (empty = pass)."""
+        violations = []
+        for (node, metric), series in sorted(self._series.items(),
+                                             key=lambda kv: repr(kv[0])):
+            if self._grows_unbounded(series):
+                violations.append(
+                    "state growth: node %r metric %s floor kept rising "
+                    "across the run (%d -> %d over %d samples)"
+                    % (node, metric, series[0], series[-1], len(series)))
+        for now, node, metric, value in self._quiescent:
+            cap = self.quiescent_caps.get(metric, self.default_cap)
+            violations.append(
+                "state cap: node %r metric %s = %d exceeds quiescent "
+                "cap %d at t=%.3f" % (node, metric, value, cap, now))
+        if self.recovery_bound is not None:
+            for at, duration in self._recoveries:
+                if duration is None:
+                    violations.append(
+                        "recovery: cluster never re-stabilized after "
+                        "fault clearance%s"
+                        % ("" if at is None else " at t=%.3f" % (at,)))
+                elif duration > self.recovery_bound:
+                    violations.append(
+                        "recovery: %.3fs to re-stabilize exceeds bound "
+                        "%.3fs%s" % (duration, self.recovery_bound,
+                                     "" if at is None
+                                     else " at t=%.3f" % (at,)))
+        return violations
+
+    def _grows_unbounded(self, series):
+        """Rising floors across quarters + well above the starting floor.
+
+        The *floor* (min) of each quarter is compared, not the peak:
+        a stash legitimately spikes while a partition is up; the leak
+        signature is the level it *returns to* ratcheting upward.
+        """
+        if len(series) < 8:
+            return False
+        quarter = len(series) // 4
+        floors = [min(series[i * quarter:(i + 1) * quarter])
+                  for i in range(4)]
+        if not all(floors[i] < floors[i + 1] for i in range(3)):
+            return False
+        threshold = max(self.growth_floor, floors[0] * self.growth_slack)
+        return floors[-1] > threshold
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def max_sizes(self):
+        """``{metric: max observed across all nodes}`` for the report."""
+        peaks = {}
+        for (_node, metric), series in self._series.items():
+            peak = max(series)
+            if peak > peaks.get(metric, -1):
+                peaks[metric] = peak
+        return peaks
+
+    def recoveries(self):
+        """Recorded ``(at, duration)`` pairs (duration ``None`` = stuck)."""
+        return list(self._recoveries)

@@ -1,0 +1,291 @@
+"""Adaptive adversary tournament: evolve fault plans against the stack.
+
+The random chaos campaign (PR 3) samples the fault-plan space blindly;
+this module *searches* it.  A small genetic loop keeps a population of
+:class:`~repro.chaos.plan.FaultPlan` genomes, scores each by how badly
+its run hurts the stack -- checker violations, liveness stalls (event
+budget burned without going quiet), slow or failed recovery -- and breeds
+the nastiest plans via one-point crossover plus op-level mutations
+(insert/delete/swap ops, perturb scalars, retarget nodes, inject mid-run
+Byzantine genes from :data:`~repro.chaos.plan.RUNTIME_BEHAVIORS`).
+
+Everything is deterministic per ``seed``: plan evaluation replays
+deterministically (the chaos-plane contract) and all search randomness
+flows from one ``random.Random(seed)``.  A winning genome is ddmin-shrunk
+(ops, then scalar constants) to a 1-minimal replayable counterexample.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.chaos.engine import run_plan
+from repro.chaos.plan import (ADVERSARY_OPS, RUNTIME_BEHAVIORS, FaultPlan,
+                              _runtime_params, random_plan)
+from repro.chaos.shrink import shrink_plan
+
+#: seed salt: search randomness never mirrors plan/cluster RNG streams
+_SEARCH_SEED_SALT = 0x70A11CE5
+
+#: report format version emitted by :func:`run_tournament`
+TOURNAMENT_SCHEMA = 1
+
+
+# ----------------------------------------------------------------------
+# evaluation
+# ----------------------------------------------------------------------
+def evaluate_plan(plan, event_budget=150_000, settle=3.0):
+    """Run one genome; returns its outcome record (higher score = worse).
+
+    Scoring: each distinct violation *kind* dominates (a safety break is
+    the jackpot), a burned event budget (livelock) and a never-recovering
+    cluster score next, and recovery time is the tiebreaker that gives
+    the search a gradient before it finds a real failure.
+    """
+    violations, engine = run_plan(plan, settle=settle,
+                                  event_budget=event_budget,
+                                  measure_recovery=True)
+    kinds = []
+    for violation in violations:
+        kind = str(violation).split(":", 1)[0].strip()
+        if kind not in kinds:
+            kinds.append(kind)
+    score = 100.0 * len(kinds) + float(min(len(violations), 20))
+    if engine.stalled:
+        score += 100.0
+    if engine.recovery_time is None:
+        score += 50.0
+    else:
+        score += min(engine.recovery_time, 5.0)
+    return {
+        "plan": plan,
+        "violations": violations,
+        "violation_kinds": kinds,
+        "stalled": engine.stalled,
+        "recovery_time": engine.recovery_time,
+        "events": engine.group.sim.events_processed,
+        "failed": bool(violations) or engine.stalled,
+        "score": score,
+    }
+
+
+# ----------------------------------------------------------------------
+# genetic operators
+# ----------------------------------------------------------------------
+def _random_op(rng, n, allow):
+    """One fresh op gene (state-blind; tolerant semantics absorb misfires)."""
+    name = rng.choice(allow)
+    node = rng.randrange(n)
+    if name == "cast":
+        return ["cast", node, rng.randint(1, 8)]
+    if name == "run":
+        return ["run", rng.choice((0.05, 0.1, 0.3, 0.6))]
+    if name in ("crash", "restart", "leave"):
+        return [name, node]
+    if name == "join":
+        return ["join", 2000 + rng.randrange(100)]
+    if name == "partition":
+        members = list(range(n))
+        rng.shuffle(members)
+        split = rng.randint(1, n - 1)
+        return ["partition", [members[:split], members[split:]]]
+    if name == "heal":
+        return ["heal"]
+    if name in ("drop", "corrupt", "duplicate"):
+        src = node if rng.random() < 0.5 else None
+        return [name, src, None, rng.choice((0.05, 0.1, 0.2, 0.3))]
+    if name == "nic":
+        return ["nic", node, rng.choice((0.05, 0.2, 0.5))]
+    if name == "skew":
+        return ["skew", node, round(rng.uniform(0.7, 1.4), 3)]
+    if name == "clear_faults":
+        return ["clear_faults"]
+    if name == "byzantine_at":
+        kind = rng.choice(RUNTIME_BEHAVIORS)
+        return ["byzantine_at", node, kind, _runtime_params(rng, kind)]
+    return ["run", 0.1]
+
+
+def _perturb_scalar(rng, op):
+    """Scale one numeric field of ``op`` up or down (never field 0/1)."""
+    out = list(op)
+    numeric = [i for i in range(2, len(out))
+               if isinstance(out[i], (int, float))
+               and not isinstance(out[i], bool)]
+    if op[0] == "run":
+        numeric = [1]
+    if not numeric:
+        return out
+    index = rng.choice(numeric)
+    factor = rng.choice((0.5, 2.0))
+    value = out[index]
+    if isinstance(value, int):
+        out[index] = max(1, int(value * factor))
+    else:
+        out[index] = round(min(max(value * factor, 0.01), 10.0), 4)
+    return out
+
+
+def _retarget(rng, op, n):
+    """Point an op's node argument at a different node."""
+    out = list(op)
+    if len(out) >= 2 and isinstance(out[1], int) and op[0] != "run":
+        out[1] = rng.randrange(n)
+    return out
+
+
+def mutate_ops(rng, ops, n, allow):
+    """One mutation step over an op script; always returns a new list."""
+    ops = [list(op) for op in ops]
+    choices = ["insert"]
+    if ops:
+        choices += ["delete", "swap", "perturb", "retarget"]
+    move = rng.choice(choices)
+    if move == "insert":
+        index = rng.randint(0, len(ops))
+        ops.insert(index, _random_op(rng, n, allow))
+    elif move == "delete":
+        ops.pop(rng.randrange(len(ops)))
+    elif move == "swap" and len(ops) >= 2:
+        i = rng.randrange(len(ops))
+        j = rng.randrange(len(ops))
+        ops[i], ops[j] = ops[j], ops[i]
+    elif move == "perturb":
+        index = rng.randrange(len(ops))
+        ops[index] = _perturb_scalar(rng, ops[index])
+    elif move == "retarget":
+        index = rng.randrange(len(ops))
+        ops[index] = _retarget(rng, ops[index], n)
+    return ops
+
+
+def crossover_ops(rng, a, b):
+    """One-point crossover of two op scripts."""
+    if not a or not b:
+        return [list(op) for op in (a or b)]
+    cut_a = rng.randint(0, len(a))
+    cut_b = rng.randint(0, len(b))
+    return [list(op) for op in (a[:cut_a] + b[cut_b:])]
+
+
+# ----------------------------------------------------------------------
+# the tournament loop
+# ----------------------------------------------------------------------
+def run_tournament(seed, n=6, population=8, generations=6, plan_ops=10,
+                   allow=ADVERSARY_OPS, byzantine_fraction=0.4,
+                   config=None, net=None, check=None, settle=3.0,
+                   event_budget=150_000, stop_on_failure=True, shrink=True,
+                   shrink_runs=192, log=None):
+    """Evolve fault plans until one fails the checker or budget runs out.
+
+    Returns the tournament report dict; ``report["found"]`` says whether
+    a failing plan was discovered and ``report["minimized"]`` (when
+    shrinking is on) holds the 1-minimal replayable counterexample, re-
+    verified from scratch.  Deterministic per ``seed`` and parameters.
+    """
+    log = log or (lambda line: None)
+    rng = random.Random(seed ^ _SEARCH_SEED_SALT)
+    scored = []
+    evaluations = 0
+
+    def consider(plan):
+        nonlocal evaluations
+        outcome = evaluate_plan(plan, event_budget=event_budget,
+                                settle=settle)
+        evaluations += 1
+        scored.append(outcome)
+        return outcome
+
+    for index in range(population):
+        plan = random_plan(seed * 1009 + index, n=n, ops=plan_ops,
+                           allow=allow,
+                           byzantine_fraction=byzantine_fraction,
+                           config=config, net=net, check=check)
+        consider(plan)
+
+    history = []
+    generations_run = 0
+    for generation in range(generations):
+        generations_run = generation + 1
+        # deterministic rank: score desc, then arrival order
+        order = sorted(range(len(scored)),
+                       key=lambda i: (-scored[i]["score"], i))
+        scored = [scored[i] for i in order]
+        best = scored[0]
+        history.append({"generation": generation,
+                        "best_score": best["score"],
+                        "best_ops": len(best["plan"]),
+                        "failures": sum(1 for o in scored if o["failed"]),
+                        "evaluations": evaluations})
+        log("gen %d: best score %.1f (%d ops), %d/%d failing"
+            % (generation, best["score"], len(best["plan"]),
+               history[-1]["failures"], len(scored)))
+        if stop_on_failure and best["failed"]:
+            break
+        survivors = scored[:max(2, population // 2)]
+        scored = list(survivors)
+        while len(scored) < population:
+            parent_a = rng.choice(survivors)["plan"]
+            parent_b = rng.choice(survivors)["plan"]
+            ops = crossover_ops(rng, parent_a.ops, parent_b.ops)
+            for _ in range(rng.randint(1, 3)):
+                ops = mutate_ops(rng, ops, n, allow)
+            child = FaultPlan(seed=parent_a.seed, n=n, ops=ops,
+                              config=parent_a.config, net=parent_a.net,
+                              check=parent_a.check)
+            consider(child)
+
+    order = sorted(range(len(scored)), key=lambda i: (-scored[i]["score"], i))
+    best = scored[order[0]]
+    report = {
+        "schema": TOURNAMENT_SCHEMA, "kind": "tournament",
+        "seed": seed,
+        "params": {"n": n, "population": population,
+                   "generations": generations, "plan_ops": plan_ops,
+                   "allow": list(allow), "event_budget": event_budget,
+                   "settle": settle,
+                   "byzantine_fraction": byzantine_fraction},
+        "evaluations": evaluations,
+        "generations_run": generations_run,
+        "history": history,
+        "found": best["failed"],
+        "best": {
+            "plan": best["plan"].to_dict(),
+            "plan_hash": best["plan"].digest(),
+            "score": best["score"],
+            "violations": best["violations"],
+            "stalled": best["stalled"],
+            "recovery_time": best["recovery_time"],
+            "events_processed": best["events"],
+        },
+        "minimized": None,
+        "minimized_violations": [],
+    }
+    if best["failed"] and shrink:
+        # the predicate replays candidates EXACTLY the way evaluation ran
+        # the winner (measured-recovery settle): a different settle path
+        # is a different deterministic execution, and the failure may not
+        # reproduce under it
+        if best["violations"]:
+            def fails(candidate):
+                violations, _engine = run_plan(candidate, settle=settle,
+                                               event_budget=event_budget,
+                                               measure_recovery=True)
+                return bool(violations)
+        else:
+            def fails(candidate):
+                _violations, engine = run_plan(candidate, settle=settle,
+                                               event_budget=event_budget,
+                                               measure_recovery=True)
+                return engine.stalled
+        small = shrink_plan(best["plan"], fails=fails, max_runs=shrink_runs)
+        # independently re-verify the artifact we publish
+        small_violations, small_engine = run_plan(
+            small, settle=settle, event_budget=event_budget,
+            measure_recovery=True)
+        if small_violations or small_engine.stalled:
+            report["minimized"] = small.to_dict()
+            report["minimized_violations"] = small_violations
+            log("shrunk winner %d -> %d ops"
+                % (len(best["plan"]), len(small)))
+    return report

@@ -1,0 +1,184 @@
+"""Adversary-tournament tests: search loop, operators, bug rediscovery.
+
+The rediscovery tests are the heart of the robustness story: with a PR 3
+bug fix reverted behind its test-only flag, the tournament must find a
+violating plan within a bounded budget and ddmin-shrink it to a small
+replayable counterexample -- deterministically per seed.
+"""
+
+from contextlib import contextmanager
+
+from repro.broadcast.bracha import BrachaBroadcast
+from repro.broadcast.uniform import UniformBroadcast
+from repro.chaos import FaultPlan, run_plan
+from repro.layers.membership import MembershipLayer
+from repro.tournament import evaluate_plan, run_tournament
+from repro.tournament.search import (_perturb_scalar, _random_op,
+                                     crossover_ops, mutate_ops)
+
+import random
+
+
+# ----------------------------------------------------------------------
+# regression-revert switches (PR 3 bug fixes, resurrected for the search)
+# ----------------------------------------------------------------------
+@contextmanager
+def vid_reuse_bug():
+    """Revert the vid-counter floor: restarted coordinators reuse vids."""
+    MembershipLayer.vid_counter_floor = False
+    try:
+        yield
+    finally:
+        MembershipLayer.vid_counter_floor = True
+
+
+@contextmanager
+def livelock_bug():
+    """Revert the one-shot view send + idempotent originate fixes."""
+    MembershipLayer.oneshot_view_send = False
+    UniformBroadcast.idempotent_originate = False
+    BrachaBroadcast.idempotent_originate = False
+    try:
+        yield
+    finally:
+        MembershipLayer.oneshot_view_send = True
+        UniformBroadcast.idempotent_originate = True
+        BrachaBroadcast.idempotent_originate = True
+
+
+#: op vocabulary for the rediscovery runs: membership churn only, no
+#: link faults -- keeps every evaluation cheap and the search focused
+CHURN_OPS = ("cast", "run", "crash", "restart", "leave", "join", "heal")
+
+
+# ----------------------------------------------------------------------
+# genetic operators
+# ----------------------------------------------------------------------
+def test_random_op_always_well_formed():
+    rng = random.Random(3)
+    allow = CHURN_OPS + ("partition", "drop", "nic", "skew", "byzantine_at")
+    for _ in range(200):
+        op = _random_op(rng, 5, allow)
+        assert isinstance(op, list) and op
+        assert op[0] in allow or op[0] == "run"
+
+
+def test_perturb_scalar_touches_numeric_fields_only():
+    rng = random.Random(5)
+    assert _perturb_scalar(rng, ["heal"]) == ["heal"]
+    for _ in range(20):
+        out = _perturb_scalar(rng, ["cast", 2, 4])
+        assert out[0] == "cast" and out[1] == 2 and out[2] in (2, 8)
+        out = _perturb_scalar(rng, ["run", 0.4])
+        assert out[1] in (0.2, 0.8)
+
+
+def test_mutate_and_crossover_return_fresh_lists():
+    rng = random.Random(7)
+    ops = [["cast", 0, 3], ["run", 0.2]]
+    mutated = mutate_ops(rng, ops, 4, CHURN_OPS)
+    assert mutated is not ops
+    assert ops == [["cast", 0, 3], ["run", 0.2]]  # parent untouched
+    child = crossover_ops(rng, ops, [["crash", 1], ["heal"]])
+    assert all(isinstance(op, list) for op in child)
+    assert crossover_ops(rng, [], ops) == ops
+
+
+def test_evaluate_plan_scores_clean_run_low():
+    plan = FaultPlan(seed=4, n=4, ops=[["cast", 0, 2], ["run", 0.5]])
+    outcome = evaluate_plan(plan, event_budget=200_000, settle=1.5)
+    assert not outcome["failed"]
+    assert not outcome["violations"] and not outcome["stalled"]
+    assert outcome["recovery_time"] is not None
+    assert outcome["score"] < 100.0
+
+
+# ----------------------------------------------------------------------
+# the search loop
+# ----------------------------------------------------------------------
+def test_tournament_deterministic_per_seed():
+    kw = dict(n=4, population=2, generations=2, plan_ops=3,
+              allow=("cast", "run", "crash", "heal"),
+              event_budget=60_000, settle=1.0, shrink=False)
+    a = run_tournament(seed=11, **kw)
+    b = run_tournament(seed=11, **kw)
+    assert a["best"]["plan_hash"] == b["best"]["plan_hash"]
+    assert a["history"] == b["history"]
+    assert a["evaluations"] == b["evaluations"]
+    assert a["best"]["score"] == b["best"]["score"]
+    c = run_tournament(seed=12, **kw)
+    assert c["best"]["plan_hash"] != a["best"]["plan_hash"] or \
+        c["history"] != a["history"]
+
+
+def test_tournament_report_shape():
+    report = run_tournament(seed=11, n=4, population=2, generations=1,
+                            plan_ops=3, allow=("cast", "run", "heal"),
+                            event_budget=60_000, settle=1.0, shrink=False)
+    assert report["schema"] == 1 and report["kind"] == "tournament"
+    assert report["params"]["population"] == 2
+    assert report["generations_run"] == 1
+    assert len(report["history"]) == 1
+    assert report["best"]["plan_hash"]
+
+
+# ----------------------------------------------------------------------
+# bug rediscovery (the acceptance criterion)
+# ----------------------------------------------------------------------
+def test_rediscovers_vid_reuse_bug_and_shrinks():
+    with vid_reuse_bug():
+        report = run_tournament(seed=5, n=6, population=4, generations=4,
+                                plan_ops=6, allow=CHURN_OPS,
+                                event_budget=100_000, settle=1.5,
+                                shrink_runs=64)
+        assert report["found"]
+        assert report["best"]["violations"]
+        assert report["minimized"] is not None
+        minimized = FaultPlan.from_dict(report["minimized"])
+        assert len(minimized) <= len(report["best"]["plan"]["ops"])
+        # the published counterexample replays from scratch
+        violations, _engine = run_plan(minimized, settle=1.5,
+                                       event_budget=100_000,
+                                       measure_recovery=True)
+        assert violations == report["minimized_violations"]
+    # ... and the fix (flag back on) kills it
+    violations, _engine = run_plan(minimized, settle=1.5,
+                                   event_budget=100_000,
+                                   measure_recovery=True)
+    assert not violations
+
+
+def test_rediscovers_self_delivery_livelock_and_shrinks():
+    with livelock_bug():
+        report = run_tournament(seed=1, n=5, population=2, generations=2,
+                                plan_ops=4,
+                                allow=("cast", "run", "crash", "leave",
+                                       "join"),
+                                event_budget=20_000, settle=1.0,
+                                shrink_runs=16)
+        assert report["found"]
+        assert report["best"]["stalled"]
+        assert report["minimized"] is not None
+        minimized = FaultPlan.from_dict(report["minimized"])
+        _violations, engine = run_plan(minimized, settle=1.0,
+                                       event_budget=20_000,
+                                       measure_recovery=True)
+        assert engine.stalled
+    # with the fixes restored the same plan runs to quiescence
+    violations, engine = run_plan(minimized, settle=1.0,
+                                  event_budget=20_000,
+                                  measure_recovery=True)
+    assert not violations and not engine.stalled
+
+
+def test_known_counterexamples_stay_fixed():
+    """The two historical minimal plans pass under the shipped defaults."""
+    vid_plan = FaultPlan(seed=14, n=6, ops=[["leave", 5], ["leave", 2]])
+    violations, _engine = run_plan(vid_plan, settle=2.0)
+    assert not violations
+    livelock_plan = FaultPlan(seed=9, n=4,
+                              ops=[["cast", 0, 8], ["crash", 3],
+                                   ["run", 2.0]])
+    violations, engine = run_plan(livelock_plan, settle=2.0,
+                                  event_budget=300_000)
+    assert not violations and not engine.stalled
