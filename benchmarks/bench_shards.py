@@ -62,6 +62,10 @@ SINGLE_QUICK = (20,)
 #: (shards, nodes_per_shard, clients) swarm points
 CLIENTS_FULL = ((16, 5, 2560), (64, 5, 10240))
 CLIENTS_QUICK = ((16, 5, 2560),)
+#: (shards, nodes_per_shard) live-migration latency points; the ISSUE's
+#: acceptance names the 16x5 plane, so quick == full here
+MIG_FULL = ((16, 5),)
+MIG_QUICK = ((16, 5),)
 #: headline speedup pair: (plane shape, single-group n)
 HEADLINE_FULL = ((64, 5), 50)
 HEADLINE_QUICK = ((16, 5), 20)
@@ -193,6 +197,92 @@ def client_swarm(shards, nodes_per_shard, clients, seed=7,
 
 
 # ----------------------------------------------------------------------
+# migration: fenced-request latency across a live reshard
+# ----------------------------------------------------------------------
+def migration_latency(shards, nodes_per_shard, seed=7, keys=48,
+                      steady_ops=96, max_migration_ops=600):
+    """p99 request latency during a live reshard vs steady state.
+
+    The plane boots with 3/4 of its groups on the ring; the benchmark
+    runs an exactly-once increment workload through the epoch-stamping
+    client (``ShardClient``), first against the quiet plane, then WHILE
+    a scale-out migration streams key ranges onto the spare groups.
+    The in-migration sample includes everything a real client pays at
+    the seam: stale/early/wait fencing verdicts, re-route retries, and
+    ops parked behind in-flight arcs.
+    """
+    ring_shards = max(1, (3 * shards) // 4)
+    cluster = Cluster.create(shards=shards, nodes_per_shard=nodes_per_shard,
+                             config=StackConfig.byz(total_order=True),
+                             seed=seed, ring_shards=ring_shards)
+    cluster.run_until_stable_views(10.0)
+    sim = cluster.sim
+    rsm = cluster.sharded_rsm()
+    client = rsm.client("bench", timeout=1.5, attempts=40)
+    key_names = ["mig:%d" % i for i in range(keys)]
+    for key in key_names:
+        client.set(key, 0)
+
+    def run_ops(tag, count, alive=lambda: True):
+        latencies = []
+        issued = 0
+        while issued < count and alive():
+            key = key_names[issued % keys]
+            t0 = sim.now
+            status, _res = client.op(key, ("incr", key, 1),
+                                     op_id=(tag, issued))
+            if status == "ok":
+                latencies.append(sim.now - t0)
+            issued += 1
+        return latencies
+
+    steady = run_ops("steady", steady_ops)
+
+    coordinator = cluster.resharder()
+
+    def tick():   # advance the migration while client ops run the plane
+        if coordinator.state == "migrating":
+            coordinator.poll()
+            sim.schedule(0.25, tick)
+
+    sim.schedule(0.25, tick)
+    coordinator.start(shards=shards)
+    migrating = run_ops("mig", max_migration_ops,
+                        alive=lambda: coordinator.state == "migrating")
+    coordinator.run(timeout=60.0)
+    metrics = coordinator.migration_metrics()
+    p99_steady = percentile(steady, 99) if steady else None
+    p99_mig = percentile(migrating, 99) if migrating else None
+    result = {
+        "ring_shards": ring_shards,
+        "steady_ops": len(steady),
+        "migration_ops": len(migrating),
+        "p99_steady_ms": (round(p99_steady * 1000.0, 3)
+                          if p99_steady is not None else None),
+        "p99_migrating_ms": (round(p99_mig * 1000.0, 3)
+                             if p99_mig is not None else None),
+        "migration_slowdown": (round(p99_mig / p99_steady, 2)
+                               if p99_steady and p99_mig else None),
+        # fencing punishes ~1% of ops by orders of magnitude, so the
+        # seam cost lives in the extreme tail; max makes it visible
+        # even when p99 sits below the fenced fraction
+        "max_steady_ms": (round(max(steady) * 1000.0, 3)
+                          if steady else None),
+        "max_migrating_ms": (round(max(migrating) * 1000.0, 3)
+                             if migrating else None),
+        "migration_s": (round(metrics["finished_at"]
+                              - metrics["started_at"], 4)
+                        if metrics["finished_at"] is not None else None),
+        "keys_moved": metrics["keys_moved"],
+        "fencing": metrics["fencing"],
+        "migration_state": metrics["state"],
+        "events": sim.events_processed,
+    }
+    cluster.stop()
+    return result
+
+
+# ----------------------------------------------------------------------
 # suite
 # ----------------------------------------------------------------------
 def _point(workload, label, n, wall, result, **extra):
@@ -267,6 +357,37 @@ def run_suite(quick=False, seed=7):
                  clients, result["requests_per_s"],
                  result["p99_ms"] or float("nan")), flush=True)
 
+    for shards, k in (MIG_QUICK if quick else MIG_FULL):
+        start = time.perf_counter()
+        result = migration_latency(shards, k, seed=seed)
+        wall = time.perf_counter() - start
+        points.append(_point(
+            "migration", "plane", shards * k, wall, result,
+            shards=shards, nodes_per_shard=k,
+            ring_shards=result["ring_shards"],
+            steady_ops=result["steady_ops"],
+            migration_ops=result["migration_ops"],
+            p99_steady_ms=result["p99_steady_ms"],
+            p99_migrating_ms=result["p99_migrating_ms"],
+            migration_slowdown=result["migration_slowdown"],
+            max_steady_ms=result["max_steady_ms"],
+            max_migrating_ms=result["max_migrating_ms"],
+            migration_s=result["migration_s"],
+            keys_moved=result["keys_moved"],
+            fencing=result["fencing"],
+            migration_state=result["migration_state"]))
+        print("migration  plane   %3dx%d %7.2fs wall  %9d events  "
+              "p99 %.1f ms steady -> %.1f ms migrating (%.1fx)  "
+              "max %.1f -> %.1f ms  (%d keys moved, %s)"
+              % (shards, k, wall, result["events"],
+                 result["p99_steady_ms"] or float("nan"),
+                 result["p99_migrating_ms"] or float("nan"),
+                 result["migration_slowdown"] or float("nan"),
+                 result["max_steady_ms"] or float("nan"),
+                 result["max_migrating_ms"] or float("nan"),
+                 result["keys_moved"], result["migration_state"]),
+              flush=True)
+
     speedup = (sat_rate[headline_plane] / single_rate[headline_n]
                if single_rate.get(headline_n) else None)
     if speedup is not None:
@@ -274,6 +395,9 @@ def run_suite(quick=False, seed=7):
               "msgs/s" % (headline_plane[0], headline_plane[1], headline_n,
                           speedup), flush=True)
     return {
+        # schema 2: the "migration" workload family (p99 during a live
+        # reshard vs steady state) joined "saturation"/"clients"
+        "schema": 2,
         "quick": quick,
         "seed": seed,
         "calib_s": round(calib, 4),

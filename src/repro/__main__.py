@@ -306,6 +306,58 @@ def cmd_shards(args):
     return 0 if outcome == "committed" and not violations else 1
 
 
+def cmd_reshard(args):
+    """Run live reshard migrations under a chaos campaign (sim), or one
+    migration over real localhost UDP with --net; exit 1 on violations."""
+    import json
+    import os
+
+    if args.net:
+        from repro.shard.netplane import run_reshard_conformance
+        report = run_reshard_conformance(
+            shards=args.shards, nodes_per_shard=args.nodes_per_shard,
+            keys=args.keys, rounds=args.rounds, seed=args.start,
+            wall_timeout=args.deadline)
+        migration = report["migration"]
+        print("net reshard %d->%d shards x %d nodes: %s in %.2f s wall"
+              % (migration["from_shards"], migration["to_shards"],
+                 args.nodes_per_shard, "ok" if report["ok"] else "FAIL",
+                 report["elapsed"]))
+        print("  state=%s keys_moved=%d pairs=%d/%d fencing=%s"
+              % (migration["state"], migration["keys_moved"],
+                 migration["pairs_done"], migration["pairs"],
+                 migration["fencing"]))
+        for line in report["violations"][:10]:
+            print("  " + line)
+        if args.out:
+            os.makedirs(args.out, exist_ok=True)
+            path = os.path.join(args.out,
+                                "reshard-net-seed%d.json" % args.start)
+            with open(path, "w") as handle:
+                json.dump(report, handle, indent=2, default=str)
+            print("report written to %s" % path)
+        return 0 if report["ok"] else 1
+
+    from repro.shard.chaos import run_reshard_campaign
+    seeds = range(args.start, args.start + args.seeds)
+    report = run_reshard_campaign(
+        seeds=seeds, shards=args.shards,
+        nodes_per_shard=args.nodes_per_shard, keys=args.keys,
+        rounds=args.rounds, plan_ops=args.ops, verbose=True)
+    moved = sum(m["keys_moved"] for r in report["results"]
+                for m in r["migrations"])
+    print("campaign: %d/%d seeds clean, %d keys moved across the seam"
+          % (len(report["seeds"]) - len(report["failures"]),
+             len(report["seeds"]), moved))
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        path = os.path.join(args.out, "reshard-campaign.json")
+        with open(path, "w") as handle:
+            json.dump(report, handle, indent=2, default=str)
+        print("report written to %s" % path)
+    return 0 if report["ok"] else 1
+
+
 def cmd_calibration(args):
     """Print the calibration tables the benchmarks run on."""
     from repro.crypto.cost import CryptoCostModel
@@ -431,6 +483,28 @@ def main(argv=None):
     shards.add_argument("--crypto", choices=("none", "sym", "pub"),
                         default="sym")
     shards.set_defaults(func=cmd_shards)
+
+    reshard = sub.add_parser("reshard", help=cmd_reshard.__doc__)
+    reshard.add_argument("--shards", type=int, default=4,
+                         help="groups built; the ring starts one short "
+                              "and the campaign's reshard grows onto it")
+    reshard.add_argument("--nodes-per-shard", type=int, default=4)
+    reshard.add_argument("--seeds", type=int, default=3)
+    reshard.add_argument("--start", type=int, default=0,
+                         help="first seed of the range")
+    reshard.add_argument("--keys", type=int, default=24)
+    reshard.add_argument("--rounds", type=int, default=4,
+                         help="exactly-once increment rounds per seed")
+    reshard.add_argument("--ops", type=int, default=14,
+                         help="fault-plan ops per seed (sim campaign)")
+    reshard.add_argument("--net", action="store_true",
+                         help="one migration over real localhost UDP "
+                              "instead of the sim chaos campaign")
+    reshard.add_argument("--deadline", type=float, default=30.0,
+                         help="--net: wall-clock budget, seconds")
+    reshard.add_argument("--out", default=None,
+                         help="directory for the report JSON")
+    reshard.set_defaults(func=cmd_reshard)
 
     calib = sub.add_parser("calibration", help=cmd_calibration.__doc__)
     calib.add_argument("--nodes", type=int, default=48)

@@ -362,6 +362,16 @@ class ChaosEngine:
     def _op_clear_faults(self):
         self.faults.clear()
 
+    def _op_reshard_at(self, delta=1):
+        """Start a live reshard mid-run -- only meaningful on a sharded
+        plane.  ``resharder`` is the injection seam: the sharded driver
+        (:class:`repro.shard.chaos.ShardChaosEngine`) sets it to its
+        coordinator-starting hook; on a plain single-group engine the op
+        is a tolerant no-op, keeping every plan ddmin-shrinkable."""
+        resharder = getattr(self, "resharder", None)
+        if resharder is not None:
+            resharder(delta)
+
     # ------------------------------------------------------------------
     # whole-plan execution
     # ------------------------------------------------------------------

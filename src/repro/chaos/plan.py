@@ -26,6 +26,8 @@ Op vocabulary (each op is a JSON list, name first)::
     ["nic", node, factor]              scale a node's NIC bandwidth
     ["skew", node, drift]              scale a node's timer delays
     ["clear_faults"]                   lift all link faults
+    ["reshard_at", delta]              start a live reshard NOW (sharded
+                                       planes; +-delta ring shards)
 
 Every op is *tolerant*: an op whose target does not exist (or is in the
 wrong state) is a no-op.  That property is what makes delta-debugging
@@ -51,6 +53,12 @@ DEFAULT_OPS = ("cast", "run", "crash", "restart", "leave", "partition",
 #: extending that tuple would shift ``rng.choice`` draw order and silently
 #: re-seed every recorded chaos-smoke campaign.
 ADVERSARY_OPS = DEFAULT_OPS + ("byzantine_at",)
+
+#: the sharded campaign's vocabulary: the defaults plus a mid-run live
+#: reshard.  A separate tuple for the same draw-order reason as above --
+#: only sharded planes (repro.shard.chaos) can act on ``reshard_at``;
+#: the single-group engine treats it as a tolerant no-op.
+RESHARD_OPS = DEFAULT_OPS + ("reshard_at",)
 
 #: behaviors the generator may schedule mid-run via ``byzantine_at``
 RUNTIME_BEHAVIORS = ("MuteNode", "VerboseNode", "TwoFacedCaster",
@@ -242,6 +250,13 @@ def random_plan(seed, n=None, ops=12, allow=DEFAULT_OPS,
             plan_ops.append(["skew", node, round(rng.uniform(0.7, 1.4), 3)])
         elif op == "clear_faults":
             plan_ops.append(["clear_faults"])
+        elif op == "reshard_at":
+            # at most one scripted reshard per plan: the engine refuses
+            # overlapping migrations, and one epoch seam per run is what
+            # the campaign's key-conservation check reasons about
+            if any(existing[0] == "reshard_at" for existing in plan_ops):
+                continue
+            plan_ops.append(["reshard_at", rng.choice((-1, 1))])
         elif op == "byzantine_at":
             # keep a correct supermajority: at most one mid-run villain on
             # top of the build-time one, and never below the quorum floor

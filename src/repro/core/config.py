@@ -64,15 +64,20 @@ class ShardConfig:
     cluster runs, their size, and the directory's hash-ring shape.
 
     ``ring_slots`` is the number of virtual points each shard owns on the
-    consistent-hash ring; ``epoch`` versions the static routing table so
-    a future resharding can fence stale routes.
+    consistent-hash ring; ``epoch`` versions the routing table so
+    resharding can fence stale routes.  ``ring_shards`` (default: all
+    built groups) puts only the first K groups on the initial ring,
+    leaving the rest as spare capacity a live ``Cluster.reshard(...)``
+    can scale out onto.
     """
 
-    def __init__(self, shards=1, nodes_per_shard=5, ring_slots=64, epoch=0):
+    def __init__(self, shards=1, nodes_per_shard=5, ring_slots=64, epoch=0,
+                 ring_shards=None):
         self.shards = shards
         self.nodes_per_shard = nodes_per_shard
         self.ring_slots = ring_slots
         self.epoch = epoch
+        self.ring_shards = ring_shards
 
     def clone(self, **overrides):
         fresh = ShardConfig(**vars(self))

@@ -76,9 +76,14 @@ class MembershipLayer(Layer):
     #:   leaves sufficed);
     #: * ``oneshot_view_send=False`` lets every ack-matrix update re-enter
     #:   the coordinator's view send, whose zero-delay self-delivery then
-    #:   feeds itself forever (livelock) when originate() re-broadcasts.
+    #:   feeds itself forever (livelock) when originate() re-broadcasts;
+    #: * ``unsubscribe_stability=False`` leaves the per-change stability
+    #:   subscription registered forever -- one dead listener per view
+    #:   change, unbounded under churn (the leak the long-horizon soak
+    #:   plane's BoundedStateChecker flags via ``stability.listeners``).
     vid_counter_floor = True
     oneshot_view_send = True
+    unsubscribe_stability = True
 
     def __init__(self):
         super().__init__()
@@ -161,6 +166,13 @@ class MembershipLayer(Layer):
         self._rejoin_requested_at = -1e9
 
     def _reset_change_state(self):
+        if self.unsubscribe_stability:
+            # one unsubscribe per live registration: the stability wait
+            # and the legacy-substab revert each subscribe separately
+            if self._waiting_stability:
+                self.process.stability.unsubscribe(self._on_stability_update)
+            if self._legacy_substab:
+                self.process.stability.unsubscribe(self._on_stability_update)
         self._state = IDLE
         self._consensus = None
         self._consensus_pending = []
@@ -629,6 +641,9 @@ class MembershipLayer(Layer):
         # the send below is one-shot per change: our own broadcast's
         # self-delivery bumps the ack matrix, which re-enters here through
         # _on_stability_update at zero delay
+        if self._waiting_stability and self.unsubscribe_stability:
+            # the cut went stable: this change's registration is spent
+            self.process.stability.unsubscribe(self._on_stability_update)
         self._waiting_stability = False
         proposed = self._proposed_view()
         # the vid is about to go on the wire bound to this membership:

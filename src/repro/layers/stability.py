@@ -54,12 +54,27 @@ class StabilityTracker:
         """``callback()`` after every ack-matrix update."""
         self._listeners.append(callback)
 
+    def unsubscribe(self, callback):
+        """Drop one registration of ``callback`` (no-op when absent).
+
+        Subscribers that re-register per view change (the membership
+        layer's stability wait) must pair every subscribe with an
+        unsubscribe, or the listener list grows by one dead callback per
+        change -- unbounded under view churn, and every ack-matrix
+        update pays for the stale entries too.
+        """
+        try:
+            self._listeners.remove(callback)
+        except ValueError:
+            pass
+
     def state_sizes(self):
         return {
             "ack_rows": sum(len(table)
                             for streams in self._acked.values()
                             for table in streams.values()),
             "lag_strikes": len(self._lag_strikes),
+            "listeners": len(self._listeners),
         }
 
     # ------------------------------------------------------------------
@@ -118,7 +133,9 @@ class StabilityTracker:
         return tuple(rows)
 
     def _notify(self):
-        for callback in self._listeners:
+        # snapshot: a callback may unsubscribe itself (the membership
+        # layer does, once its cut goes stable) without skipping peers
+        for callback in tuple(self._listeners):
             callback()
 
     # ------------------------------------------------------------------

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from repro.core.config import StackConfig
 from repro.shard.manager import ShardManager
+from repro.shard.reshard import ReshardCoordinator
 from repro.shard.rsm import ShardedRSM
 
 
@@ -21,26 +22,30 @@ class Cluster:
 
     def __init__(self, manager):
         self.manager = manager
+        self._rsm = None
 
     # ------------------------------------------------------------------
     @classmethod
     def create(cls, runtime=None, shards=None, config=None, seed=0,
                nodes_per_shard=None, topology_cls=None, net_config=None,
-               established=True, start=True, behaviors=None, overrides=None):
+               established=True, start=True, behaviors=None, overrides=None,
+               ring_shards=None):
         """Build a cluster.
 
         ``shards``/``nodes_per_shard`` default from ``config.shard``;
         ``runtime`` lets several planes (or a caller-owned experiment)
         share one :class:`~repro.runtime.interface.SimRuntime`.  All
         other parameters mean what they mean on ``Group.bootstrap``,
-        with ``behaviors`` keyed by global node id.
+        with ``behaviors`` keyed by global node id.  ``ring_shards``
+        puts only the first K groups on the initial hash ring, keeping
+        the rest as spare capacity for a live :meth:`reshard`.
         """
         manager = ShardManager.create(
             shards=shards, nodes_per_shard=nodes_per_shard, config=config
             or StackConfig.byz(), seed=seed, runtime=runtime,
             topology_cls=topology_cls, net_config=net_config,
             established=established, start=start, behaviors=behaviors,
-            overrides=overrides)
+            overrides=overrides, ring_shards=ring_shards)
         return cls(manager)
 
     # ------------------------------------------------------------------
@@ -104,8 +109,40 @@ class Cluster:
     # the replicated service on top
     # ------------------------------------------------------------------
     def sharded_rsm(self, phase_timeout=3.0):
-        """Attach a :class:`ShardedRSM` (requires ``total_order=True``)."""
-        return ShardedRSM(self.manager, phase_timeout=phase_timeout)
+        """Attach a :class:`ShardedRSM` (requires ``total_order=True``).
+
+        Memoized: a cluster runs ONE service (replicas own the endpoint
+        callbacks), and resharding must move the same replicas clients
+        talk to -- ``phase_timeout`` only takes effect on the first call.
+        """
+        if self._rsm is None:
+            self._rsm = ShardedRSM(self.manager,
+                                   phase_timeout=phase_timeout)
+        return self._rsm
+
+    def resharder(self, phase_timeout=3.0):
+        """A non-blocking :class:`ReshardCoordinator` over this cluster's
+        service (the chaos planes drive its ``start``/``poll`` directly
+        so faults interleave mid-migration)."""
+        return ReshardCoordinator(self.manager, self.sharded_rsm().replicas,
+                                  phase_timeout=phase_timeout)
+
+    def reshard(self, shards=None, ring_slots=None, timeout=60.0,
+                phase_timeout=3.0):
+        """Live-reshard to a new ring; blocks until the migration is done.
+
+        Installs epoch ``e+1`` over ``shards`` groups (and/or a new
+        ``ring_slots``), streams every moved key range between shard
+        groups as totally-ordered commands, fences + re-routes client
+        operations meanwhile, and retires epoch ``e`` once every range
+        is acked.  Returns the coordinator (``.state == "done"`` on
+        success; on timeout the migration stays resumable via
+        ``coordinator.run()``).
+        """
+        coordinator = self.resharder(phase_timeout=phase_timeout)
+        coordinator.start(shards=shards, ring_slots=ring_slots)
+        coordinator.run(timeout=timeout)
+        return coordinator
 
     def __repr__(self):
         return "Cluster(shards={}, nodes={})".format(

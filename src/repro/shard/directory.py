@@ -11,9 +11,11 @@ after its own hash, wrapping around.
 Epochs version the table: resharding installs a new ring under
 ``epoch + 1`` while the old one stays queryable, so in-flight operations
 stamped with the epoch they were routed under can be detected as stale
-instead of silently landing on the wrong shard.  This reproduction ships
-static epochs only (the table never changes mid-run); the fencing hook is
-the seam a dynamic-resharding follow-up would drive.
+instead of silently landing on the wrong shard.  Live resharding
+(:mod:`repro.shard.reshard`) drives that seam: :func:`ring_diff` computes
+the arcs whose owner changes between two rings, the migration streams
+exactly those arcs' keys between shards, and ``retire_epoch`` drops the
+old table once every arc is acked on its new owner.
 """
 
 from __future__ import annotations
@@ -26,6 +28,70 @@ def _point(label):
     """A 64-bit ring coordinate from a stable string label."""
     digest = hashlib.sha256(label.encode("utf-8")).digest()
     return int.from_bytes(digest[:8], "big")
+
+
+def hash_key(key):
+    """``key``'s 64-bit ring coordinate (any repr-stable value)."""
+    return _point("key:%r" % (key,))
+
+
+def arc_contains(lo, hi, point):
+    """Is ``point`` inside the half-open ring arc ``[lo, hi)``?
+
+    Closed-at-lo/open-at-hi matches the router's ``bisect_right``: every
+    point in ``[lo, hi)`` (``lo``, ``hi`` consecutive ring points) maps
+    to the same owner.  Arcs wrap: ``lo >= hi`` denotes the arc through
+    zero (and the degenerate ``lo == hi`` full circle, which
+    :func:`ring_diff` never emits but the membership test stays total
+    for).
+    """
+    if lo < hi:
+        return lo <= point < hi
+    return point >= lo or point < hi
+
+
+def arcs_contain(arcs, point):
+    """Is ``point`` inside any of the ``(lo, hi)`` arcs?"""
+    for lo, hi in arcs:
+        if arc_contains(lo, hi, point):
+            return True
+    return False
+
+
+def ring_diff(old, new):
+    """The arcs whose owner changes from ``old`` ring to ``new`` ring.
+
+    Returns a tuple of ``(lo, hi, old_owner, new_owner)`` with
+    ``old_owner != new_owner``; every arc is half-open ``[lo, hi)`` in the
+    64-bit point space and the arcs are disjoint.  A key's owner changes
+    between the rings **iff** its :func:`hash_key` falls inside one of the
+    returned arcs -- the property the migration (and the hypothesis suite)
+    is built on.  Between two consecutive boundary points of the union of
+    both rings, each ring's owner is constant (that is what consistent
+    hashing means), so checking one representative per segment is exact.
+    Adjacent segments with the same owner pair are merged, so a typical
+    reshard yields a few hundred arcs, not one per virtual point.
+    """
+    boundaries = sorted(set(old._points) | set(new._points))
+    count = len(boundaries)
+    arcs = []
+    for index, lo in enumerate(boundaries):
+        hi = boundaries[(index + 1) % count]   # last segment wraps to 0
+        src = old.owner_of_point(lo)
+        dst = new.owner_of_point(lo)
+        if src == dst:
+            continue
+        # merge with the previous arc when contiguous and same owner pair
+        if arcs and arcs[-1][1] == lo and arcs[-1][2:] == (src, dst):
+            arcs[-1] = (arcs[-1][0], hi, src, dst)
+        else:
+            arcs.append((lo, hi, src, dst))
+    # the zero seam: the wrap arc and the first arc may be two halves
+    if (len(arcs) >= 2 and arcs[0][0] == arcs[-1][1]
+            and arcs[0][2:] == arcs[-1][2:]):
+        arcs[0] = (arcs[-1][0], arcs[0][1], arcs[0][2], arcs[0][3])
+        arcs.pop()
+    return tuple(arcs)
 
 
 class HashRing:
@@ -49,8 +115,11 @@ class HashRing:
 
     def shard_for(self, key):
         """The shard owning ``key`` (any repr-stable value)."""
-        where = _point("key:%r" % (key,))
-        index = bisect.bisect_right(self._points, where) % len(self._points)
+        return self.owner_of_point(hash_key(key))
+
+    def owner_of_point(self, point):
+        """The shard owning ring coordinate ``point``."""
+        index = bisect.bisect_right(self._points, point) % len(self._points)
         return self._owners[index]
 
     def spread(self, keys):
@@ -99,6 +168,40 @@ class ShardDirectory:
                              % (epoch, self.epoch))
         self._rings[epoch] = HashRing(shards, ring_slots)
         self.epoch = epoch
+
+    def retire_epoch(self, epoch):
+        """Forget a superseded table once its migration is fully acked.
+
+        Only non-current epochs can retire -- the live table must always
+        stay routable.  Retiring an already-forgotten epoch is a no-op so
+        a resumed migration can retire idempotently.
+        """
+        if epoch == self.epoch:
+            raise ValueError("cannot retire the current epoch %r" % (epoch,))
+        self._rings.pop(epoch, None)
+
+    def epochs(self):
+        """The registered epochs, oldest first."""
+        return tuple(sorted(self._rings))
+
+    def has_epoch(self, epoch):
+        return epoch in self._rings
+
+    def moved_arcs(self, old_epoch=None, new_epoch=None):
+        """:func:`ring_diff` between two registered epochs.
+
+        Defaults to the two newest tables -- mid-migration, that is
+        exactly the (retiring, installing) pair.
+        """
+        known = self.epochs()
+        if new_epoch is None:
+            new_epoch = known[-1]
+        if old_epoch is None:
+            older = [e for e in known if e < new_epoch]
+            if not older:
+                raise ValueError("no epoch older than %r" % (new_epoch,))
+            old_epoch = older[-1]
+        return ring_diff(self._rings[old_epoch], self._rings[new_epoch])
 
     def __repr__(self):
         return "ShardDirectory(epoch={}, shards={})".format(

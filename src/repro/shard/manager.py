@@ -49,7 +49,8 @@ class ShardManager:
     @classmethod
     def create(cls, shards=None, nodes_per_shard=None, config=None, seed=0,
                runtime=None, topology_cls=None, net_config=None,
-               established=True, start=True, behaviors=None, overrides=None):
+               established=True, start=True, behaviors=None, overrides=None,
+               ring_shards=None):
         """Build the whole plane.
 
         Parameters
@@ -82,7 +83,17 @@ class ShardManager:
             runtime = SimRuntime(n_total, seed=seed,
                                  topology_cls=topology_cls or FlatGigE,
                                  net_config=net_config)
-        directory = ShardDirectory(shards, ring_slots=config.shard.ring_slots,
+        # the initial ring may cover only the first ring_shards groups,
+        # leaving spares for a live scale-out reshard to grow onto
+        if ring_shards is None:
+            ring_shards = config.shard.ring_shards
+        if ring_shards is None:
+            ring_shards = shards
+        if not 1 <= ring_shards <= shards:
+            raise ValueError("ring_shards=%r outside 1..%d"
+                             % (ring_shards, shards))
+        directory = ShardDirectory(ring_shards,
+                                   ring_slots=config.shard.ring_slots,
                                    epoch=config.shard.epoch)
         obs = Group._make_obs(runtime.sim, runtime.network, config)
         keys = KeyManager()
@@ -125,6 +136,27 @@ class ShardManager:
         (the teardown-release fix in ``Group.stop`` is what makes this
         leak-free: ports are detached, not just marked crashed)."""
         self.groups[shard].stop()
+
+    # ------------------------------------------------------------------
+    # fault surface by GLOBAL node id (the shard chaos engine's hooks)
+    # ------------------------------------------------------------------
+    def group_of(self, node_id):
+        """The :class:`Group` a global node id belongs to."""
+        return self.groups[self.shard_of[node_id]]
+
+    def crash(self, node_id):
+        self.group_of(node_id).crash(node_id)
+
+    def restart(self, node_id):
+        return self.group_of(node_id).restart(node_id)
+
+    def partition(self, *component_groups):
+        """Split the SHARED network into connectivity components (global
+        node ids; a component may span shards)."""
+        self.network.set_components([set(g) for g in component_groups])
+
+    def heal(self):
+        self.network.heal()
 
     # ------------------------------------------------------------------
     # routing

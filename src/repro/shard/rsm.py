@@ -22,13 +22,29 @@ entire recovery story -- atomicity across the two shards comes from
 "debit is parked until credit is known durable", not from any cross-shard
 locking, and a crashed coordinator leaves at worst a parked debit that
 ``xfer_abort`` refunds.
+
+Live resharding reuses the same trick.  The machine is **epoch-aware**:
+every client operation travels in an ``("op", op_id, attempt, epoch, key,
+sub)`` envelope and is either *applied* (recorded in ``op_results``, the
+dedup table that makes resubmitting the same ``op_id`` safe) or *fenced*
+with a reason (recorded in ``fence_log`` so the client can observe the
+verdict through replica state, exactly how transfer outcomes are
+observed).  Fencing is **total**: every envelope terminates in exactly
+one of ``ok`` / ``stale`` / ``early`` / ``wait`` / ``moved`` -- nothing
+is silently dropped.  Migration itself is three more ordinary
+totally-ordered commands (``mig_begin`` / ``mig_install`` /
+``mig_retire``, see :mod:`repro.shard.reshard`), so a view change in the
+middle of a migration is recovered the same way as a mid-transfer one:
+resubmit the SAME command and let idempotency sort it out.
 """
 
 from __future__ import annotations
 
 import hashlib
+from collections import deque
 
 from repro.apps.rsm import KVStore, Replica
+from repro.shard.directory import arcs_contain, hash_key
 
 
 class ShardedKVStore(KVStore):
@@ -41,17 +57,151 @@ class ShardedKVStore(KVStore):
 
     * ``pending``  -- txid -> (key, amount) debited, awaiting commit;
     * ``finished`` -- txid -> outcome, the idempotency/dedup record.
+
+    The resharding extension adds the epoch machinery:
+
+    * ``epoch``      -- the directory epoch this machine serves; bumped
+      only by an ordered ``mig_begin``, so every replica fences the same
+      operations at the same point in the total order;
+    * ``outbox``     -- ``(epoch, dst) -> (arcs, items, records)``: keys
+      sealed out of this shard at ``mig_begin``, parked until the
+      destination's install is acked and ``mig_retire`` releases them
+      (the key-conservation invariant: a key is always in exactly one of
+      source ``data``, source ``outbox``, destination ``data``);
+    * ``in_flight``  -- ``(epoch, src) -> arcs`` this shard is *expecting*
+      from a migration; operations on keys inside those arcs fence with
+      ``wait`` until the install lands, which is what makes a
+      read-modify-write during migration linearizable instead of
+      last-writer-wins;
+    * ``installed``  -- ``(epoch, src)`` tokens of applied installs (the
+      migration-level dedup record; cleared at the next ``mig_begin``);
+    * ``op_results`` -- ``op_id -> (key, result)``, the client-op dedup
+      table (FIFO-capped).  Records whose key migrates move WITH the key,
+      so an op applied on the source and retried on the destination still
+      applies exactly once;
+    * ``fence_log``  -- ``(op_id, attempt) -> (reason, epoch)``, a
+      FIFO-capped journal of fencing verdicts clients poll for.
     """
 
-    def __init__(self):
+    #: dedup/fence journals are FIFO-capped so the bounded-state checker
+    #: (repro.tournament.bounded) sees a flat ceiling under endless load
+    OP_RECORDS_CAP = 4096
+    FENCE_LOG_CAP = 1024
+
+    def __init__(self, epoch=0):
         super().__init__()
         self.pending = {}
         self.finished = {}
+        self.epoch = epoch
+        self.outbox = {}
+        self.in_flight = {}
+        self.installed = set()
+        self.op_results = {}
+        self._op_order = deque()
+        self.fence_log = {}
+        self._fence_order = deque()
+        self.fenced = {"stale": 0, "early": 0, "wait": 0, "moved": 0}
+
+    # -- bounded-journal helpers --------------------------------------
+    def _record_op(self, op_id, key, result):
+        self.op_results[op_id] = (key, result)
+        self._op_order.append(op_id)
+        while len(self._op_order) > self.OP_RECORDS_CAP:
+            self.op_results.pop(self._op_order.popleft(), None)
+
+    def _record_fence(self, op_id, attempt, reason):
+        self.fenced[reason] = self.fenced.get(reason, 0) + 1
+        token = (op_id, attempt)
+        if token not in self.fence_log:
+            self._fence_order.append(token)
+        self.fence_log[token] = (reason, self.epoch)
+        while len(self._fence_order) > self.FENCE_LOG_CAP:
+            self.fence_log.pop(self._fence_order.popleft(), None)
+        return ("op", op_id, reason, self.epoch)
 
     def apply(self, origin, command):
         if not isinstance(command, tuple) or not command:
             return None
         op = command[0]
+        if op == "op" and len(command) == 6:
+            _, op_id, attempt, epoch, key, sub = command
+            self.applied += 1
+            prior = self.op_results.get(op_id)
+            if prior is not None:
+                # the resubmit-same-op_id path: replay the recorded result
+                return ("op", op_id, "ok", prior[1])
+            if epoch < self.epoch:
+                # routed under a superseded table: the key may live
+                # elsewhere now -- client must re-route under the new one
+                return self._record_fence(op_id, attempt, "stale")
+            if epoch > self.epoch:
+                # client saw the new table before this shard's mig_begin
+                # was ordered; retrying is safe, the bump is coming
+                return self._record_fence(op_id, attempt, "early")
+            point = hash_key(key)
+            for (mig_epoch, _src), arcs in self.in_flight.items():
+                if mig_epoch == self.epoch and arcs_contain(arcs, point):
+                    # the key is ours under this epoch but still in
+                    # transit; applying now would race the install
+                    return self._record_fence(op_id, attempt, "wait")
+            for (mig_epoch, _dst), sealed in self.outbox.items():
+                if mig_epoch == self.epoch \
+                        and arcs_contain(sealed[0], point):
+                    # sealed out of this shard -- only a misrouting
+                    # client lands here, but fencing must stay total
+                    return self._record_fence(op_id, attempt, "moved")
+            result = KVStore.apply(self, origin, sub)
+            self._record_op(op_id, key, result)
+            return ("op", op_id, "ok", result)
+        if op == "mig_begin" and len(command) == 4:
+            _, epoch, out_moves, in_moves = command
+            self.applied += 1
+            if epoch <= self.epoch:
+                return ("mig", epoch, "duplicate")
+            # tokens of the superseded migration have served their dedup
+            # purpose once a newer epoch begins
+            self.installed = {t for t in self.installed if t[0] >= epoch}
+            for dst, arcs in out_moves:
+                arcs = tuple(tuple(a) for a in arcs)
+                items = tuple(sorted(
+                    ((k, v) for k, v in self.data.items()
+                     if arcs_contain(arcs, hash_key(k))), key=repr))
+                for k, _v in items:
+                    del self.data[k]
+                records = tuple(sorted(
+                    ((oid, kr) for oid, kr in self.op_results.items()
+                     if arcs_contain(arcs, hash_key(kr[0]))), key=repr))
+                for oid, _kr in records:
+                    del self.op_results[oid]
+                self.outbox[(epoch, dst)] = (arcs, items, records)
+            for src, arcs in in_moves:
+                self.in_flight[(epoch, src)] = tuple(tuple(a) for a in arcs)
+            self.epoch = epoch
+            return ("mig", epoch, "begun")
+        if op == "mig_install" and len(command) == 5:
+            _, epoch, src, items, records = command
+            self.applied += 1
+            token = (epoch, src)
+            if token in self.installed:
+                return ("mig", epoch, "duplicate")
+            if token not in self.in_flight:
+                # a late install for an arc this machine never registered
+                # (e.g. replayed after a newer mig_begin): refusing keeps
+                # the conservation invariant -- never apply blind
+                return ("mig", epoch, "unexpected")
+            for k, v in items:
+                self.data[k] = v
+            for oid, kr in records:
+                self._record_op(oid, kr[0], kr[1])
+            del self.in_flight[token]
+            self.installed.add(token)
+            return ("mig", epoch, "installed")
+        if op == "mig_retire" and len(command) == 3:
+            _, epoch, dst = command
+            self.applied += 1
+            if self.outbox.pop((epoch, dst), None) is None:
+                return ("mig", epoch, "duplicate")
+            return ("mig", epoch, "retired")
         if op == "xfer_prepare" and len(command) == 4:
             _, txid, key, amount = command
             self.applied += 1
@@ -99,30 +249,72 @@ class ShardedKVStore(KVStore):
     def digest(self):
         canon = (tuple(sorted(self.data.items(), key=repr)),
                  tuple(sorted(self.pending.items(), key=repr)),
-                 tuple(sorted(self.finished.items(), key=repr)))
+                 tuple(sorted(self.finished.items(), key=repr)),
+                 self.epoch,
+                 tuple(sorted(self.outbox.items(), key=repr)),
+                 tuple(sorted(self.in_flight.items(), key=repr)),
+                 tuple(sorted(self.installed, key=repr)),
+                 tuple(sorted(self.op_results.items(), key=repr)))
         return hashlib.sha256(repr(canon).encode("utf-8")).hexdigest()[:16]
+
+    def state_sizes(self):
+        """Per-table entry counts for bounded-state checking."""
+        return {"data": len(self.data), "pending": len(self.pending),
+                "finished": len(self.finished), "outbox": len(self.outbox),
+                "in_flight": len(self.in_flight),
+                "installed": len(self.installed),
+                "op_results": len(self.op_results),
+                "fence_log": len(self.fence_log)}
 
 
 class ShardReplica(Replica):
-    """A Replica whose snapshots carry the transfer tables, so a member
-    rejoining mid-transfer (state transfer after a view change) resumes
-    with the same pending/finished state its peers have."""
+    """A Replica whose snapshots carry the transfer AND migration tables,
+    so a member rejoining mid-transfer or mid-migration (state transfer
+    after a view change) resumes with the same epoch/outbox/dedup state
+    its peers have."""
 
-    def __init__(self, endpoint, machine=None):
-        super().__init__(endpoint, machine=machine or ShardedKVStore())
+    def __init__(self, endpoint, machine=None, epoch=0):
+        super().__init__(endpoint,
+                         machine=machine or ShardedKVStore(epoch=epoch))
 
     def _snapshot(self):
         m = self.machine
         if isinstance(m, ShardedKVStore):
-            return ("skv", tuple(sorted(m.data.items(), key=repr)),
+            return ("skv2", tuple(sorted(m.data.items(), key=repr)),
                     tuple(sorted(m.pending.items(), key=repr)),
-                    tuple(sorted(m.finished.items(), key=repr)), m.applied)
+                    tuple(sorted(m.finished.items(), key=repr)), m.applied,
+                    m.epoch,
+                    tuple(sorted(m.outbox.items(), key=repr)),
+                    tuple(sorted(m.in_flight.items(), key=repr)),
+                    tuple(sorted(m.installed, key=repr)),
+                    tuple(sorted(m.op_results.items(), key=repr)),
+                    tuple(m._op_order),
+                    tuple(sorted(m.fence_log.items(), key=repr)),
+                    tuple(m._fence_order),
+                    tuple(sorted(m.fenced.items())))
         return super()._snapshot()
 
     def _install_snapshot(self, snapshot):
         m = self.machine
+        if (isinstance(snapshot, tuple) and len(snapshot) == 14
+                and snapshot[0] == "skv2" and isinstance(m, ShardedKVStore)):
+            m.data = dict(snapshot[1])
+            m.pending = dict(snapshot[2])
+            m.finished = dict(snapshot[3])
+            m.applied = snapshot[4]
+            m.epoch = snapshot[5]
+            m.outbox = dict(snapshot[6])
+            m.in_flight = dict(snapshot[7])
+            m.installed = set(snapshot[8])
+            m.op_results = dict(snapshot[9])
+            m._op_order = deque(snapshot[10])
+            m.fence_log = dict(snapshot[11])
+            m._fence_order = deque(snapshot[12])
+            m.fenced = dict(snapshot[13])
+            return
         if (isinstance(snapshot, tuple) and len(snapshot) == 5
                 and snapshot[0] == "skv" and isinstance(m, ShardedKVStore)):
+            # pre-migration snapshot form, still accepted
             m.data = dict(snapshot[1])
             m.pending = dict(snapshot[2])
             m.finished = dict(snapshot[3])
@@ -238,32 +430,73 @@ class ShardedRSM:
 
     def __init__(self, manager, phase_timeout=3.0):
         self.manager = manager
+        epoch = manager.directory.epoch
         self.replicas = {
-            shard: {node_id: ShardReplica(endpoint)
+            shard: {node_id: ShardReplica(endpoint, epoch=epoch)
                     for node_id, endpoint in group.endpoints.items()}
             for shard, group in manager.groups.items()}
         self.coordinator = TransferCoordinator(manager, self.replicas,
                                                phase_timeout=phase_timeout)
         self._txid_seq = 0
+        self._client_seq = 0
+
+    # ------------------------------------------------------------------
+    def live_replica(self, shard):
+        """The first live replica of ``shard``, or None."""
+        for node_id in sorted(self.replicas[shard]):
+            replica = self.replicas[shard][node_id]
+            if not replica.endpoint.process.stopped:
+                return replica
+        return None
+
+    def machines(self, shard):
+        """The live replicas' machines of one shard."""
+        return [replica.machine
+                for node_id, replica in sorted(self.replicas[shard].items())
+                if not replica.endpoint.process.stopped]
+
+    def rebind(self):
+        """Re-attach replicas to endpoints replaced by a restart.
+
+        ``Group.restart`` builds a fresh process + endpoint for the new
+        incarnation; the old replica stays bound to the dead endpoint and
+        reads as stopped forever.  Rebinding gives the newcomer a
+        replica (with the state installer the snapshot merge needs) so it
+        rejoins the service, not just the group.
+        """
+        rebound = 0
+        for shard, group in self.manager.groups.items():
+            for node_id, endpoint in group.endpoints.items():
+                replica = self.replicas[shard].get(node_id)
+                if replica is None or replica.endpoint is not endpoint:
+                    self.replicas[shard][node_id] = ShardReplica(endpoint)
+                    rebound += 1
+        return rebound
+
+    def client(self, name=None, timeout=2.0, attempts=12):
+        """An epoch-aware :class:`ShardClient` on this service."""
+        if name is None:
+            self._client_seq += 1
+            name = "client-%d" % self._client_seq
+        return ShardClient(self, name=name, timeout=timeout,
+                           attempts=attempts)
 
     def submit(self, key, command, size=32):
         """Order a single-key command on the shard owning ``key``."""
         shard = self.manager.route(key)
-        for node_id in sorted(self.replicas[shard]):
-            replica = self.replicas[shard][node_id]
-            if not replica.endpoint.process.stopped:
-                return replica.submit(command, size=size)
-        raise RuntimeError("shard %r has no live replica" % (shard,))
+        replica = self.live_replica(shard)
+        if replica is None:
+            raise RuntimeError("shard %r has no live replica" % (shard,))
+        return replica.submit(command, size=size)
 
     def get(self, key):
         """Read ``key`` from a live replica of its shard (local read --
         the RSM's agreed state, not a linearizable quorum read)."""
         shard = self.manager.route(key)
-        for node_id in sorted(self.replicas[shard]):
-            replica = self.replicas[shard][node_id]
-            if not replica.endpoint.process.stopped:
-                return replica.machine.data.get(key)
-        raise RuntimeError("shard %r has no live replica" % (shard,))
+        machines = self.machines(shard)
+        if not machines:
+            raise RuntimeError("shard %r has no live replica" % (shard,))
+        return machines[0].data.get(key)
 
     def transfer(self, src_key, dst_key, amount, txid=None):
         if txid is None:
@@ -276,3 +509,108 @@ class ShardedRSM:
         return {node_id: replica.state_digest()
                 for node_id, replica in self.replicas[shard].items()
                 if not replica.endpoint.process.stopped}
+
+
+class ShardClient:
+    """An epoch-stamping client with the re-route-and-retry path.
+
+    The client caches a directory epoch (possibly stale -- that is the
+    point), stamps it into every op envelope, and reacts to the machine's
+    fencing verdicts:
+
+    * ``ok``    -- done; the recorded result is returned;
+    * ``stale`` / ``moved`` -- refresh the cached epoch from the
+      directory and re-route: the key's shard changed under us;
+    * ``early`` / ``wait``  -- the migration is mid-flight; run the plane
+      briefly and resubmit the SAME ``op_id`` (dedup in ``op_results``
+      makes the retry exactly-once even if the fenced attempt and the
+      retry both survive reordering or a view change).
+
+    Outcomes are observed through replica state (``op_results`` /
+    ``fence_log``), the same watch-the-machine pattern the transfer
+    coordinator uses, so a mid-flight view change at the serving shard
+    only costs a timeout + resubmit.
+    """
+
+    def __init__(self, rsm, name="client", timeout=2.0, attempts=12):
+        self.rsm = rsm
+        self.manager = rsm.manager
+        self.name = name
+        self.timeout = timeout
+        self.attempts = attempts
+        self.epoch = self.manager.directory.epoch
+        self._seq = 0
+        self.retries = 0
+        self.fences = {"stale": 0, "early": 0, "wait": 0, "moved": 0}
+
+    def refresh(self):
+        """Re-read the directory's current epoch (the re-route half)."""
+        self.epoch = self.manager.directory.epoch
+        return self.epoch
+
+    # ------------------------------------------------------------------
+    def op(self, key, sub, op_id=None, timeout=None, attempts=None):
+        """Run one fenced op to completion; ``(status, result)``.
+
+        ``status`` is ``"ok"`` (applied exactly once; ``result`` is the
+        machine's return value) or ``"failed"`` (retry budget exhausted,
+        e.g. the owning shard lost its quorum for the whole window).
+        """
+        if op_id is None:
+            self._seq += 1
+            op_id = (self.name, self._seq)
+        timeout = self.timeout if timeout is None else timeout
+        attempts = self.attempts if attempts is None else attempts
+        attempt = 0
+        for _try in range(attempts):
+            attempt += 1
+            if not self.manager.directory.has_epoch(self.epoch):
+                self.refresh()   # our table was retired under us
+            epoch = self.epoch
+            shard = self.manager.route(key, epoch=epoch)
+            replica = self.rsm.live_replica(shard)
+            if replica is None:
+                self.manager.run(0.25)   # shard mid-recovery; come back
+                continue
+            token = (op_id, attempt)
+            replica.submit(("op", op_id, attempt, epoch, key, sub))
+            seen = self.manager.run_until(
+                lambda: self._outcome(shard, op_id, token) is not None,
+                timeout=timeout)
+            if not seen:
+                self.retries += 1
+                continue   # resubmit the SAME op_id under a new attempt
+            reason, payload = self._outcome(shard, op_id, token)
+            if reason == "ok":
+                return ("ok", payload)
+            self.fences[reason] = self.fences.get(reason, 0) + 1
+            if reason in ("stale", "moved"):
+                self.refresh()
+            else:   # early / wait: let the migration make progress
+                self.manager.run(0.1)
+        return ("failed", None)
+
+    def _outcome(self, shard, op_id, token):
+        for machine in self.rsm.machines(shard):
+            record = machine.op_results.get(op_id)
+            if record is not None:
+                return ("ok", record[1])
+            fence = machine.fence_log.get(token)
+            if fence is not None:
+                return fence
+        return None
+
+    # -- grammar conveniences ------------------------------------------
+    def set(self, key, value, **kw):
+        return self.op(key, ("set", key, value), **kw)
+
+    def incr(self, key, delta=1, **kw):
+        return self.op(key, ("incr", key, delta), **kw)
+
+    def delete(self, key, **kw):
+        return self.op(key, ("del", key), **kw)
+
+    def get(self, key):
+        """Read through the CURRENT table (refreshes the cached epoch)."""
+        self.refresh()
+        return self.rsm.get(key)

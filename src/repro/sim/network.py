@@ -19,6 +19,28 @@ Two communication primitives are provided, mirroring the system:
 from __future__ import annotations
 
 
+def _independent_copy(payload):
+    """A fresh datagram image for a duplicated delivery.
+
+    The simulator passes live ``Message`` objects where a real network
+    carries byte copies.  Delivering the *same* object twice is wrong:
+    the first delivery pops layer headers in place, so the replayed
+    object arrives header-stripped and the receiver misreads a benign
+    network duplicate as a malformed (Byzantine) message.  Cloning the
+    message -- and the inner messages of a packed container, which are
+    also held by reference -- restores wire semantics: every delivery
+    is an independent image of what was sent.
+    """
+    if hasattr(payload, "clone_for"):
+        return payload.clone_for(payload.dest)
+    if (isinstance(payload, tuple) and len(payload) == 2
+            and payload[0] == "pack" and isinstance(payload[1], tuple)):
+        return ("pack", tuple(
+            msg.clone_for(msg.dest) if hasattr(msg, "clone_for") else msg
+            for msg in payload[1]))
+    return payload
+
+
 class NetworkConfig:
     """Tunable loss/latency behaviour of the oblivious scheduler."""
 
@@ -264,10 +286,11 @@ class Network:
                 return
             for k in range(extra):
                 schedule_at(arrival + (k + 1) * delay, self._deliver,
-                            dst, src, payload)
+                            dst, src, _independent_copy(payload))
         schedule_at(arrival, self._deliver, dst, src, payload)
         if config.duplicate_prob and rng_random() < config.duplicate_prob:
-            schedule_at(arrival + delay, self._deliver, dst, src, payload)
+            schedule_at(arrival + delay, self._deliver, dst, src,
+                        _independent_copy(payload))
 
     def gossip_cast(self, src, size_bytes, payload):
         """IP-multicast announcement reaching every connected process."""

@@ -72,6 +72,33 @@ def test_drop_and_duplicate_faults_recovered():
     assert engine.faults.duplicated > 0
 
 
+def test_duplicated_datagrams_are_independent_copies():
+    """Regression: the sim used to redeliver the *same* Message object
+    for a duplicated datagram.  The first delivery pops layer headers in
+    place, so the replay arrived header-stripped and every receiver
+    scored a benign network duplicate as Byzantine verbosity -- enough
+    wildcard duplication dissolved the whole group into singleton views
+    (destroying the total-order layer's undelivered buffer with it).
+    With per-delivery copies, heavy duplication is absorbed silently."""
+    plan = FaultPlan(seed=6, n=5, config={"total_order": True}, ops=[
+        ["duplicate", None, None, 0.3],
+        ["cast", 0, 8],
+        ["run", 0.4],
+        ["cast", 3, 6],
+        ["cast", 1, 6],
+        ["run", 0.6],
+    ])
+    violations, engine = run_plan(plan)
+    assert violations == []
+    assert engine.faults.duplicated > 0
+    # duplication alone must never trigger a view change
+    vids = {p.view.vid for p in engine.group.processes.values()}
+    assert len(vids) == 1 and next(iter(vids)).counter == 1
+    # and the dedup happened at the reliable layer, silently
+    assert any(p.reliable.duplicates > 0
+               for p in engine.group.processes.values())
+
+
 def test_skew_and_nic_faults_run_clean():
     plan = FaultPlan(seed=4, n=4, ops=[
         ["skew", 1, 1.3],

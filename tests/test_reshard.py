@@ -1,0 +1,247 @@
+"""Live resharding over the epoch seam, end to end on the simulator.
+
+The tentpole's contract, exercised at the ``Cluster`` surface:
+
+* the blocking ``Cluster.reshard(...)`` moves exactly the keys whose
+  ring owner changed, retires the old epoch, and leaves every replica
+  of every shard on one digest;
+* client operations issued *during* a migration apply exactly once per
+  key -- the stale/early/wait fences plus the ``op_results`` dedup
+  table, not timing luck, carry linearizability across the seam;
+* the resubmit-same-txid path survives a destination-shard view change
+  mid-migration (the crash-the-submitter scenario from the cross-shard
+  transfer tests, replayed against the epoch machinery);
+* an abandoned coordinator's migration is adoptable: ``resume()``
+  rebuilds the plan from the directory and finishes it idempotently.
+"""
+
+import pytest
+
+from repro import Cluster, StackConfig
+from repro.shard.chaos import check_key_conservation
+
+
+def make_plane(shards, nodes_per_shard, seed=0, ring_shards=None):
+    """A total-order cluster with ``shards`` built groups, the first
+    ``ring_shards`` of them on the initial hash ring (the rest are the
+    spare capacity a scale-out reshard grows onto)."""
+    config = StackConfig.byz(total_order=True, crypto="none")
+    cluster = Cluster.create(shards=shards, nodes_per_shard=nodes_per_shard,
+                             config=config, seed=seed,
+                             ring_shards=ring_shards)
+    cluster.run_until_stable_views(10.0)
+    return cluster
+
+
+def pump_migration(cluster, coordinator, interval=0.4):
+    """Poll the migration from a sim timer.
+
+    Client ops advance the plane internally (``run_until`` inside
+    ``ShardClient.op``), so without a timer the coordinator would only
+    make progress between ops -- and an op fenced ``wait`` on an
+    in-flight arc could never be released.  The timer makes migration
+    progress genuinely concurrent with the client's view of time.
+    """
+    def tick():
+        if coordinator.state == "migrating":
+            coordinator.poll()
+            cluster.sim.schedule(interval, tick)
+    cluster.sim.schedule(interval, tick)
+
+
+# ----------------------------------------------------------------------
+# the blocking facade call
+# ----------------------------------------------------------------------
+def test_reshard_scale_out_moves_exactly_the_routing_delta():
+    cluster = make_plane(4, 3, seed=1, ring_shards=2)
+    rsm = cluster.sharded_rsm()
+    client = rsm.client("seeder")
+    keys = ["acct:%d" % i for i in range(40)]
+    expected = {}
+    for i, key in enumerate(keys):
+        assert client.set(key, i)[0] == "ok"
+        expected[key] = i
+    before = {key: cluster.route(key) for key in keys}
+
+    coordinator = cluster.reshard(shards=4)
+    assert coordinator.state == "done"
+    moved = [key for key in keys if cluster.route(key) != before[key]]
+    assert moved, "a 2->4 scale-out must move some keys"
+    metrics = coordinator.migration_metrics()
+    assert metrics["keys_moved"] == len(moved)
+    assert metrics["pairs_done"] == metrics["pairs"]
+    assert metrics["finished_at"] is not None
+
+    # old epoch retired, every key on its new owner with its old value
+    assert cluster.directory.epochs() == (coordinator.epoch,)
+    assert check_key_conservation(rsm, expected) == []
+    for shard in range(4):
+        cluster.run_until(
+            lambda shard=shard: len(set(
+                rsm.shard_digests(shard).values())) == 1, timeout=5.0)
+        assert len(set(rsm.shard_digests(shard).values())) == 1
+    cluster.stop()
+
+
+def test_reshard_shrink_drains_keys_back():
+    cluster = make_plane(3, 3, seed=2)
+    rsm = cluster.sharded_rsm()
+    client = rsm.client("drainer")
+    expected = {}
+    for i in range(24):
+        key = "cold:%d" % i
+        assert client.set(key, i * 10)[0] == "ok"
+        expected[key] = i * 10
+
+    coordinator = cluster.reshard(shards=1)
+    assert coordinator.state == "done"
+    # everything now lives on shard 0; the drained shards hold nothing
+    assert check_key_conservation(rsm, expected) == []
+    for shard in (1, 2):
+        for machine in rsm.machines(shard):
+            assert machine.data == {}
+            assert machine.outbox == {}
+    assert cluster.directory.ring().shards == 1
+    cluster.stop()
+
+
+def test_reshard_rejects_noop_and_overgrown_targets():
+    cluster = make_plane(2, 3, seed=3)
+    with pytest.raises(ValueError):
+        cluster.resharder().start(shards=2)      # same ring: a caller bug
+    with pytest.raises(ValueError):
+        cluster.resharder().start(shards=5)      # only 2 groups built
+    cluster.stop()
+
+
+# ----------------------------------------------------------------------
+# mid-migration linearizability (the satellite's core scenario)
+# ----------------------------------------------------------------------
+def test_concurrent_writes_during_migration_apply_exactly_once():
+    """Increments driven THROUGH a live migration: every key's counter
+    must equal the number of acknowledged increments -- a lost update
+    reads low, a double-applied fenced retry reads high."""
+    cluster = make_plane(4, 4, seed=5, ring_shards=2)
+    rsm = cluster.sharded_rsm()
+    client = rsm.client("lin", timeout=1.5, attempts=20)
+    keys = ["ctr:%d" % i for i in range(16)]
+    # seed every counter BEFORE the seam so the sealed outboxes carry
+    # real keys -- the increments below then race the keys' own move
+    for key in keys:
+        assert client.set(key, 0)[0] == "ok"
+
+    coordinator = cluster.resharder()
+    pump_migration(cluster, coordinator)
+    coordinator.start(shards=4)
+
+    expected = {}
+    states_seen = set()
+    for round_no in range(3):
+        for key in keys:
+            status, result = client.incr(
+                key, op_id=("lin", key, round_no))
+            assert status == "ok", (key, round_no)
+            expected[key] = expected.get(key, 0) + 1
+            assert result == expected[key], (key, round_no, result)
+            states_seen.add(coordinator.state)
+
+    assert coordinator.run(timeout=30.0)
+    cluster.run_until_stable_views(5.0)
+    cluster.run(1.0)
+
+    # the workload genuinely overlapped the migration and hit its fences
+    assert "migrating" in states_seen
+    assert sum(client.fences.values()) > 0, client.fences
+    # exactly-once per key on the destination: counter == acks issued
+    assert check_key_conservation(rsm, expected) == []
+    for key in keys:
+        assert rsm.get(key) == 3, key
+    metrics = coordinator.migration_metrics()
+    assert metrics["keys_moved"] > 0
+    assert cluster.directory.epochs() == (coordinator.epoch,)
+    cluster.stop()
+
+
+def test_resubmit_same_op_id_survives_mid_migration_view_change():
+    """The resubmit-same-txid path across a view change: the serving
+    shard loses a member while the migration is in flight, the client
+    rides fences and timeouts with ONE op id, and the increment lands
+    exactly once on the destination shard."""
+    cluster = make_plane(2, 4, seed=7, ring_shards=1)
+    rsm = cluster.sharded_rsm()
+    # fenced attempts are cheap (the verdict lands in a fraction of a
+    # second), but the budget must span the destination shard's whole
+    # view change, during which every attempt fences "early"
+    client = rsm.client("vc", timeout=1.5, attempts=80)
+
+    coordinator = cluster.resharder()
+    pump_migration(cluster, coordinator)
+    coordinator.start(shards=2)
+    # a key the new ring hands to the destination shard
+    key = next("mv:%d" % i for i in range(10000)
+               if cluster.directory.route("mv:%d" % i,
+                                          coordinator.epoch) == 1)
+
+    # the destination shard loses its lowest member mid-migration: its
+    # mig_begin/install must ride out the flush + view change
+    dst_group = cluster.shard_group(1)
+    victim = min(dst_group.processes)
+    dst_group.crash(victim)
+
+    op_id = ("vc", key)
+    status, result = client.op(key, ("incr", key, 1), op_id=op_id)
+    assert status == "ok"
+    assert result == 1
+
+    # blind replay of the SAME op id: dedup returns the recorded result,
+    # the counter does not move
+    replay_status, replay_result = client.op(key, ("incr", key, 1),
+                                             op_id=op_id)
+    assert (replay_status, replay_result) == ("ok", 1)
+
+    assert coordinator.run(timeout=30.0)
+    cluster.run_until(
+        lambda: all(p.view.n == 3 for p in dst_group.processes.values()
+                    if not p.stopped), timeout=8.0)
+    cluster.run(1.0)
+    assert rsm.get(key) == 1
+    # the op record migrated WITH the key: it lives on the destination,
+    # and only there
+    holders = [shard for shard in (0, 1)
+               if any(op_id in m.op_results for m in rsm.machines(shard))]
+    assert holders == [1]
+    assert check_key_conservation(rsm, {key: 1}) == []
+    cluster.stop()
+
+
+# ----------------------------------------------------------------------
+# coordinator hand-off
+# ----------------------------------------------------------------------
+def test_abandoned_migration_is_resumable_by_a_fresh_coordinator():
+    cluster = make_plane(3, 3, seed=11, ring_shards=2)
+    rsm = cluster.sharded_rsm()
+    client = rsm.client("handoff")
+    expected = {}
+    for i in range(20):
+        key = "h:%d" % i
+        assert client.set(key, i)[0] == "ok"
+        expected[key] = i
+
+    first = cluster.resharder()
+    first.start(shards=3)
+    cluster.run(0.5)          # mig_begins in flight, then the
+    first.poll()              # coordinator "crashes" (is abandoned)
+    assert first.state == "migrating"
+
+    second = cluster.resharder()
+    with pytest.raises(ValueError):
+        # epoch e+1 is already installed, so "start the same reshard"
+        # reads as a no-op target; adoption goes through resume()
+        second.start(shards=3)
+    adopted_epoch = second.resume()
+    assert adopted_epoch == first.epoch
+    assert second.run(timeout=30.0)
+    assert second.state == "done"
+    assert cluster.directory.epochs() == (adopted_epoch,)
+    assert check_key_conservation(rsm, expected) == []
+    cluster.stop()

@@ -1,0 +1,153 @@
+"""Property tests for the routing directory and the epoch seam.
+
+Three contracts the live-resharding tentpole is built on:
+
+* **ring-diff correctness** -- a key's owner changes between two rings
+  iff its hash falls inside one of :func:`ring_diff`'s arcs.  The
+  migration streams exactly those arcs' keys, so an arc missed here is
+  a key silently stranded on its old shard.
+* **epoch monotonicity** -- the directory only ever installs strictly
+  newer tables, never retires the live one, and keeps every registered
+  table queryable (stale-routed requests must be *recognizable*).
+* **fencing totality** -- any ``("op", ...)`` envelope applied to the
+  sharded store resolves to exactly one observable verdict: the result
+  table or the fence log, never a silent drop.  The re-route-and-retry
+  client is only sound if every attempt leaves a trace it can act on.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.shard.directory import (HashRing, ShardDirectory, arc_contains,
+                                   arcs_contain, hash_key, ring_diff)
+from repro.shard.rsm import ShardedKVStore
+
+RING_SHAPES = st.tuples(st.integers(min_value=1, max_value=9),
+                        st.integers(min_value=1, max_value=48))
+
+KEYS = st.one_of(
+    st.text(max_size=12),
+    st.integers(min_value=-2**40, max_value=2**40),
+    st.tuples(st.text(max_size=4), st.integers(min_value=0, max_value=99)),
+)
+
+
+# ----------------------------------------------------------------------
+# ring-diff correctness
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(old_shape=RING_SHAPES, new_shape=RING_SHAPES,
+       keys=st.lists(KEYS, min_size=1, max_size=24))
+def test_owner_changes_iff_key_in_a_moved_arc(old_shape, new_shape, keys):
+    old = HashRing(*old_shape)
+    new = HashRing(*new_shape)
+    arcs = ring_diff(old, new)
+    moved = tuple((lo, hi) for lo, hi, _src, _dst in arcs)
+    for key in keys:
+        changed = old.shard_for(key) != new.shard_for(key)
+        assert changed == arcs_contain(moved, hash_key(key)), (
+            key, old_shape, new_shape)
+
+
+@settings(max_examples=60, deadline=None)
+@given(old_shape=RING_SHAPES, new_shape=RING_SHAPES)
+def test_ring_diff_arcs_are_disjoint_and_correctly_owned(old_shape,
+                                                         new_shape):
+    old = HashRing(*old_shape)
+    new = HashRing(*new_shape)
+    arcs = ring_diff(old, new)
+    for lo, hi, src, dst in arcs:
+        assert src != dst
+        # the endpoints really belong to the owners the arc names
+        assert old.owner_of_point(lo) == src
+        assert new.owner_of_point(lo) == dst
+        # no other arc contains this arc's low endpoint
+        holders = [a for a in arcs if arc_contains(a[0], a[1], lo)]
+        assert len(holders) == 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(shape=RING_SHAPES, keys=st.lists(KEYS, min_size=1, max_size=16))
+def test_identical_rings_have_empty_diff(shape, keys):
+    ring = HashRing(*shape)
+    other = HashRing(*shape)
+    assert ring_diff(ring, other) == ()
+    for key in keys:
+        assert ring.shard_for(key) == other.shard_for(key)
+
+
+# ----------------------------------------------------------------------
+# epoch monotonicity
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(steps=st.lists(st.tuples(st.integers(min_value=-2, max_value=5),
+                                st.integers(min_value=1, max_value=6)),
+                      min_size=1, max_size=8))
+def test_directory_epochs_are_strictly_monotonic(steps):
+    directory = ShardDirectory(shards=2)
+    installed = [0]
+    for delta, shards in steps:
+        target = directory.epoch + delta
+        if delta > 0:
+            directory.install_epoch(target, shards)
+            installed.append(target)
+        else:
+            try:
+                directory.install_epoch(target, shards)
+            except ValueError:
+                pass
+            else:
+                raise AssertionError("non-monotonic epoch %r accepted"
+                                     % (target,))
+    assert directory.epoch == installed[-1]
+    assert directory.epochs() == tuple(sorted(installed))
+    # every registered epoch stays routable; the current one is fenced
+    # from retirement
+    for epoch in directory.epochs():
+        directory.route("probe", epoch)
+    try:
+        directory.retire_epoch(directory.epoch)
+    except ValueError:
+        pass
+    else:
+        raise AssertionError("current epoch retired")
+    # retiring every older epoch is allowed and idempotent
+    for epoch in directory.epochs()[:-1]:
+        directory.retire_epoch(epoch)
+        directory.retire_epoch(epoch)
+    assert directory.epochs() == (directory.epoch,)
+
+
+# ----------------------------------------------------------------------
+# fencing totality
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(machine_epoch=st.integers(min_value=0, max_value=4),
+       op_epoch=st.integers(min_value=0, max_value=4),
+       key=KEYS, attempt=st.integers(min_value=0, max_value=3))
+def test_every_op_is_served_or_fenced_never_dropped(machine_epoch,
+                                                    op_epoch, key, attempt):
+    machine = ShardedKVStore(epoch=machine_epoch)
+    op_id = ("op-id", repr(key), attempt)
+    machine.apply("origin",
+                  ("op", op_id, attempt, op_epoch, key, ("set", key, 1)))
+    served = op_id in machine.op_results
+    fenced = (op_id, attempt) in machine.fence_log
+    assert served != fenced, (served, fenced)
+    if op_epoch == machine_epoch:
+        assert served
+    else:
+        reason, _epoch = machine.fence_log[(op_id, attempt)]
+        assert reason == ("stale" if op_epoch < machine_epoch else "early")
+
+
+@settings(max_examples=40, deadline=None)
+@given(key=KEYS, attempts=st.integers(min_value=2, max_value=4))
+def test_resubmitted_op_id_applies_exactly_once(key, attempts):
+    machine = ShardedKVStore(epoch=1)
+    op_id = ("inc", repr(key))
+    for attempt in range(attempts):
+        machine.apply("origin",
+                      ("op", op_id, attempt, 1, key, ("incr", key, 1)))
+    stored_key, result = machine.op_results[op_id]
+    assert machine.data[key] == 1 and result == 1

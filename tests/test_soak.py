@@ -125,6 +125,83 @@ def test_state_sizes_cover_every_stateful_layer():
 
 
 # ----------------------------------------------------------------------
+# the stability-listener leak (regression)
+# ----------------------------------------------------------------------
+def _churn_with_stability_wait(checker, rounds=12):
+    """Crash/restart churn with the coordinator's stability wait forced.
+
+    ``all_stable`` is usually already true by the time the cut completes
+    (the reliable layer's cut retransmission doubles as acknowledgement),
+    so the per-change subscription only happens in a narrow race.  The
+    wrapper answers "not yet" to the first query of each change, forcing
+    the membership layer through its real subscribe-wait-unsubscribe
+    path on every view change -- the path the leak lived on.
+    """
+    from repro.layers.stability import StabilityTracker
+
+    real_all_stable = StabilityTracker.all_stable
+    queries = {}
+
+    def lagged(self, cut, members):
+        count = queries.get(id(self), 0)
+        queries[id(self)] = count + 1
+        if count % 2 == 0:
+            # the AWAIT_VIEW entry query: report "not yet stable" so the
+            # coordinator subscribes; the re-query from the very next
+            # ack-matrix notify answers truthfully and releases the wait
+            return False
+        return real_all_stable(self, cut, members)
+
+    StabilityTracker.all_stable = lagged
+    group = make_group(5, seed=11)
+    try:
+        group.run(0.5)
+        for round_no in range(rounds):
+            # fresh app traffic each round: every change flushes a new,
+            # larger cut, so the first-query-lags-once wrapper above
+            # forces one stability wait per change
+            for node in range(4):
+                group.endpoints[node].cast(("churn", round_no, node))
+            group.crash(4)
+            group.run(0.6)
+            group.restart(4)
+            group.run(0.8)
+            checker.sample(group)
+        return max(p.stability.state_sizes()["listeners"]
+                   for p in group.processes.values())
+    finally:
+        StabilityTracker.all_stable = real_all_stable
+        group.stop()
+
+
+def test_stability_listeners_bounded_under_view_churn():
+    """Membership pairs every per-change stability subscription with an
+    unsubscribe, so the listener list stays flat across view churn."""
+    checker = BoundedStateChecker(growth_slack=1.5, growth_floor=4)
+    peak = _churn_with_stability_wait(checker)
+    # the flow layer's one standing registration, nothing per-change
+    assert peak <= 2, peak
+    assert not [v for v in checker.check() if "stability.listeners" in v]
+
+
+def test_soak_checker_catches_resurrected_listener_leak():
+    """Flipping the revert flag re-opens the leak: one dead listener per
+    view change, which the bounded-state checker must flag under churn."""
+    from repro.layers.membership import MembershipLayer
+
+    leaky = BoundedStateChecker(growth_slack=1.5, growth_floor=4)
+    assert MembershipLayer.unsubscribe_stability is True
+    MembershipLayer.unsubscribe_stability = False
+    try:
+        peak = _churn_with_stability_wait(leaky)
+    finally:
+        MembershipLayer.unsubscribe_stability = True
+    assert peak > 4, peak
+    violations = leaky.check()
+    assert any("stability.listeners" in v for v in violations), violations
+
+
+# ----------------------------------------------------------------------
 # soak runs
 # ----------------------------------------------------------------------
 def test_mini_soak_passes_and_reports():
