@@ -6,6 +6,12 @@ ByzEns+NoCrypto+Total (PubCrypto dropped -- orders of magnitude higher).
 Expected shape: single-digit milliseconds growing mildly with n;
 NoCrypto slightly above benign; SymCrypto adds per-receiver MAC cost
 (grows with n); Total adds a consensus round on top.
+
+The same ring sweep is recorded in the committed ``BENCH_latency.json``
+artifact by ``benchmarks/bench_latency.py`` (which also measures the
+ordering fast path) and gated in CI through ``run_all.py --latency`` /
+``--check-against`` with the calibration-normalized machinery shared
+with ``bench_wallclock.py``.
 """
 
 import pytest

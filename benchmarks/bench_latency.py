@@ -1,0 +1,217 @@
+"""Failure-free ordering latency: the optimistic fast path vs classic.
+
+Measures cast->deliver latency (p50/p99, *simulated* milliseconds) and
+ordering decides/s for the totally-ordered SymCrypto stack with the
+2-step fast path on vs off, at n = 8/16/32, under the open-loop
+moderate-load workload of ``harness.ordering_latency`` -- the regime the
+fast path targets: enough concurrent casts that the classic (tick-gated,
+one-instance-at-a-time) path queues, few enough that the pipelined fast
+path absorbs the rate.  A fig6-style closed-loop ring sweep rides along
+so the classic latency ladder stays tracked by the same artifact.
+
+Simulated latencies are deterministic per (seed, n, interval) and
+host-independent; wall-clock events/s is also recorded per point and
+compared with the same calibration-normalized ``--check-against``
+machinery as ``bench_wallclock.py`` (sub-0.1 s wall points ungated).
+
+Usage::
+
+    python benchmarks/bench_latency.py [--quick] [--out PATH]
+        [--repeat N] [--speedup-check RATIO]
+        [--check-against BASELINE.json [--tolerance 0.30]] [--tag NAME]
+
+``--speedup-check RATIO`` exits non-zero unless fast-path-on p50 beats
+fast-path-off by at least RATIO at every measured n >= 16 (the headline
+acceptance gate uses 1.7).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from benchmarks.bench_wallclock import _best_of, calibrate, check_against
+from benchmarks.harness import FIG6_CONFIGS, ordering_latency, ring_latency
+from repro import StackConfig
+
+FULL_NS = (8, 16, 32)
+QUICK_NS = (8, 16)
+#: the ring sweep reuses the fig6 lines at a reduced size grid
+RING_NS = (8, 16)
+
+FASTPATH_CONFIGS = {
+    "SymCrypto+Total": lambda: StackConfig.byz(crypto="sym",
+                                               total_order=True),
+    "SymCrypto+Total+Fast": lambda: StackConfig.byz(
+        crypto="sym", total_order=True, ordering_fast_path=True),
+}
+
+
+def run_fastpath(sizes, seed=7, repeat=1):
+    points = []
+    for label, build in FASTPATH_CONFIGS.items():
+        for n in sizes:
+            def one_run():
+                start = time.perf_counter()
+                result = ordering_latency(build(), n, seed=seed)
+                return time.perf_counter() - start, result
+            wall, result = _best_of(repeat, one_run)
+            point = {
+                "workload": "fastpath",
+                "label": label,
+                "n": n,
+                "wall_s": round(wall, 4),
+                "events": result["events"],
+                "events_per_s": round(result["events"] / wall, 1),
+                "p50_ms": round(result["p50_ms"], 4),
+                "p99_ms": round(result["p99_ms"], 4),
+                "mean_ms": round(result["mean_ms"], 4),
+                "delivered": result["delivered"],
+                "decides_per_s": round(result["decides_per_s"], 1),
+                "fast_decides": result["fast_decides"],
+                "fast_fallbacks": result["fast_fallbacks"],
+            }
+            points.append(point)
+            print("fastpath %-22s n=%-3d p50 %7.3f ms  p99 %7.3f ms  "
+                  "%6.0f decides/s  %4d delivered  (%.2fs wall)"
+                  % (label, n, point["p50_ms"], point["p99_ms"],
+                     point["decides_per_s"], point["delivered"], wall),
+                  flush=True)
+    return points
+
+
+def run_ring(sizes, seed=7, repeat=1):
+    points = []
+    for label in sorted(FIG6_CONFIGS):
+        for n in sizes:
+            def one_run():
+                start = time.perf_counter()
+                result = ring_latency(FIG6_CONFIGS[label](), n, seed=seed)
+                return time.perf_counter() - start, result
+            wall, result = _best_of(repeat, one_run)
+            point = {
+                "workload": "fig6",
+                "label": label,
+                "n": n,
+                "wall_s": round(wall, 4),
+                "events": result["events"],
+                "events_per_s": round(result["events"] / wall, 1),
+                "latency_ms": round(result["latency_ms"], 4),
+                "p99_ms": round(result["p99_ms"], 4),
+            }
+            points.append(point)
+            print("fig6     %-22s n=%-3d mean %6.3f ms  p99 %7.3f ms"
+                  % (label, n, point["latency_ms"], point["p99_ms"]),
+                  flush=True)
+    return points
+
+
+def run_suite(quick=False, seed=7, repeat=1):
+    sizes = QUICK_NS if quick else FULL_NS
+    calib = min(calibrate() for _ in range(repeat))
+    print("calibration loop: %.3fs" % calib, flush=True)
+    points = run_fastpath(sizes, seed=seed, repeat=repeat)
+    points += run_ring(tuple(n for n in RING_NS if n in sizes) or RING_NS,
+                       seed=seed, repeat=repeat)
+    return {
+        "quick": quick,
+        "seed": seed,
+        "repeat": repeat,
+        "calib_s": round(calib, 4),
+        "python": "%d.%d.%d" % sys.version_info[:3],
+        "workloads": points,
+    }
+
+
+def check_speedup(current, ratio, min_n=16):
+    """The headline gate: fast-on p50 must beat fast-off by ``ratio``
+    at every measured n >= ``min_n``.  Returns failure strings."""
+    p50 = {(p["label"], p["n"]): p["p50_ms"]
+           for p in current["workloads"] if p["workload"] == "fastpath"}
+    failures = []
+    checked = 0
+    for (label, n), off_ms in sorted(p50.items()):
+        if label != "SymCrypto+Total" or n < min_n:
+            continue
+        on_ms = p50.get(("SymCrypto+Total+Fast", n))
+        if on_ms is None:
+            continue
+        checked += 1
+        speedup = off_ms / on_ms if on_ms else float("inf")
+        print("speedup n=%-3d off %7.3f ms / on %7.3f ms = %.2fx "
+              "(need %.2fx)" % (n, off_ms, on_ms, speedup, ratio),
+              flush=True)
+        if speedup < ratio:
+            failures.append("n=%d: %.2fx < required %.2fx"
+                            % (n, speedup, ratio))
+    if not checked:
+        failures.append("no fastpath point pairs at n >= %d" % min_n)
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="n=8,16 only (CI latency-smoke)")
+    parser.add_argument("--repeat", type=int, default=1, metavar="N",
+                        help="run each point N times, keep the fastest "
+                             "wall time (simulated results are identical)")
+    parser.add_argument("--speedup-check", type=float, default=None,
+                        metavar="RATIO",
+                        help="fail unless fast-on p50 beats fast-off by "
+                             "RATIO at every measured n >= 16")
+    parser.add_argument("--out", default="BENCH_latency.json")
+    parser.add_argument("--tag", default=None,
+                        help="store the run under runs[TAG], merging with "
+                             "an existing file instead of overwriting it")
+    parser.add_argument("--check-against", default=None, metavar="BASELINE",
+                        help="fail if normalized events/sec regressed vs "
+                             "this baseline JSON")
+    parser.add_argument("--tolerance", type=float, default=0.30)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+
+    current = run_suite(quick=args.quick, seed=args.seed, repeat=args.repeat)
+
+    if args.tag:
+        doc = {"schema": 1, "runs": {}}
+        if os.path.exists(args.out):
+            with open(args.out) as handle:
+                doc = json.load(handle)
+            doc.setdefault("runs", {})
+        doc["runs"][args.tag] = current
+    else:
+        doc = current
+    with open(args.out, "w") as handle:
+        json.dump(doc, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    print("wrote %s" % args.out)
+
+    if args.check_against:
+        with open(args.check_against) as handle:
+            baseline_doc = json.load(handle)
+        regressions = check_against(current, baseline_doc, args.tolerance)
+        if regressions:
+            for line in regressions:
+                print("PERF REGRESSION: %s" % line, file=sys.stderr)
+            return 1
+        print("perf check ok: no point regressed more than %.0f%% "
+              "(normalized)" % (args.tolerance * 100))
+
+    if args.speedup_check is not None:
+        failures = check_speedup(current, args.speedup_check)
+        if failures:
+            for line in failures:
+                print("FAST-PATH SPEEDUP FAILURE: %s" % line,
+                      file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

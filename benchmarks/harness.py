@@ -172,9 +172,93 @@ def ring_latency(config, n, seed=7, duration=None):
         "latency_ms": ring.latency.mean * 1000.0,
         "p99_ms": ring.latency.p99 * 1000.0,
         "rounds": ring.min_rounds_completed(),
+        "events": group.sim.events_processed,
     }
     group.stop()
     return result
+
+
+# ----------------------------------------------------------------------
+# ordering fast path: open-loop cast->deliver latency
+# ----------------------------------------------------------------------
+#: per-n cast interval for the moderate-load point of the fast-path
+#: latency benchmark: high enough that the classic (tick-gated,
+#: sequential) ordering path queues, low enough that the pipelined fast
+#: path still absorbs the rate.  Intervals deliberately avoid multiples
+#: of the 2 ms ordering tick so arrivals don't alias with it.
+ORDERING_LOAD_INTERVALS = {8: 0.0033, 16: 0.0053, 32: 0.0093}
+
+
+def ordering_latency(config, n, seed=7, duration=0.4, casters=4,
+                     interval=None):
+    """Failure-free cast->deliver latency under an open-loop cast load.
+
+    ``casters`` members each cast a 16-byte message every ``interval``
+    simulated seconds (open loop: the next cast is scheduled whether or
+    not the previous one was delivered, unlike the closed-loop ring demo
+    whose rounds self-throttle to the ordering rate).  Latency is
+    measured at one observer node from cast time to total-order
+    delivery; decides/s comes from the ordering layer's own counter.
+    """
+    if interval is None:
+        interval = ORDERING_LOAD_INTERVALS.get(
+            n, ORDERING_LOAD_INTERVALS[32])
+    group = Group.bootstrap(n, config=config, seed=seed)
+    latencies = []
+    cast_times = {}
+
+    def observer(event):
+        t0 = cast_times.get(event.msg_id)
+        if t0 is not None:
+            latencies.append(event.time - t0)
+
+    for node, endpoint in group.endpoints.items():
+        endpoint.record_events = False
+        if node == 0:
+            endpoint.on_cast = observer
+        else:
+            endpoint.on_cast = lambda event: None
+    endpoints = list(group.endpoints.values())
+
+    def caster(i):
+        msg_id = endpoints[i].cast(("load", i), size=16)
+        cast_times[msg_id] = group.sim.now
+        group.sim.schedule(interval, caster, i)
+
+    # stagger the casters off each other and off the tick grid
+    for i in range(casters):
+        group.sim.schedule(0.0011 * (i + 1), caster, i)
+    with steady_state_gc():
+        group.run(duration)
+    ordering = group.processes[0].stack.layer("ordering")
+    decides = ordering.batches_decided
+    fast_decides = getattr(ordering, "fast_decides", 0)
+    fast_fallbacks = getattr(ordering, "fast_fallbacks", 0)
+    events = group.sim.events_processed
+    group.stop()
+    latencies.sort()
+    count = len(latencies)
+
+    def pct(q):
+        if not count:
+            return float("nan")
+        return latencies[min(count - 1, int(count * q))] * 1000.0
+
+    return {
+        "label": config.label(),
+        "n": n,
+        "p50_ms": pct(0.50),
+        "p99_ms": pct(0.99),
+        "mean_ms": (sum(latencies) / count * 1000.0) if count else
+                   float("nan"),
+        "delivered": count,
+        "cast": len(cast_times),
+        "decides_per_s": decides / duration,
+        "fast_decides": fast_decides,
+        "fast_fallbacks": fast_fallbacks,
+        "sim_seconds": duration,
+        "events": events,
+    }
 
 
 # ----------------------------------------------------------------------

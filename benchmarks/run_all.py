@@ -203,6 +203,11 @@ def main(argv=None):
                         help="also run the wall-clock (host-speed) benchmark "
                              "and store it under runs['after'] of this JSON "
                              "(see benchmarks/bench_wallclock.py)")
+    parser.add_argument("--latency", default=None, metavar="PATH",
+                        help="also run the ordering-latency benchmark "
+                             "(fast path on/off + fig6 ring lines) and "
+                             "store it under runs['after'] of this JSON "
+                             "(see benchmarks/bench_latency.py)")
     parser.add_argument("--net", default=None, metavar="PATH",
                         help="also run the localhost UDP cluster benchmark "
                              "(real OS processes + sockets) and write its "
@@ -244,6 +249,10 @@ def main(argv=None):
         from benchmarks import bench_wallclock
         bench_wallclock.main((["--quick"] if args.quick else [])
                              + ["--out", args.wallclock, "--tag", "after"])
+    if args.latency:
+        from benchmarks import bench_latency
+        bench_latency.main((["--quick"] if args.quick else [])
+                           + ["--out", args.latency, "--tag", "after"])
     if args.net:
         from benchmarks import bench_net_localhost
         bench_net_localhost.main((["--quick"] if args.quick else [])

@@ -123,6 +123,15 @@ CHAOS_PRESETS = {
     "byz": {"config": None, "byzantine_fraction": 0.3},
     "byz-sym": {"config": {"byzantine": True, "crypto": "sym"},
                 "byzantine_fraction": 0.3, "corrupt": True},
+    # fast-path campaign: total ordering with the optimistic 2-step path
+    # armed, the full adversary vocabulary (byzantine_at schedules
+    # Equivocator & co. mid-run), and corruption enabled since crypto
+    # is real.  Exercises the fallback seam under every fault class.
+    "byz-fast": {"config": {"byzantine": True, "crypto": "sym",
+                            "total_order": True,
+                            "ordering_fast_path": True},
+                 "byzantine_fraction": 0.3, "corrupt": True,
+                 "adversary": True},
 }
 
 
@@ -130,8 +139,9 @@ def cmd_chaos(args):
     """Run a chaos campaign (or replay one plan); exit 1 on violations."""
     import json
 
-    from repro.chaos import (DEFAULT_OPS, FaultPlan, run_grid_campaign,
-                             run_plan, run_random_campaign)
+    from repro.chaos import (ADVERSARY_OPS, DEFAULT_OPS, FaultPlan,
+                             run_grid_campaign, run_plan,
+                             run_random_campaign)
 
     if args.replay:
         plan = FaultPlan.load(args.replay)
@@ -153,8 +163,9 @@ def cmd_chaos(args):
             seed=args.start, config=config, shrink=not args.no_shrink,
             out_dir=args.out, log=print)
     else:
-        allow = DEFAULT_OPS if preset.get("corrupt") \
-            else tuple(op for op in DEFAULT_OPS if op != "corrupt")
+        base = ADVERSARY_OPS if preset.get("adversary") else DEFAULT_OPS
+        allow = base if preset.get("corrupt") \
+            else tuple(op for op in base if op != "corrupt")
         summary = run_random_campaign(
             range(args.start, args.start + args.seeds), ops=args.ops,
             allow=allow, byzantine_fraction=preset["byzantine_fraction"],
@@ -193,16 +204,24 @@ def cmd_tournament(args):
             print("report written to %s" % path)
         return 1 if report["verdict"] == "fail" else 0
 
+    resume = None
+    if args.resume:
+        with open(args.resume) as handle:
+            resume = json.load(handle)
     report = run_tournament(args.seed, n=args.nodes,
                             population=args.population,
                             generations=args.generations,
                             plan_ops=args.ops,
-                            event_budget=args.budget, log=print)
+                            event_budget=args.budget,
+                            minutes=args.minutes, resume=resume, log=print)
     best = report["best"]
-    print("tournament seed %d: %s after %d evaluations "
-          "(best score %.1f, plan %s)"
+    print("tournament seed %d: %s after %d evaluations (%d cached, "
+          "%.1fs wall%s; best score %.1f, plan %s)"
           % (args.seed, "FOUND failure" if report["found"] else "no failure",
-             report["evaluations"], best["score"], best["plan_hash"]))
+             report["evaluations"], report["cache_hits"],
+             report["wall_seconds"],
+             ", timed out" if report["timed_out"] else "",
+             best["score"], best["plan_hash"]))
     for line in best["violations"][:10]:
         print("  " + line)
     if args.out:
@@ -442,6 +461,14 @@ def main(argv=None):
                             help="op count of each initial random plan")
     tournament.add_argument("--budget", type=int, default=150_000,
                             help="per-evaluation simulated-event budget")
+    tournament.add_argument("--minutes", type=float, default=None,
+                            help="wall-clock budget: keep evolving until "
+                                 "this many minutes elapse (overrides "
+                                 "--generations)")
+    tournament.add_argument("--resume", default=None, metavar="REPORT_JSON",
+                            help="prior tournament report to resume from "
+                                 "(replays its evaluations from cache, "
+                                 "then continues deterministically)")
     tournament.add_argument("--soak", action="store_true",
                             help="run a long-horizon soak campaign instead "
                                  "of the genetic search")

@@ -291,7 +291,8 @@ class Equivocator(ByzantineBehavior):
     initial vote is exactly what the echo quorums exist to mask.
     """
 
-    def __init__(self, kinds=(mk.KIND_UB, mk.KIND_CONSENSUS), start_at=0.0):
+    def __init__(self, kinds=(mk.KIND_UB, mk.KIND_CONSENSUS, mk.KIND_ORDER),
+                 start_at=0.0):
         super().__init__()
         self.kinds = tuple(kinds)
         self.start_at = start_at
@@ -309,13 +310,16 @@ class Equivocator(ByzantineBehavior):
         if not self.armed or msg.kind not in self.kinds:
             return msg
         payload = msg.payload
-        if not isinstance(payload, tuple) or len(payload) != 2:
+        # uniform-broadcast / consensus envelopes are (instance_id, inner);
+        # ordering envelopes are ("ord", k, inner) -- equivocate on both,
+        # which with the fast path live also attacks fprop/fecho traffic
+        if not isinstance(payload, tuple) or len(payload) not in (2, 3):
             return msg
         if crc32(repr(dst).encode("utf-8")) & 1 == 0:
             return msg   # this half of the group sees the honest copy
-        instance_id, inner = payload
+        inner = payload[-1]
         out = msg.clone_for(dst)
-        out.payload = (instance_id, ("equiv", inner, dst))
+        out.payload = payload[:-1] + (("equiv", inner, dst),)
         process = self.process
         receivers = tuple(m for m in process.view.mbrs if m != self.me)
         signature, _cost, _bytes = process.auth.sign(

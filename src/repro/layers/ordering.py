@@ -19,18 +19,36 @@ View-change interaction: the SYNC reports of the flush protocol carry each
 member's highest started instance; every member joins all instances up to
 the maximum before delivering the deterministic tail, so the total order
 extends unbroken to the view boundary.
+
+The optimistic fast path (``ordering_fast_path``): instances run the
+2-step echo protocol of ``repro.consensus.fastpath`` and -- the part that
+actually buys latency -- are *pipelined*: up to ``FAST_PIPELINE_WINDOW``
+instances run concurrently, so a cast arriving while instance ``k`` is in
+flight rides instance ``k+1`` immediately instead of waiting for ``k`` to
+finish plus an ordering tick.  Decided batches are held and applied
+strictly in instance order; overlap between concurrent proposals is safe
+because delivery dedups by message id, and in-order application makes the
+dedup resolve identically at every correct member.
 """
 
 from __future__ import annotations
 
 from repro.core import message as mk
 from repro.core.message import Message
+from repro.consensus.fastpath import (FastPathConsensus, fast_coordinator,
+                                      proposal_digest)
 from repro.layers.base import Layer
 
 #: bound on how far a (possibly lying) SYNC report can make us chase
 #: ordering instances past our own; vacuous instances are cheap but a
 #: Byzantine member must not be able to request unbounded work
 MAX_INSTANCE_SKEW = 64
+
+#: fast-path pipelining depth: how many ordering instances may be in
+#: flight concurrently.  Two keeps a cast's wait bounded by one in-flight
+#: instance instead of (instance + tick) while capping the per-node state
+#: and the overlap between concurrent proposals.
+FAST_PIPELINE_WINDOW = 2
 
 
 def batch_sort_key(msg_id):
@@ -45,6 +63,10 @@ class OrderingLayer(Layer):
     """Atomic (totally ordered) delivery of application casts."""
 
     name = "ordering"
+
+    #: class-level perf-parity switch: with it (or the config knob) off,
+    #: the layer must behave byte-identically to the pre-fast-path code
+    fast_path_enabled = True
 
     def __init__(self):
         super().__init__()
@@ -62,6 +84,14 @@ class OrderingLayer(Layer):
         self._frozen_undecidable = False
         self.batches_decided = 0
         self.messages_ordered = 0
+        # --- fast path state (all empty/None while the knob is off) ---
+        self._instances = {}       # k -> FastPathConsensus (in flight)
+        self._decided_out = {}     # k -> (vector, mode) decided, unapplied
+        self._fast_timers = {}     # k -> fprop->quorum deadline timer
+        self._fast_decisions = {}  # k -> [vector, digest, responded]
+        self._buffered_at = {}     # msg_id -> buffer time (latency marks)
+        self.fast_decides = 0      # instances decided in 2 steps
+        self.fast_fallbacks = 0    # fast instances aborted into consensus
 
     # ------------------------------------------------------------------
     def start(self):
@@ -72,6 +102,7 @@ class OrderingLayer(Layer):
     def stop(self):
         if self._tick_timer is not None:
             self._tick_timer.cancel()
+        self._cancel_fast_timers()
 
     def on_view(self, view):
         self._buffer.clear()
@@ -85,12 +116,30 @@ class OrderingLayer(Layer):
         self._flush_done_cb = None
         self._flush_undecidable = False
         self._frozen_undecidable = False
+        self._instances.clear()
+        self._decided_out.clear()
+        self._fast_decisions.clear()
+        self._buffered_at.clear()
+        self._cancel_fast_timers()
 
     def on_control(self, event, data):
         if not self.config.total_order:
             return
         if event == "view-change-started":
             self._stopped_proposing = True
+            if self._fast_enabled():
+                # resolve the in-flight fast instances through consensus:
+                # the coordinator may be the member we are reconfiguring
+                # around, and the flush must not stall on their deadlines
+                for inst in list(self._instances.values()):
+                    inst.abort("view-change")
+        elif event == "suspicions-updated":
+            if self._fast_enabled():
+                for inst in list(self._instances.values()):
+                    inst.notify_suspicion_change()
+
+    def _fast_enabled(self):
+        return self.config.ordering_fast_path and self.fast_path_enabled
 
     @property
     def highest_instance(self):
@@ -103,15 +152,25 @@ class OrderingLayer(Layer):
 
         In *undecidable* mode -- the agreed survivor set is smaller than
         n - f, so no further round quorum can ever complete -- the
-        in-flight instance is frozen: it may only finish by adopting the
-        broadcast decision of a member that decided before the freeze.
+        in-flight instances are frozen: they may only finish by adopting
+        the broadcast decision of a member that decided before the freeze.
         This pins the watermarks the SYNC reports carry, making the
         members' flush decisions mutually consistent.
+
+        With pipelining the *decided* watermark is the highest instance
+        whose batch was actually applied: a decision still parked behind a
+        gap in ``_decided_out`` was observed by nobody's application order
+        and is reported (and, if the flush says so, poisoned) exactly as
+        if it had never decided.
         """
         self._stopped_proposing = True
         if undecidable:
             self._frozen_undecidable = True
-            if self._instance is not None:
+            if self._fast_enabled():
+                for inst in list(self._instances.values()):
+                    inst.dec_adoption_quorum = self.process.f + 1
+                    inst.freeze_rounds()
+            elif self._instance is not None:
                 self._instance.dec_adoption_quorum = self.process.f + 1
                 self._instance.freeze_rounds()
         return (self._instance_k, self._decided_k)
@@ -127,6 +186,8 @@ class OrderingLayer(Layer):
             if msg.msg_id is None or msg.msg_id in self._delivered:
                 return
             self._buffer[msg.msg_id] = msg
+            if self._fast_enabled():
+                self._on_cast_buffered(msg.msg_id)
             return
         if msg.kind == mk.KIND_ORDER:
             self._on_order_msg(msg)
@@ -143,6 +204,9 @@ class OrderingLayer(Layer):
         if payload[0] != "ord" or not isinstance(k, int) or k < 1:
             self._misbehavior(msg.origin, "ordering:bad-instance")
             return
+        if self._fast_enabled():
+            self._on_order_msg_fast(msg.origin, k, proto)
+            return
         if self._instance is not None and k == self._instance_k:
             self._instance.on_message(msg.origin, proto)
         elif k > self._instance_k:
@@ -155,20 +219,144 @@ class OrderingLayer(Layer):
                 # empty local batch, or we would block their termination
                 self._start_instance()
 
+    def _on_order_msg_fast(self, origin, k, proto):
+        inst = self._instances.get(k)
+        if inst is not None:
+            inst.on_message(origin, proto)
+            return
+        if k > self._instance_k:
+            if k > self._instance_k + MAX_INSTANCE_SKEW:
+                self._misbehavior(origin, "ordering:instance-skew")
+                return
+            self._pending.setdefault(k, []).append((origin, proto))
+            # someone is ahead of us: join their instances (up to the
+            # pipelining window) even with empty local batches, or we
+            # would block their termination
+            while (self._instance_k < k
+                   and len(self._instances) < FAST_PIPELINE_WINDOW
+                   and self._flush_target is None
+                   and not self._frozen_undecidable):
+                self._start_instance_fast()
+            return
+        self._on_stale_order_msg(origin, k, proto)
+
+    def _on_stale_order_msg(self, origin, k, proto):
+        """A message for an instance we already finished.
+
+        Fast decisions broadcast no ``dec`` in the common case, so a
+        member that missed the coordinator's proposal (withheld by a
+        Byzantine coordinator, or lost to a partition that healed) could
+        wait forever on an instance everyone else completed.  The archive
+        of recent fast decisions lets us answer such stragglers with a
+        one-shot ``dec`` -- the exact message the fallback would have
+        broadcast -- which both classic rounds and dec-adoption flushes
+        know how to consume.
+        """
+        entry = self._fast_decisions.get(k)
+        if entry is None or not isinstance(proto, tuple) or not proto:
+            return
+        vector, digest, responded = entry
+        kind = proto[0]
+        if kind in ("dec", "fprop"):
+            return              # echoes of the decision itself: benign
+        if kind == "fecho" and len(proto) == 2 and proto[1] == digest:
+            return              # the quorum's trailing echoes: benign
+        # val/coord (a peer fell back), a conflicting echo, or garbage:
+        # somebody has not converged on k -- publish the decision once
+        if not responded:
+            entry[2] = True
+            self.count("fast_dec_responses")
+            self._bcast_proto(k, ("dec", vector))
+
     # ------------------------------------------------------------------
     # instance lifecycle
     # ------------------------------------------------------------------
     def _tick(self):
-        if (self._instance is None and self._buffer
+        if self._fast_enabled():
+            # bootstrap only: cast arrivals and decide events drive the
+            # pipeline; the tick mops up anything those paths missed
+            self._maybe_start_fast()
+        elif (self._instance is None and self._buffer
                 and not self._stopped_proposing):
             self._start_instance()
         self._tick_timer = self.sim.schedule(self.config.order_tick,
                                              self._tick)
 
+    def _on_cast_buffered(self, msg_id):
+        """Fast-path hooks on cast arrival (knob-on only).
+
+        Two jobs: stamp the cast for the cast->deliver latency histograms,
+        and feed the pipeline -- a newly buffered cast may complete the
+        validation of an in-flight proposal (``revalidate``), or warrant
+        opening the next instance immediately instead of waiting out the
+        ordering tick (order_tick dwarfs the simulated network hop, so the
+        tick wait dominates failure-free latency).
+        """
+        obs = self.stack.obs
+        if obs is not None and obs.metrics_enabled:
+            self._buffered_at[msg_id] = self.sim.now
+        for inst in list(self._instances.values()):
+            inst.revalidate()
+        self._maybe_start_fast()
+
+    def _maybe_start_fast(self):
+        """Open the next fast instance when the pipeline has room.
+
+        Idle (no instance in flight): any member starts on a non-empty
+        buffer -- non-coordinators simply wait for the coordinator's
+        proposal, and the fast deadline bounds that wait.  Busy (one
+        instance in flight): only the *next* instance's fast coordinator
+        opens the overlap slot, and only for casts the in-flight proposals
+        do not already cover -- everyone else joins when its proposal
+        arrives, exactly like the classic join-on-first-message.
+        """
+        if (self._stopped_proposing or self._flush_target is not None
+                or self._frozen_undecidable):
+            return
+        if len(self._instances) >= FAST_PIPELINE_WINDOW:
+            return
+        k_next = self._instance_k + 1
+        if self._pending.get(k_next):
+            self._start_instance_fast()
+            return
+        if not self._instances:
+            if self._buffer:
+                self._start_instance_fast()
+            return
+        view = self.view
+        seed = ("ord",) + view.vid.key() + (k_next,)
+        if fast_coordinator(list(view.mbrs), seed) != self.me:
+            return
+        covered = self._covered_ids()
+        if any(mid not in covered for mid in self._buffer):
+            self._start_instance_fast()
+
+    def _covered_ids(self):
+        """Message ids already owned by an in-flight or unapplied batch."""
+        covered = set()
+        for inst in self._instances.values():
+            covered.update(inst.covered_ids())
+        for vector, _mode in self._decided_out.values():
+            batch = vector[0] if isinstance(vector, tuple) and vector else ()
+            if isinstance(batch, tuple):
+                for entry in batch:
+                    if isinstance(entry, tuple) and len(entry) == 3:
+                        covered.add(entry[0])
+        return covered
+
     def _proposal(self):
         entries = []
         for msg_id, msg in self._buffer.items():
             entries.append((msg_id, msg.payload, msg.payload_size))
+        entries.sort(key=lambda e: batch_sort_key(e[0]))
+        return tuple(entries[: self.config.order_batch_max])
+
+    def _proposal_fast(self):
+        """Like ``_proposal`` but minus casts an in-flight instance will
+        already order -- overlap is *safe* (delivery dedups) but wasteful."""
+        covered = self._covered_ids()
+        entries = [(mid, m.payload, m.payload_size)
+                   for mid, m in self._buffer.items() if mid not in covered]
         entries.sort(key=lambda e: batch_sort_key(e[0]))
         return tuple(entries[: self.config.order_batch_max])
 
@@ -205,6 +393,139 @@ class OrderingLayer(Layer):
         for sender, proto in early:
             self._instance.on_message(sender, proto)
 
+    def _start_instance_fast(self):
+        view = self.view
+        k = self._instance_k + 1
+        self._instance_k = k
+        batch = self._proposal_fast()
+        instance_id = ("ord", view.vid.key(), k)
+
+        def bcast(proto, _k=k):
+            self._bcast_proto(_k, proto)
+
+        def on_round(rnd, awaited):
+            for member in awaited:
+                if member != self.me:
+                    self.process.mute_detector.expect(
+                        member, "ordering", self.config.consensus_msg_timeout)
+
+        members = list(view.mbrs)
+        instance = FastPathConsensus(
+            instance_id, members, self.me, self.process.f,
+            (batch,), bcast,
+            is_suspected=self._fd_suspects,
+            on_decide=lambda vec, _k=k: self._on_decided_fast(_k, vec),
+            on_misbehavior=self._misbehavior,
+            coordinator_seed=("ord",) + view.vid.key() + (k,),
+            on_round=on_round,
+            validate=self._validate_proposal,
+            on_fallback=lambda reason, _k=k: self._on_fast_fallback(_k,
+                                                                    reason))
+        self._instances[k] = instance
+        # mode arbitration: run the 2-step protocol only when nothing
+        # suggests it could stall -- no flush in progress, proposing
+        # allowed, and no live suspicion against any member
+        fast_ok = (self._flush_target is None
+                   and not self._frozen_undecidable
+                   and not self._stopped_proposing
+                   and not any(self._fd_suspects(m) for m in members))
+        if not fast_ok:
+            self.count("fast_skipped")
+        early = self._pending.pop(k, [])
+        instance.start(fast=fast_ok)
+        for sender, proto in early:
+            if self._instances.get(k) is not instance:
+                break
+            instance.on_message(sender, proto)
+        if (self._instances.get(k) is instance and not instance.decided
+                and instance.mode == "fast"):
+            self._arm_fast_deadline(k)
+
+    def _bcast_proto(self, k, proto):
+        out = Message(mk.KIND_ORDER, self.me, self.view.vid,
+                      ("ord", k, proto), payload_size=self._proto_size(proto))
+        self.send_down(out)
+
+    def _proto_size(self, proto):
+        """Accounting size of one ordering protocol message (fast mode).
+
+        The classic closure charged every message for the local batch;
+        with the fast path the whole point is that echoes are digests, so
+        charge each kind for what it actually carries: fecho is a fixed
+        digest, everything else ships a proposal vector as its last slot.
+        """
+        kind = proto[0] if isinstance(proto, tuple) and proto else None
+        if kind == "fecho":
+            return 80
+        try:
+            batch = proto[-1][0]
+            return 16 + sum(e[2] + 10 for e in batch)
+        except (TypeError, IndexError):
+            return 16
+
+    def _validate_proposal(self, vector):
+        """Echo gate: is the coordinator's proposed batch one we can sign?
+
+        ``True`` -> echo it; ``False`` -> provably bad (fall back to
+        consensus); ``"wait"`` -> entries we have not received yet, the
+        host re-validates as casts arrive and the deadline bounds the wait.
+        """
+        batch = vector[0]
+        if (not isinstance(batch, tuple)
+                or len(batch) > self.config.order_batch_max):
+            return False
+        missing = False
+        prev_key = None
+        for entry in batch:
+            if (not isinstance(entry, tuple) or len(entry) != 3
+                    or not isinstance(entry[0], tuple) or len(entry[0]) != 2
+                    or not isinstance(entry[0][1], int)):
+                return False
+            msg_id, payload, size = entry
+            key = batch_sort_key(msg_id)
+            if prev_key is not None and not prev_key < key:
+                return False    # unsorted or duplicated entries
+            prev_key = key
+            if msg_id in self._delivered:
+                # an already-ordered message: benign pipelining overlap
+                # (a concurrent instance delivered it first); delivery
+                # dedups, and the agreed content won that race, so the
+                # copy here is inert whatever it says
+                continue
+            held = self._buffer.get(msg_id)
+            if held is None:
+                missing = True
+            elif held.payload != payload or held.payload_size != size:
+                return False    # conflicts with the signed cast we hold
+        return "wait" if missing else True
+
+    def _on_fast_fallback(self, k, reason):
+        self.fast_fallbacks += 1
+        self.count("fast_fallbacks")
+        self.count("fast_fallback_" + reason)
+        self._cancel_fast_timer(k)
+
+    def _arm_fast_deadline(self, k):
+        self._cancel_fast_timer(k)
+        self._fast_timers[k] = self.sim.schedule(
+            self.config.order_fast_timeout, self._fast_deadline, k)
+
+    def _cancel_fast_timer(self, k):
+        timer = self._fast_timers.pop(k, None)
+        if timer is not None:
+            timer.cancel()
+
+    def _cancel_fast_timers(self):
+        for timer in self._fast_timers.values():
+            timer.cancel()
+        self._fast_timers.clear()
+
+    def _fast_deadline(self, k):
+        self._fast_timers.pop(k, None)
+        inst = self._instances.get(k)
+        if inst is not None and not inst.decided:
+            inst.timeout()
+
     def _fd_suspects(self, member):
         process = self.process
         if process.suspicion.is_suspected(member):
@@ -221,19 +542,7 @@ class OrderingLayer(Layer):
             return
         self._instance = None
         self._decided_k = k
-        batch = vector[0]
-        if isinstance(batch, tuple):
-            self.batches_decided += 1
-            self.count("batches_decided")
-            self.observe("batch_size", len(batch))
-            entries = sorted(
-                (e for e in batch
-                 if isinstance(e, tuple) and len(e) == 3
-                 and isinstance(e[0], tuple) and len(e[0]) == 2
-                 and isinstance(e[0][1], int)),
-                key=lambda e: batch_sort_key(e[0]))
-            for msg_id, payload, size in entries:
-                self._deliver(msg_id, payload, size)
+        self._apply_batch(vector, None)
         if self._flush_target is not None:
             self._continue_flush()
             return
@@ -241,12 +550,75 @@ class OrderingLayer(Layer):
                                         and not self._stopped_proposing):
             self._start_instance()
 
-    def _deliver(self, msg_id, payload, size):
+    def _on_decided_fast(self, k, vector):
+        inst = self._instances.pop(k, None)
+        self._cancel_fast_timer(k)
+        if inst is None:
+            return              # poisoned by an undecidable flush
+        mode = "fallback"
+        if inst.fast_decided:
+            mode = "fast"
+            self.fast_decides += 1
+            self.count("fast_decides")
+            self._archive_fast_decision(k, vector)
+        self._decided_out[k] = (vector, mode)
+        self._apply_ready()
+
+    def _apply_ready(self):
+        """Apply decided batches strictly in instance order.
+
+        A decision for ``k+1`` that lands while ``k`` is still in flight
+        parks in ``_decided_out``; applying in ``k`` order is what makes
+        the delivery-time dedup of overlapping proposals deterministic
+        and therefore identical at every correct member.
+        """
+        while self._decided_k + 1 in self._decided_out:
+            k = self._decided_k + 1
+            vector, mode = self._decided_out.pop(k)
+            self._decided_k = k
+            self._apply_batch(vector, mode)
+        if self._flush_target is not None:
+            self._continue_flush()
+        else:
+            self._maybe_start_fast()
+
+    def _apply_batch(self, vector, mode):
+        batch = vector[0]
+        if not isinstance(batch, tuple):
+            return
+        self.batches_decided += 1
+        self.count("batches_decided")
+        self.observe("batch_size", len(batch))
+        entries = sorted(
+            (e for e in batch
+             if isinstance(e, tuple) and len(e) == 3
+             and isinstance(e[0], tuple) and len(e[0]) == 2
+             and isinstance(e[0][1], int)),
+            key=lambda e: batch_sort_key(e[0]))
+        for msg_id, payload, size in entries:
+            self._deliver(msg_id, payload, size, mode)
+
+    def _archive_fast_decision(self, k, vector):
+        """Remember a 2-step decision so stragglers can be answered.
+
+        Bounded by the same skew window as instance chasing: entries
+        retire as the instance number advances, and the whole archive
+        clears at each view install.
+        """
+        self._fast_decisions[k] = [vector, proposal_digest(vector), False]
+        self._fast_decisions.pop(k - MAX_INSTANCE_SKEW, None)
+
+    def _deliver(self, msg_id, payload, size, mode=None):
         if msg_id in self._delivered or not isinstance(msg_id, tuple):
             return
         self._delivered.add(msg_id)
         self.messages_ordered += 1
         self.count("messages_ordered")
+        if mode is not None:
+            buffered_at = self._buffered_at.pop(msg_id, None)
+            if buffered_at is not None:
+                self.observe("cast_latency_" + mode,
+                             self.sim.now - buffered_at)
         held = self._buffer.pop(msg_id, None)
         origin = msg_id[0]
         # always deliver the *decided* content: with a two-faced origin our
@@ -286,6 +658,14 @@ class OrderingLayer(Layer):
         if self._flush_undecidable:
             self._continue_flush_undecidable()
             return
+        if self._fast_enabled():
+            if self._instances:
+                return  # wait for the in-flight instances to decide
+            if self._instance_k < self._flush_target:
+                self._start_instance_fast()
+                return
+            self._deliver_tail()
+            return
         if self._instance is not None:
             return  # wait for the in-flight instance to decide
         if self._instance_k < self._flush_target:
@@ -305,7 +685,59 @@ class OrderingLayer(Layer):
         if done is not None:
             done()
 
+    # ------------------------------------------------------------------
+    # bounded-state introspection (soak / tournament checker)
+    # ------------------------------------------------------------------
+    def state_sizes(self):
+        # _delivered is deliberately absent: it grows monotonically within
+        # a view by design (dedup over the view's lifetime) and resets at
+        # every install, so it would only false-positive the growth check
+        if self._fast_enabled():
+            instance_state = sum(i.state_size()
+                                 for i in self._instances.values())
+        else:
+            inst = self._instance
+            if inst is None:
+                instance_state = 0
+            elif isinstance(inst, FastPathConsensus):
+                instance_state = inst.state_size()
+            else:
+                instance_state = (len(inst._dec_msgs) + len(inst._coord_msgs)
+                                  + sum(len(v)
+                                        for v in inst._val_msgs.values()))
+        return {
+            "buffer": len(self._buffer),
+            "pending": sum(len(v) for v in self._pending.values()),
+            "fast_archive": len(self._fast_decisions),
+            "decided_backlog": len(self._decided_out),
+            "latency_marks": len(self._buffered_at),
+            "instance_state": instance_state,
+        }
+
     def _continue_flush_undecidable(self):
+        if self._fast_enabled():
+            # instances (and parked decisions) beyond the target were
+            # decided-and-applied by nobody: poison them identically at
+            # every member -- their messages stay buffered and join the
+            # deterministic tail
+            for k in [k for k in self._instances if k > self._flush_target]:
+                del self._instances[k]
+                self._cancel_fast_timer(k)
+            for k in [k for k in self._decided_out
+                      if k > self._flush_target]:
+                del self._decided_out[k]
+            if self._decided_k < self._flush_target:
+                if not self._instances:
+                    # a peer decided an instance we never started: open it
+                    # in frozen mode purely to receive and adopt the dec
+                    self._start_instance_fast()
+                    inst = self._instances.get(self._instance_k)
+                    if inst is not None:
+                        inst.dec_adoption_quorum = self.process.f + 1
+                        inst.freeze_rounds()
+                return  # the decider's dec broadcast will resolve it
+            self._deliver_tail()
+            return
         if self._decided_k < self._flush_target:
             if self._instance is None:
                 # a peer decided an instance we never started: open it in

@@ -18,6 +18,7 @@ flows from one ``random.Random(seed)``.  A winning genome is ddmin-shrunk
 from __future__ import annotations
 
 import random
+import time
 
 from repro.chaos.engine import run_plan
 from repro.chaos.plan import (ADVERSARY_OPS, RUNTIME_BEHAVIORS, FaultPlan,
@@ -27,8 +28,17 @@ from repro.chaos.shrink import shrink_plan
 #: seed salt: search randomness never mirrors plan/cluster RNG streams
 _SEARCH_SEED_SALT = 0x70A11CE5
 
-#: report format version emitted by :func:`run_tournament`
-TOURNAMENT_SCHEMA = 1
+#: report format version emitted by :func:`run_tournament`.  Schema 2
+#: adds the ``evaluated`` outcome cache and ``resume_key`` that make a
+#: report resumable: feeding it back via ``resume=`` replays the search
+#: trajectory through cached scores and continues where it stopped.
+TOURNAMENT_SCHEMA = 2
+
+#: outcome fields persisted per evaluation for deterministic resume --
+#: everything the search trajectory reads (score drives selection,
+#: ``failed`` drives stop_on_failure and the history's failure counts)
+_RECORD_FIELDS = ("score", "failed", "stalled", "recovery_time", "events",
+                  "violations", "violation_kinds")
 
 
 # ----------------------------------------------------------------------
@@ -175,24 +185,75 @@ def run_tournament(seed, n=6, population=8, generations=6, plan_ops=10,
                    allow=ADVERSARY_OPS, byzantine_fraction=0.4,
                    config=None, net=None, check=None, settle=3.0,
                    event_budget=150_000, stop_on_failure=True, shrink=True,
-                   shrink_runs=192, log=None):
+                   shrink_runs=192, log=None, minutes=None, resume=None,
+                   clock=None):
     """Evolve fault plans until one fails the checker or budget runs out.
 
     Returns the tournament report dict; ``report["found"]`` says whether
     a failing plan was discovered and ``report["minimized"]`` (when
     shrinking is on) holds the 1-minimal replayable counterexample, re-
     verified from scratch.  Deterministic per ``seed`` and parameters.
+
+    ``minutes`` switches the budget from a generation count to wall
+    clock: generations keep running until the deadline, which is only
+    allowed to cut the search *between* plan evaluations -- the search
+    trajectory itself (which plans are bred, in which order) never
+    depends on timing.  That is what makes ``resume`` sound: feeding a
+    prior schema-2 report back in replays the identical trajectory
+    through its ``evaluated`` score cache at effectively zero cost, then
+    keeps evolving from exactly where the previous run stopped.
+    ``clock`` (a ``time.monotonic`` substitute) exists for tests.
     """
     log = log or (lambda line: None)
+    clock = clock or time.monotonic
+    started_at = clock()
+    deadline = None if minutes is None else started_at + minutes * 60.0
     rng = random.Random(seed ^ _SEARCH_SEED_SALT)
+    resume_key = {"seed": seed, "n": n, "population": population,
+                  "plan_ops": plan_ops, "allow": list(allow),
+                  "byzantine_fraction": byzantine_fraction,
+                  "event_budget": event_budget, "settle": settle}
+    cache = {}
+    if resume is not None:
+        if (resume.get("schema") == TOURNAMENT_SCHEMA
+                and resume.get("resume_key") == resume_key):
+            cache = {record["plan_hash"]: record
+                     for record in resume.get("evaluated", [])}
+            log("resuming from report with %d cached evaluations"
+                % len(cache))
+        else:
+            log("resume report ignored: schema or parameters differ")
     scored = []
+    evaluated = []
     evaluations = 0
+    cache_hits = 0
+    timed_out = False
+
+    def out_of_time(plan):
+        """May we still afford this plan?  Cache hits are always free;
+        the very first outcome is always taken so the report is never
+        empty."""
+        if deadline is None or plan.digest() in cache:
+            return False
+        if not scored:
+            return False
+        return clock() >= deadline
 
     def consider(plan):
-        nonlocal evaluations
-        outcome = evaluate_plan(plan, event_budget=event_budget,
-                                settle=settle)
-        evaluations += 1
+        nonlocal evaluations, cache_hits
+        digest = plan.digest()
+        record = cache.get(digest)
+        if record is not None:
+            outcome = {field: record[field] for field in _RECORD_FIELDS}
+            outcome["plan"] = plan
+            cache_hits += 1
+        else:
+            outcome = evaluate_plan(plan, event_budget=event_budget,
+                                    settle=settle)
+            evaluations += 1
+        evaluated.append(dict({"plan_hash": digest},
+                              **{field: outcome[field]
+                                 for field in _RECORD_FIELDS}))
         scored.append(outcome)
         return outcome
 
@@ -201,22 +262,35 @@ def run_tournament(seed, n=6, population=8, generations=6, plan_ops=10,
                            allow=allow,
                            byzantine_fraction=byzantine_fraction,
                            config=config, net=net, check=check)
+        if out_of_time(plan):
+            timed_out = True
+            break
         consider(plan)
 
     history = []
     generations_run = 0
-    for generation in range(generations):
+    generation = -1
+    while not timed_out:
+        generation += 1
+        if minutes is None and generation >= generations:
+            break
+        if deadline is not None and clock() >= deadline:
+            timed_out = True
+            break
         generations_run = generation + 1
         # deterministic rank: score desc, then arrival order
         order = sorted(range(len(scored)),
                        key=lambda i: (-scored[i]["score"], i))
         scored = [scored[i] for i in order]
         best = scored[0]
+        # count *considered* plans, not just fresh evaluations: a resumed
+        # run replays its prefix from cache and must reproduce the same
+        # history records as an uninterrupted one
         history.append({"generation": generation,
                         "best_score": best["score"],
                         "best_ops": len(best["plan"]),
                         "failures": sum(1 for o in scored if o["failed"]),
-                        "evaluations": evaluations})
+                        "evaluations": len(evaluated)})
         log("gen %d: best score %.1f (%d ops), %d/%d failing"
             % (generation, best["score"], len(best["plan"]),
                history[-1]["failures"], len(scored)))
@@ -224,6 +298,13 @@ def run_tournament(seed, n=6, population=8, generations=6, plan_ops=10,
             break
         survivors = scored[:max(2, population // 2)]
         scored = list(survivors)
+        if minutes is not None and len(scored) >= population:
+            # nothing to breed (population <= survivor count): the loop
+            # is a fixed point -- no rng draws, no new plans -- so a
+            # wall-clock budget would spin until the deadline doing
+            # nothing.  Structural, so a resumed run stops here too.
+            log("population saturated (nothing to breed); stopping early")
+            break
         while len(scored) < population:
             parent_a = rng.choice(survivors)["plan"]
             parent_b = rng.choice(survivors)["plan"]
@@ -233,7 +314,12 @@ def run_tournament(seed, n=6, population=8, generations=6, plan_ops=10,
             child = FaultPlan(seed=parent_a.seed, n=n, ops=ops,
                               config=parent_a.config, net=parent_a.net,
                               check=parent_a.check)
+            if out_of_time(child):
+                timed_out = True
+                break
             consider(child)
+        if timed_out:
+            break
 
     order = sorted(range(len(scored)), key=lambda i: (-scored[i]["score"], i))
     best = scored[order[0]]
@@ -245,7 +331,12 @@ def run_tournament(seed, n=6, population=8, generations=6, plan_ops=10,
                    "allow": list(allow), "event_budget": event_budget,
                    "settle": settle,
                    "byzantine_fraction": byzantine_fraction},
+        "resume_key": resume_key,
         "evaluations": evaluations,
+        "cache_hits": cache_hits,
+        "evaluated": evaluated,
+        "timed_out": timed_out,
+        "wall_seconds": clock() - started_at,
         "generations_run": generations_run,
         "history": history,
         "found": best["failed"],

@@ -1,0 +1,373 @@
+"""The optimistic 2-step ordering fast path (ROADMAP item 3).
+
+Unit tests drive :class:`FastPathConsensus` over the same direct message
+bus as the vector-consensus tests; stack tests boot full groups with
+``ordering_fast_path=True`` and check the layer integration -- pipelined
+instances, identical total order, the view-change seam, the stale-instance
+``dec`` responder, and equivalence of the delivered set with the fast
+path off.
+"""
+
+import pytest
+
+from repro import Group, StackConfig
+from repro.consensus.fastpath import (FastPathConsensus, fast_coordinator,
+                                      proposal_digest)
+from repro.core.properties import check_virtual_synchrony
+from repro.sim.scheduler import Simulator
+
+
+class Harness:
+    """Direct message bus between fast-path instances (no stack)."""
+
+    def __init__(self, n, f, seed=0, latency=0.001, jitter=0.001):
+        self.sim = Simulator(seed=seed)
+        self.members = list(range(n))
+        self.f = f
+        self.latency = latency
+        self.jitter = jitter
+        self.instances = {}
+        self.decisions = {}
+        self.crashed = set()
+        self.mute = set()
+        self.suspected = {}   # observer -> set of suspects
+        self.sent = []        # (sender, payload) of every broadcast
+        self.fallbacks = []   # (member, reason)
+
+    def broadcast_from(self, sender):
+        def bcast(payload):
+            self.sent.append((sender, payload))
+            if sender in self.crashed or sender in self.mute:
+                return
+            for receiver in self.members:
+                if receiver == sender or receiver in self.crashed:
+                    continue
+                delay = self.latency + self.sim.rng.random() * self.jitter
+                self.sim.schedule(delay, self._deliver, receiver, sender,
+                                  payload)
+        return bcast
+
+    def _deliver(self, receiver, sender, payload):
+        if receiver in self.crashed:
+            return
+        self.instances[receiver].on_message(sender, payload)
+
+    def build(self, proposals, seed_token=0, validate=None):
+        for i in self.members:
+            self.instances[i] = FastPathConsensus(
+                "test", self.members, i, self.f, proposals[i],
+                self.broadcast_from(i),
+                is_suspected=lambda m, i=i: m in self.suspected.get(i, set()),
+                on_decide=lambda v, i=i: self.decisions.__setitem__(i, v),
+                coordinator_seed=seed_token,
+                validate=validate,
+                on_fallback=lambda r, i=i: self.fallbacks.append((i, r)))
+        return self
+
+    def start(self, skip=(), fast=True):
+        for i in self.members:
+            if i not in skip:
+                self.instances[i].start(fast=fast)
+
+    def coordinator(self):
+        return self.instances[0].coordinator
+
+    def run(self, until=5.0):
+        self.sim.run(until=until, max_events=2_000_000)
+
+
+# ----------------------------------------------------------------------
+# unit: the 2-step protocol
+# ----------------------------------------------------------------------
+def test_two_step_decide_without_consensus_traffic():
+    batch = ((("n0", 1), "payload", 16),)
+    h = Harness(7, 1).build({i: (batch,) for i in range(7)})
+    h.start()
+    h.run()
+    assert len(h.decisions) == 7
+    assert set(h.decisions.values()) == {(batch,)}
+    assert all(h.instances[i].fast_decided for i in range(7))
+    assert h.fallbacks == []
+    # only fast-path kinds on the wire: one proposal, n-1 echoes, nothing
+    # from the classic val/coord/dec pattern
+    kinds = {p[0] for _s, p in h.sent}
+    assert kinds == {"fprop", "fecho"}
+    assert sum(1 for _s, p in h.sent if p[0] == "fprop") == 1
+
+
+def test_equivocating_coordinator_aborts_but_agreement_holds():
+    h = Harness(7, 1).build({i: (("A",),) for i in range(7)})
+    coord = h.coordinator()
+    # the coordinator two-faces its proposal: half the members see B
+    inst = h.instances[coord]
+    real_bcast = h.broadcast_from(coord)
+
+    def split_bcast(payload):
+        if payload[0] != "fprop":
+            real_bcast(payload)
+            return
+        for receiver in h.members:
+            if receiver == coord:
+                continue
+            vec = (("B",),) if receiver % 2 else payload[1]
+            delay = h.latency + h.sim.rng.random() * h.jitter
+            h.sim.schedule(delay, h._deliver, receiver, coord,
+                           ("fprop", vec))
+
+    inst.broadcast = split_bcast
+    h.start()
+    h.run()
+    # the split echo quorum cannot decide fast anywhere; everyone falls
+    # back and consensus converges on a single value
+    assert len(h.decisions) == 7
+    assert len(set(h.decisions.values())) == 1
+    assert any(r == "echo-conflict" for _i, r in h.fallbacks)
+    assert not any(h.instances[i].fast_decided
+                   for i in range(7) if i != coord)
+
+
+def test_mute_coordinator_times_out_into_fallback():
+    h = Harness(7, 1).build({i: ((i % 2,),) for i in range(7)})
+    coord = h.coordinator()
+    h.mute = {coord}
+    h.start()
+    h.run(until=0.05)
+    assert not h.decisions        # nobody heard a proposal: still waiting
+    for i in h.members:
+        if i != coord:
+            h.instances[i].timeout()
+    # the fallback still awaits the mute member's round messages until
+    # the failure detector speaks, exactly like plain vector consensus
+    for i in h.members:
+        if i == coord:
+            continue
+        h.suspected.setdefault(i, set()).add(coord)
+        h.instances[i].notify_suspicion_change()
+    h.run()
+    live = [i for i in h.members if i != coord]
+    assert all(i in h.decisions for i in live)
+    assert len({h.decisions[i] for i in live}) == 1
+    assert all(h.instances[i].fallback_reason == "timeout" for i in live)
+
+
+def test_echo_certificate_seeds_the_fallback_estimate():
+    h = Harness(7, 1).build({i: ((i,),) for i in range(7)})
+    coord = h.coordinator()
+    member = next(i for i in h.members if i != coord)
+    inst = h.instances[member]
+    inst.start()
+    prop = h.instances[coord].proposal
+    inst.on_message(coord, ("fprop", prop))
+    assert inst._echoed == proposal_digest(prop)
+    inst.timeout()
+    # bound by its own echo: the fallback re-proposes the echoed vector,
+    # not the member's local one -- the crux of fast/fallback agreement
+    assert tuple(inst._vc.est) == prop
+    assert inst.fallback_reason == "timeout"
+
+
+def test_suspected_coordinator_triggers_fallback():
+    h = Harness(7, 1).build({i: ((1,),) for i in range(7)})
+    coord = h.coordinator()
+    h.mute = {coord}
+    h.start()
+    for i in h.members:
+        if i == coord:
+            continue
+        h.suspected.setdefault(i, set()).add(coord)
+        h.instances[i].notify_suspicion_change()
+    h.run()
+    live = [i for i in h.members if i != coord]
+    assert all(i in h.decisions for i in live)
+    assert all(h.instances[i].fallback_reason == "suspicion" for i in live)
+
+
+def test_arbitration_start_skips_fast_mode_silently():
+    h = Harness(7, 1).build({i: ((1,),) for i in range(7)})
+    h.start(fast=False)
+    h.run()
+    assert len(h.decisions) == 7
+    assert all(h.instances[i].fallback_reason == "arbitration"
+               for i in h.members)
+    # arbitration is a mode choice, not an abort: no on_fallback calls
+    assert h.fallbacks == []
+    assert not any(p[0] in ("fprop", "fecho") for _s, p in h.sent)
+
+
+def test_conflicting_echo_aborts_fast_mode():
+    h = Harness(7, 1).build({i: ((1,),) for i in range(7)})
+    coord = h.coordinator()
+    member = next(i for i in h.members if i != coord)
+    inst = h.instances[member]
+    inst.start()
+    inst.on_message(coord, ("fprop", ((1,),)))
+    inst.on_message((member + 1) % 7, ("fecho", "bogus-digest"))
+    assert inst.mode == "fallback"
+    assert inst.fallback_reason == "echo-conflict"
+
+
+def test_invalid_proposal_falls_back():
+    h = Harness(7, 1).build({i: ((1,),) for i in range(7)},
+                            validate=lambda vec: False)
+    coord = h.coordinator()
+    member = next(i for i in h.members if i != coord)
+    inst = h.instances[member]
+    inst.start()
+    inst.on_message(coord, ("fprop", ((1,),)))
+    assert inst.fallback_reason == "invalid-proposal"
+
+
+def test_wait_verdict_echoes_after_revalidate():
+    verdict = {"v": "wait"}
+    h = Harness(7, 1).build({i: ((1,),) for i in range(7)},
+                            validate=lambda vec: verdict["v"])
+    coord = h.coordinator()
+    member = next(i for i in h.members if i != coord)
+    inst = h.instances[member]
+    inst.start()
+    inst.on_message(coord, ("fprop", ((1,),)))
+    assert inst._echoed is None and inst.mode == "fast"
+    verdict["v"] = True
+    inst.revalidate()
+    assert inst._echoed == proposal_digest(((1,),))
+
+
+def test_resilience_bound_n_greater_6f():
+    with pytest.raises(ValueError):
+        FastPathConsensus("x", list(range(6)), 0, 1, ((1,),),
+                          lambda p: None)
+    FastPathConsensus("x", list(range(7)), 0, 1, ((1,),), lambda p: None)
+
+
+def test_fast_coordinator_offset_from_fallback_rotation():
+    # the fast proposer must not also lead the recovery round, or a
+    # single faulty member could stall both paths in sequence
+    members = list(range(13))
+    seed = ("ord", "vid", 3)
+    inst = FastPathConsensus("x", members, 0, 2, ((1,),), lambda p: None,
+                             coordinator_seed=seed)
+    inst.start(fast=False)
+    assert fast_coordinator(members, seed) != inst._vc.coordinator_of(1)
+
+
+# ----------------------------------------------------------------------
+# stack: layer integration
+# ----------------------------------------------------------------------
+def fast_config(**kw):
+    return StackConfig.byz(crypto="sym", total_order=True,
+                           ordering_fast_path=True, **kw)
+
+
+def boot(n, seed=7, **kw):
+    return Group.bootstrap(n, config=fast_config(**kw), seed=seed)
+
+
+def collect_orders(group):
+    orders = {}
+    for node, endpoint in group.endpoints.items():
+        endpoint.record_events = False
+        orders[node] = []
+        endpoint.on_cast = (lambda event, acc=orders[node]:
+                            acc.append((event.msg_id, event.payload)))
+    return orders
+
+
+def test_stack_fast_decides_identical_order():
+    group = boot(8)
+    orders = collect_orders(group)
+    endpoints = list(group.endpoints.values())
+    for i, endpoint in enumerate(endpoints[:5]):
+        endpoint.cast(("m", i), size=32)
+    group.run(1.0)
+    assert len({tuple(o) for o in orders.values()}) == 1
+    assert len(orders[0]) == 5
+    layers = [p.stack.layer("ordering") for p in group.processes.values()]
+    assert sum(ol.fast_decides for ol in layers) > 0
+    assert sum(ol.fast_fallbacks for ol in layers) == 0
+    for ol in layers:
+        sizes = ol.state_sizes()
+        assert sizes["instance_state"] == 0
+        assert sizes["decided_backlog"] == 0
+        assert sizes["buffer"] == 0
+    group.stop()
+
+
+def test_stack_pipelined_casts_all_delivered():
+    # a second wave lands while the first instance is in flight: the
+    # pipeline must order it without waiting out a full ordering tick
+    group = boot(8)
+    orders = collect_orders(group)
+    endpoints = list(group.endpoints.values())
+    for i, endpoint in enumerate(endpoints):
+        group.sim.schedule(0.0003 * i, endpoint.cast, ("w", i))
+    group.run(1.0)
+    assert len({tuple(o) for o in orders.values()}) == 1
+    assert len(orders[0]) == 8
+    group.stop()
+
+
+def test_stack_view_change_seam():
+    group = boot(8)
+    for k in range(6):
+        group.endpoints[k % 8].cast(("pre", k))
+    group.run(0.2)
+    group.endpoints[7].leave()
+    ok = group.run_until(lambda: all(p.view.n == 7
+                                     for node, p in group.processes.items()
+                                     if node != 7), timeout=5.0)
+    assert ok
+    for k in range(4):
+        group.endpoints[k].cast(("post", k))
+    group.run(0.5)
+    execution = group.execution()
+    violations = check_virtual_synchrony(execution, total_order=True)
+    assert not violations, "\n".join(violations[:5])
+    group.stop()
+
+
+def test_stack_stale_responder_is_one_shot():
+    group = boot(8)
+    group.endpoints[0].cast(("solo", 0))
+    group.run(0.5)
+    layer = group.processes[0].stack.layer("ordering")
+    archived = [k for k, e in layer._fast_decisions.items() if not e[2]]
+    assert archived, "expected at least one archived fast decision"
+    k = archived[0]
+    sent = []
+    layer._bcast_proto = lambda k, proto: sent.append((k, proto))
+    # a straggler's classic round-1 val for an instance we fast-decided:
+    # answer once with the decision, then stay quiet
+    layer._on_stale_order_msg(1, k, ("val", 1, (("x",),)))
+    layer._on_stale_order_msg(1, k, ("val", 1, (("x",),)))
+    assert len(sent) == 1
+    assert sent[0][0] == k and sent[0][1][0] == "dec"
+    # benign traffic for the same instance never triggers a response
+    vector, digest, _ = layer._fast_decisions[k]
+    layer._fast_decisions[k][2] = False
+    layer._on_stale_order_msg(2, k, ("fecho", digest))
+    layer._on_stale_order_msg(2, k, ("dec", vector))
+    assert len(sent) == 1
+    group.stop()
+
+
+def test_stack_fast_on_off_deliver_same_messages():
+    def run_once(fast):
+        config = StackConfig.byz(crypto="sym", total_order=True,
+                                 ordering_fast_path=fast)
+        group = Group.bootstrap(8, config=config, seed=11)
+        orders = collect_orders(group)
+        endpoints = list(group.endpoints.values())
+        for i, endpoint in enumerate(endpoints[:6]):
+            group.sim.schedule(0.003 * i, endpoint.cast, ("x", i))
+        group.run(1.5)
+        group.stop()
+        assert len({tuple(o) for o in orders.values()}) == 1
+        return orders[0]
+
+    fast_order = run_once(True)
+    slow_order = run_once(False)
+    # batching differs, so the *order* may differ between the two runs --
+    # but both are internally consistent (asserted above) and must
+    # deliver exactly the same set of messages
+    assert {m for m, _p in fast_order} == {m for m, _p in slow_order}
+    assert len(fast_order) == 6

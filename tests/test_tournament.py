@@ -115,11 +115,64 @@ def test_tournament_report_shape():
     report = run_tournament(seed=11, n=4, population=2, generations=1,
                             plan_ops=3, allow=("cast", "run", "heal"),
                             event_budget=60_000, settle=1.0, shrink=False)
-    assert report["schema"] == 1 and report["kind"] == "tournament"
+    assert report["schema"] == 2 and report["kind"] == "tournament"
     assert report["params"]["population"] == 2
     assert report["generations_run"] == 1
     assert len(report["history"]) == 1
     assert report["best"]["plan_hash"]
+    assert report["resume_key"]["population"] == 2
+    assert len(report["evaluated"]) == report["evaluations"]
+    assert report["cache_hits"] == 0 and not report["timed_out"]
+
+
+def test_tournament_minutes_budget_and_deterministic_resume():
+    """A wall-clock-cut run resumed from its report must land exactly
+    where an uninterrupted run lands -- the evaluated cache replays the
+    prefix, the rng replays the breeding, and the clock only ever cuts
+    between evaluations."""
+    import json
+
+    kw = dict(n=4, population=3, generations=3, plan_ops=3,
+              allow=("cast", "run", "crash", "heal"),
+              event_budget=60_000, settle=1.0, shrink=False,
+              stop_on_failure=False)
+    full = run_tournament(seed=21, **kw)
+
+    # fake clock: each call advances one "second"; budget of 5 cuts the
+    # first run after a handful of evaluations
+    def make_clock():
+        state = {"t": 0.0}
+        def clock():
+            state["t"] += 1.0
+            return state["t"]
+        return clock
+
+    first = run_tournament(seed=21, minutes=5.0 / 60.0, clock=make_clock(),
+                           **kw)
+    assert first["timed_out"]
+    assert len(first["evaluated"]) < len(full["evaluated"])
+
+    # a JSON round-trip is what the CLI feeds back in
+    first = json.loads(json.dumps(first, default=str))
+    resumed = run_tournament(seed=21, resume=first, **kw)
+    assert resumed["cache_hits"] == len(first["evaluated"])
+    assert resumed["evaluations"] == \
+        len(full["evaluated"]) - len(first["evaluated"])
+    assert resumed["best"]["plan_hash"] == full["best"]["plan_hash"]
+    assert resumed["best"]["score"] == full["best"]["score"]
+    assert resumed["history"] == full["history"]
+    assert [r["plan_hash"] for r in resumed["evaluated"]] == \
+        [r["plan_hash"] for r in full["evaluated"]]
+
+
+def test_tournament_resume_rejects_mismatched_params():
+    kw = dict(n=4, population=2, generations=1, plan_ops=3,
+              allow=("cast", "run", "heal"),
+              event_budget=60_000, settle=1.0, shrink=False)
+    report = run_tournament(seed=11, **kw)
+    other = dict(kw, plan_ops=4)
+    resumed = run_tournament(seed=11, resume=report, **other)
+    assert resumed["cache_hits"] == 0  # stale cache must not be trusted
 
 
 # ----------------------------------------------------------------------
